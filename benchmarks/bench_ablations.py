@@ -1,0 +1,55 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+* QAIM connectivity-strength radius (1 vs 2 vs 3);
+* IC's dynamic distance re-sorting vs a frozen-order variant;
+* VIC's 1/R edge weighting vs -log R.
+"""
+
+from repro.experiments.figures import ablations
+from repro.experiments.harness import scaled_instances
+
+
+def test_ablation_qaim_radius(benchmark, record_figure):
+    instances = scaled_instances(reduced=8, paper=25)
+    result = benchmark.pedantic(
+        ablations.qaim_radius_ablation,
+        kwargs={"instances": instances},
+        rounds=1,
+        iterations=1,
+    )
+    record_figure(result)
+    # Radius-1 (pure degree) should not beat the paper's radius-2 choice by
+    # a wide margin anywhere.
+    for key, value in result.headline.items():
+        if key.endswith("r1_depth_vs_r2"):
+            assert value > 0.85
+
+
+def test_ablation_ic_dynamic_resorting(benchmark, record_figure):
+    instances = scaled_instances(reduced=10, paper=50)
+    result = benchmark.pedantic(
+        ablations.ic_dynamic_ablation,
+        kwargs={"instances": instances},
+        rounds=1,
+        iterations=1,
+    )
+    record_figure(result)
+    # Dynamic re-sorting is IC's point: freezing the order must not reduce
+    # the SWAP/gate cost.
+    assert result.headline["er_frozen_over_dynamic_gates"] >= 0.97
+    assert result.headline["regular_frozen_over_dynamic_gates"] >= 0.97
+
+
+def test_ablation_vic_weight_scheme(benchmark, record_figure):
+    instances = scaled_instances(reduced=10, paper=25)
+    result = benchmark.pedantic(
+        ablations.vic_weight_ablation,
+        kwargs={"instances": instances},
+        rounds=1,
+        iterations=1,
+    )
+    record_figure(result)
+    # Both weightings implement "prefer reliable couplings"; neither should
+    # collapse. (-log R is theoretically cleaner and often a bit better.)
+    assert result.headline["er_neglog_over_inv_sp"] > 0.5
+    assert result.headline["regular_neglog_over_inv_sp"] > 0.5

@@ -1,0 +1,31 @@
+"""Figure 9 bench: IP(+QAIM) and IC(+QAIM) against QAIM-only compilation.
+
+Regenerates the depth / gate-count / compile-time ratio bars of Figure 9
+(20-node ER and regular workloads on ibmq_20_tokyo).
+
+Paper targets: IC depth 39.3% below QAIM at 3-regular, ~68% at 8-regular;
+IC gates ~16.7% below QAIM and IP; IP compile time ~37% below IC.
+"""
+
+from repro.experiments.figures import fig9
+from repro.experiments.harness import scaled_instances
+
+
+def test_fig9_ip_ic_vs_qaim(benchmark, record_figure):
+    instances = scaled_instances(reduced=10, paper=50)
+    result = benchmark.pedantic(
+        fig9.run, kwargs={"instances": instances}, rounds=1, iterations=1
+    )
+    record_figure(result)
+    # IP and IC must both cut depth sharply vs random-order QAIM.
+    assert result.headline["ic_vs_qaim_depth_reg3"] < 0.85
+    # Denser graphs widen IC's depth advantage (paper: 39% -> 68%).
+    assert (
+        result.headline["ic_vs_qaim_depth_reg8"]
+        < result.headline["ic_vs_qaim_depth_reg3"]
+    )
+    # IC reduces gate count; IP stays roughly at QAIM's gate count.
+    assert result.headline["ic_vs_qaim_gates_mean"] < 1.0
+    assert result.headline["ip_vs_qaim_gates_mean"] > result.headline["ic_vs_qaim_gates_mean"]
+    # IC produces lower depth than IP on average.
+    assert result.headline["ic_vs_ip_depth_mean"] < 1.05

@@ -1,0 +1,24 @@
+"""Figure 10 bench: VIC vs IC compiled-circuit success probability.
+
+Regenerates the success-probability-ratio bars of Figure 10 (ER p=0.5 and
+6-regular graphs, 13/14/15 nodes, ibmq_16_melbourne with the 4/8/2020
+calibration).
+
+Paper targets: VIC ~80% better success probability on average for ER
+workloads, ~45% for regular ones (the regular gain is smaller because
+densely packed layers leave fewer reliable-pair choices).
+"""
+
+from repro.experiments.figures import fig10
+from repro.experiments.harness import scaled_instances
+
+
+def test_fig10_vic_vs_ic_success_probability(benchmark, record_figure):
+    instances = scaled_instances(reduced=10, paper=20)
+    result = benchmark.pedantic(
+        fig10.run, kwargs={"instances": instances}, rounds=1, iterations=1
+    )
+    record_figure(result)
+    # VIC must improve mean success probability on both families.
+    assert result.headline["vic_over_ic_sp_er_mean"] > 1.0
+    assert result.headline["vic_over_ic_sp_regular_mean"] > 1.0

@@ -1,0 +1,33 @@
+"""Figure 12 bench: impact of layer packing density.
+
+Regenerates the packing-limit sweep of Figure 12 (36-node ER p=0.5 and
+15-regular graphs on a 6x6 grid, IC(+QAIM), limit on CPHASE gates per
+layer swept).
+
+Paper target shapes: depth falls then degrades past ~11 gates/layer; gate
+count creeps up mildly through the mid range and sharply at the top;
+compile time falls monotonically with the packing limit.
+"""
+
+from repro.experiments.figures import fig12
+from repro.experiments.harness import scaled_instances
+
+
+def test_fig12_packing_density(benchmark, record_figure):
+    instances = scaled_instances(reduced=4, paper=20)
+    num_nodes = scaled_instances(reduced=25, paper=36)
+    result = benchmark.pedantic(
+        fig12.run,
+        kwargs={"instances": instances, "num_nodes": num_nodes},
+        rounds=1,
+        iterations=1,
+    )
+    record_figure(result)
+    h = result.headline
+    # Serialising everything (limit 1) costs depth vs generous packing.
+    assert h["er_depth_limit1_over_limit18"] > 1.0
+    # Packing to the fullest costs gate count vs minimal packing.
+    assert h["er_gates_limit18_over_limit1"] > 0.95
+    # Compile time falls as packing grows (fewer layers to satisfy).
+    assert h["er_time_limit1_over_limit18"] > 1.0
+    assert h["regular_time_limit1_over_limit18"] > 1.0

@@ -1,0 +1,106 @@
+"""QAOA level scaling: approximation ratio and compiled cost vs p.
+
+Section I: "QAOA performance improves with added levels in the PQC ...
+however, each level adds additional two parameters which may affect the
+convergence and the speed."  This bench quantifies both sides on our stack:
+
+* noiseless optimised approximation ratio grows monotonically with p;
+* compiled depth/gate count grow linearly with p (each level is one more
+  commuting block through IC);
+* under hardware noise there is a crossover — deeper circuits accumulate
+  more error, so the *sampled* ratio stops improving (the NISQ p trade-off).
+"""
+
+import numpy as np
+
+from repro.compiler import compile_with_method
+from repro.experiments.figures.common import FigureResult
+from repro.experiments.harness import make_problem, scaled_instances
+from repro.experiments.reporting import format_table
+from repro.hardware import ibmq_16_melbourne, melbourne_calibration
+from repro.qaoa import optimize_qaoa
+from repro.qaoa.evaluation import decode_physical_counts
+from repro.sim import NoiseModel, NoisySimulator
+
+
+def _run(instances, p_values=(1, 2, 3), shots=2048, trajectories=24):
+    coupling = ibmq_16_melbourne()
+    calibration = melbourne_calibration()
+    noisy = NoisySimulator(
+        NoiseModel.from_calibration(calibration), trajectories=trajectories
+    )
+    problem_rng = np.random.default_rng(808)
+    acc = {p: {"ratio": [], "depth": [], "gates": [], "noisy": []} for p in p_values}
+    for i in range(instances):
+        problem = make_problem("regular", 8, 3, problem_rng)
+        for p in p_values:
+            opt = optimize_qaoa(
+                problem, p=p, rng=np.random.default_rng((i, p)), restarts=4
+            )
+            program = problem.to_program(opt.gammas, opt.betas)
+            compiled = compile_with_method(
+                program,
+                coupling,
+                "ic",
+                rng=np.random.default_rng((i, p, 7)),
+            )
+            counts = decode_physical_counts(
+                noisy.sample_counts(
+                    compiled.circuit, shots, np.random.default_rng((i, p, 9))
+                ),
+                compiled.final_mapping,
+                problem.num_nodes,
+            )
+            total = sum(counts.values())
+            sampled = (
+                sum(problem.cut_value(b) * c for b, c in counts.items())
+                / total
+                / problem.max_cut_value()
+            )
+            acc[p]["ratio"].append(opt.approximation_ratio)
+            acc[p]["depth"].append(compiled.depth())
+            acc[p]["gates"].append(compiled.gate_count())
+            acc[p]["noisy"].append(sampled)
+
+    rows = []
+    headline = {}
+    for p in p_values:
+        ratio = float(np.mean(acc[p]["ratio"]))
+        depth = float(np.mean(acc[p]["depth"]))
+        gates = float(np.mean(acc[p]["gates"]))
+        sampled = float(np.mean(acc[p]["noisy"]))
+        rows.append([p, ratio, round(depth, 1), round(gates, 1), sampled])
+        headline[f"p{p}_ideal_ratio"] = ratio
+        headline[f"p{p}_noisy_ratio"] = sampled
+        headline[f"p{p}_depth"] = depth
+    return FigureResult(
+        figure="p_scaling",
+        description=(
+            f"QAOA level scaling on 8-node 3-regular graphs, IC on "
+            f"melbourne ({instances} instances)"
+        ),
+        table=format_table(
+            ["p", "ideal ratio", "mean depth", "mean gates", "noisy ratio"],
+            rows,
+        ),
+        headline=headline,
+    )
+
+
+def test_p_scaling_tradeoff(benchmark, record_figure):
+    instances = scaled_instances(reduced=3, paper=10)
+    result = benchmark.pedantic(
+        _run, kwargs={"instances": instances}, rounds=1, iterations=1
+    )
+    record_figure(result)
+    h = result.headline
+    # Ideal performance improves with p.
+    assert h["p2_ideal_ratio"] >= h["p1_ideal_ratio"] - 1e-6
+    assert h["p3_ideal_ratio"] >= h["p2_ideal_ratio"] - 0.02
+    # Compiled cost grows with p.
+    assert h["p3_depth"] > h["p2_depth"] > h["p1_depth"]
+    # Under noise the gain is eroded: the noisy gap (ideal - sampled)
+    # widens with p.
+    gap1 = h["p1_ideal_ratio"] - h["p1_noisy_ratio"]
+    gap3 = h["p3_ideal_ratio"] - h["p3_noisy_ratio"]
+    assert gap3 > gap1

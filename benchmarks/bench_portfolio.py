@@ -1,0 +1,100 @@
+"""Portfolio-compilation bench (Section V-H / Section VI directives).
+
+The paper advises compiling "multiple times with different packing limits"
+and choosing IP/IC/VIC by application requirements.  The portfolio compiler
+automates that: sweep (method x packing limit x seed), keep the best under
+a chosen objective.  This bench measures how much the portfolio wins over
+the best *fixed* configuration, and that its cost stays trivial.
+"""
+
+import numpy as np
+
+from repro.compiler import compile_with_method
+from repro.compiler.portfolio import compile_portfolio, depth_objective
+from repro.experiments.figures.common import FigureResult
+from repro.experiments.harness import make_problem, scaled_instances
+from repro.experiments.reporting import format_table
+from repro.hardware import ibmq_20_tokyo
+
+
+def _run(instances):
+    device = ibmq_20_tokyo()
+    problem_rng = np.random.default_rng(909)
+    fixed_depths = {"ip": [], "ic": []}
+    portfolio_depths = []
+    portfolio_times = []
+    winners = {}
+    for i in range(instances):
+        problem = make_problem("er", 18, 0.4, problem_rng)
+        program = problem.to_program([0.7], [0.35])
+        for method in fixed_depths:
+            compiled = compile_with_method(
+                program, device, method, rng=np.random.default_rng(i)
+            )
+            fixed_depths[method].append(compiled.depth())
+        result = compile_portfolio(
+            program,
+            device,
+            methods=("ip", "ic"),
+            packing_limits=(None, 4, 8),
+            seeds=(0, 1, 2),
+            objective=depth_objective,
+        )
+        portfolio_depths.append(result.best.compiled.depth())
+        portfolio_times.append(
+            sum(e.compiled.compile_time for e in result.entries)
+        )
+        key = (result.best.method, result.best.packing_limit)
+        winners[key] = winners.get(key, 0) + 1
+
+    rows = [
+        ["IP (fixed)", float(np.mean(fixed_depths["ip"])), "-"],
+        ["IC (fixed)", float(np.mean(fixed_depths["ic"])), "-"],
+        [
+            "portfolio (18 configs)",
+            float(np.mean(portfolio_depths)),
+            f"{float(np.mean(portfolio_times)) * 1e3:.1f} ms total",
+        ],
+    ]
+    best_fixed = min(
+        float(np.mean(fixed_depths[m])) for m in fixed_depths
+    )
+    headline = {
+        "portfolio_mean_depth": float(np.mean(portfolio_depths)),
+        "best_fixed_mean_depth": best_fixed,
+        "portfolio_gain": 1.0 - float(np.mean(portfolio_depths)) / best_fixed,
+        "portfolio_mean_seconds": float(np.mean(portfolio_times)),
+    }
+    winner_rows = [
+        [f"{m}/limit={l}", count] for (m, l), count in sorted(winners.items(), key=lambda kv: -kv[1])
+    ]
+    table = (
+        format_table(["configuration", "mean depth", "compile cost"], rows)
+        + "\n\nwinning configurations:\n"
+        + format_table(["config", "wins"], winner_rows)
+    )
+    return FigureResult(
+        figure="portfolio",
+        description=(
+            f"Portfolio compilation vs fixed configurations "
+            f"(18-node ER p=0.4 on tokyo, {instances} instances)"
+        ),
+        table=table,
+        headline=headline,
+    )
+
+
+def test_portfolio_beats_fixed_configs(benchmark, record_figure):
+    instances = scaled_instances(reduced=6, paper=25)
+    result = benchmark.pedantic(
+        _run, kwargs={"instances": instances}, rounds=1, iterations=1
+    )
+    record_figure(result)
+    # The portfolio can only match or beat any fixed configuration.
+    assert (
+        result.headline["portfolio_mean_depth"]
+        <= result.headline["best_fixed_mean_depth"] + 1e-9
+    )
+    assert result.headline["portfolio_gain"] >= 0.0
+    # Whole portfolio stays far below the planner's 70 s budget.
+    assert result.headline["portfolio_mean_seconds"] < 1.0

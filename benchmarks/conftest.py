@@ -1,0 +1,51 @@
+"""Benchmark-suite plumbing.
+
+Each bench module reproduces one figure/table of the paper.  Benches record
+their :class:`FigureResult` through the ``record_figure`` fixture; at the
+end of the run every recorded table is printed in the terminal summary (so
+``pytest benchmarks/ --benchmark-only | tee bench_output.txt`` captures the
+same rows/series the paper plots) and written under ``benchmarks/results/``.
+
+Set ``REPRO_FULL=1`` for paper-scale instance counts.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import List
+
+import pytest
+
+_RESULTS: List = []
+_RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def record_figure():
+    """Collect a FigureResult for end-of-run reporting."""
+
+    def _record(result):
+        _RESULTS.append(result)
+        return result
+
+    return _record
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _RESULTS:
+        return
+    _RESULTS_DIR.mkdir(exist_ok=True)
+    terminalreporter.write_line("")
+    terminalreporter.write_line("=" * 72)
+    terminalreporter.write_line("PAPER FIGURE / TABLE REPRODUCTIONS")
+    terminalreporter.write_line("=" * 72)
+    for result in _RESULTS:
+        terminalreporter.write_line("")
+        text = result.render()
+        terminalreporter.write_line(text)
+        out_file = _RESULTS_DIR / f"{result.figure}.txt"
+        out_file.write_text(text + "\n")
+    terminalreporter.write_line("")
+    terminalreporter.write_line(
+        f"(tables also written to {_RESULTS_DIR}/)"
+    )

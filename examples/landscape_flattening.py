@@ -1,0 +1,91 @@
+"""Noise flattens the QAOA landscape (Section I's motivation, visualised).
+
+The paper's premise for reliability-aware compilation: "recent studies claim
+that various sources of noise flatten the solution space of QAOA.
+Therefore, finding a mapping with higher reliability ... is important."
+This example computes the p=1 expectation landscape of one MaxCut instance
+
+* exactly (closed form),
+* as sampled through a compiled circuit on a *mildly* noisy device,
+* on a *heavily* noisy device,
+
+and prints ASCII heatmaps plus contrast statistics — the flattening is
+directly visible, and with it the reason a compiled circuit's noise exposure
+feeds back into optimiser convergence.
+
+Run:  python examples/landscape_flattening.py
+"""
+
+import numpy as np
+
+from repro import MaxCutProblem, NoiseModel, NoisySimulator, ring_device
+from repro.hardware import uniform_calibration
+from repro.qaoa.landscape import (
+    expectation_grid,
+    landscape_statistics,
+    noisy_expectation_grid,
+)
+
+_SHADES = " .:-=+*#%@"
+
+
+def ascii_heatmap(grid, lo=None, hi=None):
+    """Render a landscape as an ASCII intensity map (gamma rows, beta cols)."""
+    values = grid.values
+    lo = values.min() if lo is None else lo
+    hi = values.max() if hi is None else hi
+    span = max(hi - lo, 1e-12)
+    lines = []
+    for row in values:
+        cells = [
+            _SHADES[min(int((v - lo) / span * (len(_SHADES) - 1)), len(_SHADES) - 1)]
+            for v in row
+        ]
+        lines.append("".join(cells))
+    return "\n".join(lines)
+
+
+def main():
+    rng = np.random.default_rng(55)
+    problem = MaxCutProblem(5, [(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)])
+    device = ring_device(6)
+    resolution = 12
+
+    exact = expectation_grid(problem, resolution=resolution)
+    lo, hi = exact.values.min(), exact.values.max()
+    print("exact p=1 landscape (C5 MaxCut; rows = gamma, cols = beta):\n")
+    print(ascii_heatmap(exact, lo, hi))
+    stats = landscape_statistics(exact)
+    print(f"\ncontrast = {stats.contrast:.3f}, peak = {stats.max_value:.3f}")
+
+    for label, error in (("mild noise (1% CNOT)", 0.01), ("heavy noise (12% CNOT)", 0.12)):
+        cal = uniform_calibration(device, cnot_error=error)
+        noisy = NoisySimulator(
+            NoiseModel.from_calibration(cal), trajectories=24
+        )
+        grid = noisy_expectation_grid(
+            problem,
+            device,
+            "ic",
+            noisy,
+            resolution=resolution,
+            shots=768,
+            rng=rng,
+        )
+        stats = landscape_statistics(grid)
+        print(f"\n{label}:\n")
+        print(ascii_heatmap(grid, lo, hi))
+        print(
+            f"\ncontrast = {stats.contrast:.3f} "
+            f"(peak {stats.max_value:.3f}, mean {stats.mean:.3f})"
+        )
+
+    print(
+        "\nAs the error rate grows, the measured surface compresses toward "
+        "its mean — exactly the flattening that makes low-gate-count, "
+        "reliability-aware compilation (IC/VIC) matter."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,155 @@
+"""repro — reproduction of "Circuit Compilation Methodologies for QAOA"
+(Alam, Ash-Saki, Ghosh; MICRO 2020).
+
+The package implements, from scratch on numpy/scipy/networkx:
+
+* a quantum-circuit IR with IBM-basis lowering (:mod:`repro.circuits`),
+* device models with calibration data (:mod:`repro.hardware`),
+* ideal and noisy simulators (:mod:`repro.sim`),
+* a conventional layer-partitioning SWAP-insertion backend plus the paper's
+  four methodologies — QAIM, IP, IC, VIC (:mod:`repro.compiler`),
+* QAOA-MaxCut problems, the hybrid optimisation loop, and the ARG metric
+  (:mod:`repro.qaoa`),
+* the experiment harness regenerating every figure/table
+  (:mod:`repro.experiments`).
+
+Quickstart::
+
+    import numpy as np
+    from repro import (
+        MaxCutProblem, optimize_qaoa, compile_with_method, ibmq_20_tokyo,
+    )
+
+    rng = np.random.default_rng(7)
+    problem = MaxCutProblem(4, [(0, 1), (0, 2), (1, 3), (2, 3), (0, 3), (1, 2)])
+    opt = optimize_qaoa(problem, p=1)
+    program = problem.to_program(opt.gammas, opt.betas)
+    compiled = compile_with_method(program, ibmq_20_tokyo(), "ic", rng=rng)
+    print(compiled.depth(), compiled.gate_count(), compiled.swap_count)
+"""
+
+from .circuits import (
+    IBM_BASIS,
+    QAOA_BASIS,
+    Instruction,
+    QuantumCircuit,
+    circuit_depth,
+    decompose_to_basis,
+    draw_circuit,
+)
+from .compiler import (
+    METHOD_PRESETS,
+    CircuitMetrics,
+    CompiledCircuit,
+    CompiledQAOA,
+    ConventionalBackend,
+    IncrementalCompiler,
+    Mapping,
+    VariationAwareCompiler,
+    compile_qaoa,
+    compile_with_method,
+    greedy_e_placement,
+    greedy_v_placement,
+    measure_compiled,
+    parallelize,
+    qaim_placement,
+    random_placement,
+    sequentialize_crosstalk,
+    success_probability,
+    trivial_placement,
+)
+from .hardware import (
+    Calibration,
+    CouplingGraph,
+    get_device,
+    grid_device,
+    ibmq_16_melbourne,
+    ibmq_20_tokyo,
+    linear_device,
+    melbourne_calibration,
+    random_calibration,
+    ring_device,
+    uniform_calibration,
+)
+from .qaoa import (
+    ARGResult,
+    MaxCutProblem,
+    QAOAProgram,
+    analytic_expectation,
+    analytic_optimal_parameters,
+    approximation_ratio,
+    approximation_ratio_gap,
+    build_qaoa_circuit,
+    decode_physical_counts,
+    erdos_renyi_graph,
+    evaluate_arg,
+    optimize_qaoa,
+    qaoa_expectation,
+    random_regular_graph,
+)
+from .sim import NoiseModel, NoisySimulator, StatevectorSimulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # circuits
+    "QuantumCircuit",
+    "Instruction",
+    "IBM_BASIS",
+    "QAOA_BASIS",
+    "circuit_depth",
+    "decompose_to_basis",
+    "draw_circuit",
+    # hardware
+    "CouplingGraph",
+    "Calibration",
+    "ibmq_20_tokyo",
+    "ibmq_16_melbourne",
+    "melbourne_calibration",
+    "grid_device",
+    "linear_device",
+    "ring_device",
+    "get_device",
+    "random_calibration",
+    "uniform_calibration",
+    # sim
+    "StatevectorSimulator",
+    "NoisySimulator",
+    "NoiseModel",
+    # compiler
+    "Mapping",
+    "ConventionalBackend",
+    "CompiledCircuit",
+    "CompiledQAOA",
+    "compile_qaoa",
+    "compile_with_method",
+    "METHOD_PRESETS",
+    "qaim_placement",
+    "greedy_v_placement",
+    "greedy_e_placement",
+    "random_placement",
+    "trivial_placement",
+    "parallelize",
+    "IncrementalCompiler",
+    "VariationAwareCompiler",
+    "CircuitMetrics",
+    "measure_compiled",
+    "success_probability",
+    "sequentialize_crosstalk",
+    # qaoa
+    "MaxCutProblem",
+    "QAOAProgram",
+    "build_qaoa_circuit",
+    "optimize_qaoa",
+    "qaoa_expectation",
+    "analytic_expectation",
+    "analytic_optimal_parameters",
+    "approximation_ratio",
+    "approximation_ratio_gap",
+    "decode_physical_counts",
+    "evaluate_arg",
+    "ARGResult",
+    "erdos_renyi_graph",
+    "random_regular_graph",
+]

@@ -1,0 +1,85 @@
+"""Quantum-circuit intermediate representation.
+
+Public surface:
+
+* :class:`~repro.circuits.gates.Instruction` and the gate registry,
+* :class:`~repro.circuits.circuit.QuantumCircuit`,
+* layering/depth helpers from :mod:`repro.circuits.dag`,
+* basis lowering from :mod:`repro.circuits.decompose`.
+"""
+
+from .circuit import QuantumCircuit
+from .dag import (
+    asap_layers,
+    circuit_depth,
+    layer_qubit_sets,
+    qubit_activity,
+    two_qubit_depth,
+)
+from .decompose import (
+    count_basis_gates,
+    cphase_to_cnot,
+    decompose_to_basis,
+    expand_instruction,
+    flip_cnot,
+    swap_to_cnot,
+)
+from .draw import draw_circuit
+from .optimize import (
+    cancel_adjacent_self_inverse,
+    merge_phase_gates,
+    peephole_optimize,
+)
+from .qasm import QASMError
+from .qasm import dumps as qasm_dumps
+from .qasm import loads as qasm_loads
+from .timing import (
+    DurationModel,
+    ScheduledGate,
+    decoherence_factor,
+    execution_time,
+    schedule,
+)
+from .gates import (
+    GATES,
+    IBM_BASIS,
+    QAOA_BASIS,
+    GateSpec,
+    Instruction,
+    gate_spec,
+    is_known_gate,
+)
+
+__all__ = [
+    "QuantumCircuit",
+    "Instruction",
+    "GateSpec",
+    "GATES",
+    "IBM_BASIS",
+    "QAOA_BASIS",
+    "gate_spec",
+    "is_known_gate",
+    "asap_layers",
+    "circuit_depth",
+    "two_qubit_depth",
+    "layer_qubit_sets",
+    "qubit_activity",
+    "decompose_to_basis",
+    "expand_instruction",
+    "cphase_to_cnot",
+    "swap_to_cnot",
+    "flip_cnot",
+    "count_basis_gates",
+    "draw_circuit",
+    "peephole_optimize",
+    "cancel_adjacent_self_inverse",
+    "merge_phase_gates",
+    "qasm_dumps",
+    "qasm_loads",
+    "QASMError",
+    "DurationModel",
+    "ScheduledGate",
+    "schedule",
+    "execution_time",
+    "decoherence_factor",
+]

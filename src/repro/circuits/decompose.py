@@ -1,0 +1,170 @@
+"""Lowering circuits to a hardware basis gate set.
+
+IBM machines expose ``{U1, U2, U3, ID, CNOT}`` as native gates (Section II of
+the paper).  A QAOA circuit is written in ``{H, RX, CPHASE}``, and the router
+additionally inserts ``SWAP`` gates, so before execution we must rewrite:
+
+* ``CPHASE(gamma) a b  ->  CNOT a b ; RZ(gamma) b ; CNOT a b``
+  (Figure 1(d) — the ZZ-interaction decomposition; the RZ is *virtual* on
+  IBM hardware, which is why VIC models CPHASE reliability as the product of
+  two CNOT success rates),
+* ``SWAP a b -> CNOT a b ; CNOT b a ; CNOT a b``,
+* single-qubit gates -> the equivalent ``U1``/``U2``/``U3``.
+
+The pass is a simple peephole rewriter: it walks the instruction list once
+and replaces each non-native instruction by its expansion.  Directed-coupling
+adjustment (flipping a CNOT with four Hadamards) is provided separately for
+devices whose native CNOT is one-directional.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Iterable, List, Optional
+
+from .circuit import QuantumCircuit
+from .gates import IBM_BASIS, Instruction
+
+__all__ = [
+    "decompose_to_basis",
+    "expand_instruction",
+    "cphase_to_cnot",
+    "swap_to_cnot",
+    "flip_cnot",
+    "count_basis_gates",
+]
+
+_PI = math.pi
+
+
+def cphase_to_cnot(inst: Instruction) -> List[Instruction]:
+    """Expand the paper's CPHASE (ZZ interaction) into CNOT . RZ . CNOT."""
+    a, b = inst.qubits
+    (gamma,) = inst.params
+    return [
+        Instruction("cnot", (a, b)),
+        Instruction("rz", (b,), (gamma,)),
+        Instruction("cnot", (a, b)),
+    ]
+
+
+def swap_to_cnot(inst: Instruction) -> List[Instruction]:
+    """Expand SWAP into three alternating CNOTs."""
+    a, b = inst.qubits
+    return [
+        Instruction("cnot", (a, b)),
+        Instruction("cnot", (b, a)),
+        Instruction("cnot", (a, b)),
+    ]
+
+
+def _cu1_to_native(inst: Instruction) -> List[Instruction]:
+    """Textbook controlled-phase via two CNOTs and three U1s."""
+    a, b = inst.qubits
+    (lam,) = inst.params
+    half = lam / 2.0
+    return [
+        Instruction("u1", (a,), (half,)),
+        Instruction("cnot", (a, b)),
+        Instruction("u1", (b,), (-half,)),
+        Instruction("cnot", (a, b)),
+        Instruction("u1", (b,), (half,)),
+    ]
+
+
+def _cz_to_native(inst: Instruction) -> List[Instruction]:
+    a, b = inst.qubits
+    return [
+        Instruction("u2", (b,), (0.0, _PI)),  # H
+        Instruction("cnot", (a, b)),
+        Instruction("u2", (b,), (0.0, _PI)),  # H
+    ]
+
+
+# Single-qubit rewrites into the U1/U2/U3 family.  U1(l)=diag(1,e^{il});
+# U2(phi,lam) = U3(pi/2, phi, lam); U3 is the generic single-qubit gate.
+# RZ differs from U1 only by a global phase, which is unobservable.
+_SINGLE_QUBIT_TO_U: Dict[str, Callable[[Instruction], List[Instruction]]] = {
+    "h": lambda i: [Instruction("u2", i.qubits, (0.0, _PI))],
+    "x": lambda i: [Instruction("u3", i.qubits, (_PI, 0.0, _PI))],
+    "y": lambda i: [Instruction("u3", i.qubits, (_PI, _PI / 2, _PI / 2))],
+    "z": lambda i: [Instruction("u1", i.qubits, (_PI,))],
+    "s": lambda i: [Instruction("u1", i.qubits, (_PI / 2,))],
+    "sdg": lambda i: [Instruction("u1", i.qubits, (-_PI / 2,))],
+    "t": lambda i: [Instruction("u1", i.qubits, (_PI / 4,))],
+    "rx": lambda i: [
+        Instruction("u3", i.qubits, (i.params[0], -_PI / 2, _PI / 2))
+    ],
+    "ry": lambda i: [Instruction("u3", i.qubits, (i.params[0], 0.0, 0.0))],
+    "rz": lambda i: [Instruction("u1", i.qubits, (i.params[0],))],
+}
+
+_TWO_QUBIT_EXPANSIONS: Dict[str, Callable[[Instruction], List[Instruction]]] = {
+    "cphase": cphase_to_cnot,
+    "swap": swap_to_cnot,
+    "cu1": _cu1_to_native,
+    "cz": _cz_to_native,
+}
+
+
+def expand_instruction(inst: Instruction) -> List[Instruction]:
+    """One rewrite step for ``inst`` toward the IBM basis.
+
+    Native instructions come back as a one-element list unchanged.
+    """
+    if inst.name in IBM_BASIS:
+        return [inst]
+    if inst.name in _SINGLE_QUBIT_TO_U:
+        return _SINGLE_QUBIT_TO_U[inst.name](inst)
+    if inst.name in _TWO_QUBIT_EXPANSIONS:
+        return _TWO_QUBIT_EXPANSIONS[inst.name](inst)
+    raise ValueError(f"no decomposition to IBM basis for gate {inst.name!r}")
+
+
+def decompose_to_basis(
+    circuit: QuantumCircuit, basis: Optional[Iterable[str]] = None
+) -> QuantumCircuit:
+    """Lower ``circuit`` to ``basis`` (defaults to the IBM basis).
+
+    The rewrite iterates until a fixed point so chained expansions
+    (e.g. ``swap -> cnot`` then nothing further) terminate in one or two
+    sweeps.  The result is validated against the basis.
+    """
+    target = frozenset(basis) if basis is not None else IBM_BASIS
+    out: List[Instruction] = list(circuit.instructions)
+    for _ in range(4):  # expansions chain at most a couple of levels
+        if all(inst.name in target for inst in out):
+            break
+        next_out: List[Instruction] = []
+        for inst in out:
+            if inst.name in target:
+                next_out.append(inst)
+            else:
+                next_out.extend(expand_instruction(inst))
+        out = next_out
+    result = QuantumCircuit(circuit.num_qubits, out, name=circuit.name)
+    result.validate_basis(target)
+    return result
+
+
+def flip_cnot(inst: Instruction) -> List[Instruction]:
+    """Reverse a CNOT's direction using four Hadamards (as U2 gates).
+
+    Needed for devices whose coupling graph permits a native CNOT in only
+    one direction along an edge.
+    """
+    if inst.name != "cnot":
+        raise ValueError(f"flip_cnot expects a cnot, got {inst.name!r}")
+    c, t = inst.qubits
+    h_c = Instruction("u2", (c,), (0.0, _PI))
+    h_t = Instruction("u2", (t,), (0.0, _PI))
+    return [h_c, h_t, Instruction("cnot", (t, c)), h_c, h_t]
+
+
+def count_basis_gates(circuit: QuantumCircuit) -> Dict[str, int]:
+    """Gate histogram of the circuit lowered to the IBM basis.
+
+    Convenience wrapper used by the metrics module so depth/gate-count are
+    always reported on hardware-native circuits, matching the paper.
+    """
+    return decompose_to_basis(circuit).count_ops()

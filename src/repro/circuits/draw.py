@@ -1,0 +1,70 @@
+"""ASCII circuit rendering.
+
+A small, dependency-free drawer used by the examples and for debugging
+compilation passes.  One text row per qubit; gates are placed in their ASAP
+layer so concurrency is visible at a glance — which is exactly what the
+paper's Figure 1(b)/(c) comparison is about.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .circuit import QuantumCircuit
+from .dag import asap_layers
+
+__all__ = ["draw_circuit"]
+
+_WIRE = "-"
+
+
+def _gate_label(name: str, params) -> str:
+    if params:
+        angles = ",".join(f"{p:.2f}" for p in params)
+        return f"{name}({angles})"
+    return name
+
+
+def draw_circuit(circuit: QuantumCircuit, max_width: int = 120) -> str:
+    """Render ``circuit`` as ASCII art, one row per qubit.
+
+    Two-qubit gates show the first qubit as ``*`` (control for CNOT) and the
+    second carrying the label.  Layers are separated by ``|`` so the depth
+    can be read off directly.  Long circuits wrap at ``max_width`` columns.
+    """
+    layers = asap_layers(circuit)
+    n = circuit.num_qubits
+    rows: List[List[str]] = [[] for _ in range(n)]
+
+    for layer in layers:
+        cells = [_WIRE] * n
+        for inst in layer:
+            label = _gate_label(inst.name, inst.params)
+            if len(inst.qubits) == 1:
+                cells[inst.qubits[0]] = label
+            else:
+                a, b = inst.qubits
+                cells[a] = "*"
+                cells[b] = label
+        width = max(len(c) for c in cells)
+        for q in range(n):
+            rows[q].append(cells[q].center(width, _WIRE))
+
+    lines = []
+    # Wrap into banks of layers that fit max_width.
+    start = 0
+    while start < len(layers):
+        end = start
+        used = 6  # label prefix
+        while end < len(layers):
+            cell = len(rows[0][end]) + 1
+            if used + cell > max_width and end > start:
+                break
+            used += cell
+            end += 1
+        for q in range(n):
+            segment = "|".join(rows[q][start:end])
+            lines.append(f"q{q:<3}: {segment}")
+        lines.append("")
+        start = end
+    return "\n".join(lines).rstrip("\n")

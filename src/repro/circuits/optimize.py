@@ -1,0 +1,169 @@
+"""Peephole optimisation of native circuits.
+
+After lowering, compiled circuits contain easy wins the backend does not
+chase:
+
+* **CNOT cancellation** — two identical CNOTs with nothing between them on
+  either qubit are the identity.  This happens systematically at CPHASE /
+  SWAP seams: ``cphase(a,b); swap(a,b)`` lowers to
+  ``cx cx; u1; cx cx cx`` patterns with adjacent equal CNOTs.
+* **Phase merging** — consecutive ``u1``/``rz`` rotations on the same qubit
+  add their angles.
+* **Null-rotation removal** — ``u1(0)``, ``rz(0)``, ``rx(0)``, ``ry(0)``
+  and ``id`` do nothing (up to global phase).
+
+The pass iterates to a fixed point; it only ever removes or merges gates,
+so every rewrite strictly shrinks the instruction list and termination is
+guaranteed.  State equivalence (up to global phase) is enforced by the test
+suite on random circuits.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+from .circuit import QuantumCircuit
+from .gates import Instruction
+
+__all__ = ["peephole_optimize", "cancel_adjacent_self_inverse", "merge_phase_gates"]
+
+_SELF_INVERSE_TWO_QUBIT = {"cnot", "cz", "swap"}
+_PHASE_GATES = {"u1", "rz"}
+_NULL_IF_ZERO = {"u1", "rz", "rx", "ry"}
+_TWO_PI = 2.0 * math.pi
+
+
+def _angles_equal_mod_2pi(angle: float, target: float, tol: float) -> bool:
+    diff = (angle - target) % _TWO_PI
+    return min(diff, _TWO_PI - diff) < tol
+
+
+def cancel_adjacent_self_inverse(
+    circuit: QuantumCircuit, tol: float = 1e-12
+) -> QuantumCircuit:
+    """One sweep of adjacent-inverse cancellation.
+
+    Two gates cancel when they are the same self-inverse gate on the same
+    qubits (same order for CNOT) and no intervening instruction touches
+    either qubit.
+    """
+    pending: List[Optional[Instruction]] = list(circuit.instructions)
+    last_on = {}  # qubit -> index of last surviving instruction touching it
+
+    for i, inst in enumerate(pending):
+        if inst is None:
+            continue
+        if inst.is_directive:
+            for q in inst.qubits:
+                last_on[q] = i
+            continue
+        prev_indices = {last_on.get(q) for q in inst.qubits}
+        if (
+            inst.name in _SELF_INVERSE_TWO_QUBIT
+            and len(prev_indices) == 1
+        ):
+            (j,) = prev_indices
+            if j is not None and pending[j] is not None:
+                prev = pending[j]
+                same = prev.name == inst.name and (
+                    prev.qubits == inst.qubits
+                    or (
+                        inst.name in ("cz", "swap")
+                        and set(prev.qubits) == set(inst.qubits)
+                    )
+                )
+                if same:
+                    pending[i] = None
+                    pending[j] = None
+                    for q in inst.qubits:
+                        last_on.pop(q, None)
+                    continue
+        for q in inst.qubits:
+            last_on[q] = i
+    return QuantumCircuit(
+        circuit.num_qubits,
+        (inst for inst in pending if inst is not None),
+        name=circuit.name,
+    )
+
+
+def merge_phase_gates(
+    circuit: QuantumCircuit, tol: float = 1e-12
+) -> QuantumCircuit:
+    """One sweep merging consecutive u1/rz gates and dropping null rotations.
+
+    ``u1`` and ``rz`` differ only by global phase, so a merged pair keeps
+    the first gate's name with the summed angle.
+    """
+    out: List[Instruction] = []
+    last_on = {}  # qubit -> index into out
+    for inst in circuit:
+        if inst.is_directive:
+            out.append(inst)
+            for q in inst.qubits:
+                last_on[q] = len(out) - 1
+            continue
+        if (
+            inst.name in _NULL_IF_ZERO
+            and _angles_equal_mod_2pi(inst.params[0], 0.0, tol)
+        ) or inst.name == "id":
+            continue  # identity, drop (tracking not updated: nothing ran)
+        if inst.name in _PHASE_GATES:
+            q = inst.qubits[0]
+            j = last_on.get(q)
+            if (
+                j is not None
+                and out[j] is not None
+                and out[j].name in _PHASE_GATES
+                and out[j].qubits == inst.qubits
+            ):
+                merged_angle = out[j].params[0] + inst.params[0]
+                if _angles_equal_mod_2pi(merged_angle, 0.0, tol):
+                    out.pop(j)
+                    # Rebuild index map after removal.
+                    last_on = {
+                        qq: idx
+                        for qq, idx in last_on.items()
+                        if idx != j
+                    }
+                    last_on = {
+                        qq: (idx - 1 if idx > j else idx)
+                        for qq, idx in last_on.items()
+                    }
+                    last_on.pop(q, None)
+                else:
+                    out[j] = Instruction(
+                        out[j].name, out[j].qubits, (merged_angle,)
+                    )
+                continue
+        out.append(inst)
+        for q in inst.qubits:
+            last_on[q] = len(out) - 1
+    return QuantumCircuit(circuit.num_qubits, out, name=circuit.name)
+
+
+def peephole_optimize(
+    circuit: QuantumCircuit, max_sweeps: int = 20, tol: float = 1e-12
+) -> QuantumCircuit:
+    """Run cancellation + phase merging to a fixed point.
+
+    Args:
+        circuit: Any circuit (typically a native compiled one).
+        max_sweeps: Safety bound; each sweep strictly shrinks or the loop
+            stops, so a handful suffices.
+        tol: Angle tolerance for null-rotation detection.
+
+    Returns:
+        An equivalent (up to global phase) circuit with at most as many
+        gates.
+    """
+    current = circuit
+    for _ in range(max_sweeps):
+        reduced = merge_phase_gates(
+            cancel_adjacent_self_inverse(current, tol), tol
+        )
+        if len(reduced) == len(current):
+            return reduced
+        current = reduced
+    return current

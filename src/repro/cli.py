@@ -1,0 +1,333 @@
+"""Command-line interface.
+
+Subcommands::
+
+    python -m repro devices                      # list the device library
+    python -m repro profile ibmq_20_tokyo        # Fig 3(b) strength profile
+    python -m repro compile --nodes 12 --family er --param 0.5 \
+        --device ibmq_20_tokyo --method ic       # compile one instance
+    python -m repro experiment fig9              # reproduce one figure
+    python -m repro arg --nodes 10 --shots 4096  # ARG across methods
+
+Every command takes ``--seed`` for reproducibility; ``compile`` can dump the
+result as OpenQASM 2.0 with ``--qasm out.qasm``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="QAOA circuit-compilation methodologies (MICRO 2020 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("devices", help="list the device library")
+
+    profile = sub.add_parser(
+        "profile", help="connectivity-strength profile of a device"
+    )
+    profile.add_argument("device")
+    profile.add_argument("--radius", type=int, default=2)
+
+    compile_p = sub.add_parser("compile", help="compile one random instance")
+    compile_p.add_argument("--nodes", type=int, default=12)
+    compile_p.add_argument(
+        "--family", choices=["er", "regular", "er_m"], default="er"
+    )
+    compile_p.add_argument("--param", type=float, default=0.5)
+    compile_p.add_argument("--device", default="ibmq_20_tokyo")
+    compile_p.add_argument(
+        "--method",
+        choices=["naive", "greedy_v", "greedy_e", "qaim", "ip", "ic", "vic"],
+        default="ic",
+    )
+    compile_p.add_argument("--p", type=int, default=1, help="QAOA levels")
+    compile_p.add_argument("--packing-limit", type=int, default=None)
+    compile_p.add_argument("--seed", type=int, default=0)
+    compile_p.add_argument("--qasm", default=None, help="write OpenQASM here")
+    compile_p.add_argument(
+        "--draw", action="store_true", help="ASCII-draw the compiled circuit"
+    )
+
+    experiment = sub.add_parser(
+        "experiment", help="reproduce a paper figure/table"
+    )
+    experiment.add_argument(
+        "figure",
+        choices=[
+            "fig7", "fig8", "fig9", "fig10", "fig11a", "fig11b", "fig12",
+            "sec6", "all",
+        ],
+    )
+    experiment.add_argument("--instances", type=int, default=None)
+
+    analyze = sub.add_parser(
+        "analyze", help="structural analysis of one compiled instance"
+    )
+    analyze.add_argument("--nodes", type=int, default=12)
+    analyze.add_argument(
+        "--family", choices=["er", "regular", "er_m"], default="er"
+    )
+    analyze.add_argument("--param", type=float, default=0.5)
+    analyze.add_argument("--device", default="ibmq_20_tokyo")
+    analyze.add_argument(
+        "--method",
+        choices=["naive", "greedy_v", "greedy_e", "qaim", "ip", "ic", "vic"],
+        default="ic",
+    )
+    analyze.add_argument("--seed", type=int, default=0)
+
+    arg_p = sub.add_parser(
+        "arg", help="measure ARG for one instance across methods"
+    )
+    arg_p.add_argument("--nodes", type=int, default=10)
+    arg_p.add_argument("--edge-prob", type=float, default=0.5)
+    arg_p.add_argument("--shots", type=int, default=4096)
+    arg_p.add_argument("--seed", type=int, default=0)
+    arg_p.add_argument("--trajectories", type=int, default=24)
+
+    return parser
+
+
+def _cmd_devices(out) -> int:
+    from .hardware.devices import DEVICE_BUILDERS
+
+    from .experiments.reporting import format_table
+
+    rows = []
+    for name in sorted(DEVICE_BUILDERS):
+        device = DEVICE_BUILDERS[name]()
+        rows.append(
+            [
+                name,
+                device.num_qubits,
+                device.num_edges(),
+                "yes" if device.is_connected() else "no",
+            ]
+        )
+    print(
+        format_table(["device", "qubits", "couplings", "connected"], rows),
+        file=out,
+    )
+    return 0
+
+
+def _cmd_profile(args, out) -> int:
+    from .experiments.reporting import format_table
+    from .hardware.devices import get_device
+
+    device = get_device(args.device)
+    profile = device.connectivity_profile(radius=args.radius)
+    rows = [
+        [q, device.degree(q), strength]
+        for q, strength in sorted(profile.items())
+    ]
+    print(f"{device.name}: connectivity strength (radius {args.radius})", file=out)
+    print(
+        format_table(["qubit", "degree", "strength"], rows), file=out
+    )
+    return 0
+
+
+def _cmd_compile(args, out) -> int:
+    from .compiler import compile_with_method, measure_compiled
+    from .experiments.harness import make_problem
+    from .hardware import random_calibration
+    from .hardware.devices import get_device, melbourne_calibration
+
+    rng = np.random.default_rng(args.seed)
+    device = get_device(args.device)
+    problem = make_problem(args.family, args.nodes, args.param, rng)
+    program = problem.to_program([0.7] * args.p, [0.35] * args.p)
+    calibration = None
+    if args.method == "vic":
+        calibration = (
+            melbourne_calibration()
+            if device.name == "ibmq_16_melbourne"
+            else random_calibration(device, rng=rng)
+        )
+    compiled = compile_with_method(
+        program,
+        device,
+        args.method,
+        calibration=calibration,
+        packing_limit=args.packing_limit,
+        rng=rng,
+    )
+    metrics = measure_compiled(compiled, calibration=calibration)
+    print(
+        f"{problem} via {compiled.method} on {device.name}:", file=out
+    )
+    print(
+        f"  depth={metrics.depth} gates={metrics.gate_count} "
+        f"cnots={metrics.cnot_count} swaps={metrics.swap_count} "
+        f"compile={metrics.compile_time * 1e3:.2f}ms",
+        file=out,
+    )
+    if metrics.success_probability is not None:
+        print(
+            f"  success probability={metrics.success_probability:.3e}",
+            file=out,
+        )
+    if args.qasm:
+        from .circuits.qasm import dumps
+
+        with open(args.qasm, "w") as fh:
+            fh.write(dumps(compiled.circuit))
+        print(f"  QASM written to {args.qasm}", file=out)
+    if args.draw:
+        from .circuits import draw_circuit
+
+        active = compiled.circuit.active_qubits()
+        compact = compiled.circuit.remap(
+            {q: i for i, q in enumerate(active)}, num_qubits=len(active)
+        )
+        print(draw_circuit(compact), file=out)
+    return 0
+
+
+def _cmd_experiment(args, out) -> int:
+    from .experiments import figures
+
+    modules = {
+        "fig7": figures.fig7,
+        "fig8": figures.fig8,
+        "fig9": figures.fig9,
+        "fig10": figures.fig10,
+        "fig11a": figures.fig11a,
+        "fig11b": figures.fig11b,
+        "fig12": figures.fig12,
+        "sec6": figures.sec6_planner,
+    }
+    names = list(modules) if args.figure == "all" else [args.figure]
+    for name in names:
+        result = modules[name].run(instances=args.instances)
+        print(result.render(), file=out)
+        print(file=out)
+    return 0
+
+
+def _cmd_analyze(args, out) -> int:
+    from .compiler import compile_with_method
+    from .compiler.analysis import analyze_compiled
+    from .experiments.harness import make_problem
+    from .experiments.reporting import format_table
+    from .hardware import random_calibration
+    from .hardware.devices import get_device, melbourne_calibration
+
+    rng = np.random.default_rng(args.seed)
+    device = get_device(args.device)
+    problem = make_problem(args.family, args.nodes, args.param, rng)
+    program = problem.to_program([0.7], [0.35])
+    calibration = None
+    if args.method == "vic":
+        calibration = (
+            melbourne_calibration()
+            if device.name == "ibmq_16_melbourne"
+            else random_calibration(device, rng=rng)
+        )
+    compiled = compile_with_method(
+        program, device, args.method, calibration=calibration, rng=rng
+    )
+    analysis = analyze_compiled(compiled)
+    print(f"{problem} via {compiled.method} on {device.name}:", file=out)
+    print(
+        f"  native gates {analysis.total_native_gates} "
+        f"({analysis.routing_native_gates} routing, "
+        f"{100 * analysis.routing_overhead:.1f}% overhead), "
+        f"mean concurrency {analysis.mean_concurrency:.2f}",
+        file=out,
+    )
+    if analysis.hottest_qubits():
+        rows = [[q, t] for q, t in analysis.hottest_qubits(top=5)]
+        print("  hottest physical qubits (SWAP traffic):", file=out)
+        print(format_table(["qubit", "swaps"], rows), file=out)
+    rows = [[f"{a}-{b}", c] for (a, b), c in analysis.hottest_edges(top=5)]
+    print("  hottest couplings (two-qubit gates):", file=out)
+    print(format_table(["edge", "gates"], rows), file=out)
+    moved = {
+        q: d for q, d in sorted(analysis.displacement.items()) if d > 0
+    }
+    print(f"  displaced logical qubits: {moved or 'none'}", file=out)
+    return 0
+
+
+def _cmd_arg(args, out) -> int:
+    from .compiler import compile_with_method
+    from .experiments.harness import make_problem
+    from .experiments.reporting import format_table
+    from .hardware.devices import ibmq_16_melbourne, melbourne_calibration
+    from .qaoa import evaluate_arg, optimize_qaoa
+    from .sim import NoiseModel, NoisySimulator, StatevectorSimulator
+
+    rng = np.random.default_rng(args.seed)
+    problem = make_problem("er", args.nodes, args.edge_prob, rng)
+    opt = optimize_qaoa(problem, p=1)
+    program = problem.to_program(opt.gammas, opt.betas)
+    calibration = melbourne_calibration()
+    ideal = StatevectorSimulator()
+    noisy = NoisySimulator(
+        NoiseModel.from_calibration(calibration),
+        trajectories=args.trajectories,
+    )
+    rows = []
+    for method in ("qaim", "ip", "ic", "vic"):
+        compiled = compile_with_method(
+            program,
+            ibmq_16_melbourne(),
+            method,
+            calibration=calibration,
+            rng=rng,
+        )
+        result = evaluate_arg(
+            compiled, problem, ideal, noisy, shots=args.shots, rng=rng
+        )
+        rows.append(
+            [
+                method.upper(),
+                compiled.depth(),
+                compiled.gate_count(),
+                f"{result.r0:.3f}",
+                f"{result.rh:.3f}",
+                f"{result.arg:.2f}%",
+            ]
+        )
+    print(
+        f"{problem} on ibmq_16_melbourne (noisy sim), {args.shots} shots:",
+        file=out,
+    )
+    print(
+        format_table(["method", "depth", "gates", "r0", "rh", "ARG"], rows),
+        file=out,
+    )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    if args.command == "devices":
+        return _cmd_devices(out)
+    if args.command == "profile":
+        return _cmd_profile(args, out)
+    if args.command == "compile":
+        return _cmd_compile(args, out)
+    if args.command == "experiment":
+        return _cmd_experiment(args, out)
+    if args.command == "analyze":
+        return _cmd_analyze(args, out)
+    if args.command == "arg":
+        return _cmd_arg(args, out)
+    raise AssertionError(f"unhandled command {args.command!r}")

@@ -1,0 +1,85 @@
+"""Compilation: placements, orderings, backend, flows, metrics."""
+
+from .advanced_placement import reverse_traversal_placement, vqa_placement
+from .analysis import CompilationAnalysis, analyze_compiled
+from .backend import CompiledCircuit, ConventionalBackend
+from .crosstalk import count_conflicts, sequentialize_crosstalk
+from .exhaustive import ExhaustiveResult, exhaustive_best_order
+from .flow import (
+    METHOD_PRESETS,
+    ORDERINGS,
+    PLACEMENTS,
+    CompiledQAOA,
+    compile_qaoa,
+    compile_with_method,
+)
+from .ic import IncrementalBlockResult, IncrementalCompiler
+from .ip import IPResult, fill_single_layer, parallelize
+from .mapping import Mapping
+from .metrics import CircuitMetrics, measure_compiled, success_probability
+from .portfolio import (
+    PortfolioEntry,
+    PortfolioResult,
+    compile_portfolio,
+    depth_objective,
+    gate_count_objective,
+    reliability_objective,
+)
+from .placement import (
+    greedy_e_placement,
+    greedy_v_placement,
+    random_placement,
+    trivial_placement,
+)
+from .qaim import QAIMConfig, qaim_placement
+from .routing import RoutingResult, route_pair
+from .sabre import SabreBackend
+from .serialize import from_json, to_json
+from .vic import VariationAwareCompiler, vic_compiler
+
+__all__ = [
+    "Mapping",
+    "ConventionalBackend",
+    "SabreBackend",
+    "CompiledCircuit",
+    "route_pair",
+    "RoutingResult",
+    "trivial_placement",
+    "random_placement",
+    "greedy_v_placement",
+    "greedy_e_placement",
+    "reverse_traversal_placement",
+    "vqa_placement",
+    "qaim_placement",
+    "QAIMConfig",
+    "parallelize",
+    "fill_single_layer",
+    "IPResult",
+    "IncrementalCompiler",
+    "IncrementalBlockResult",
+    "VariationAwareCompiler",
+    "vic_compiler",
+    "compile_qaoa",
+    "compile_with_method",
+    "CompiledQAOA",
+    "METHOD_PRESETS",
+    "PLACEMENTS",
+    "ORDERINGS",
+    "CircuitMetrics",
+    "measure_compiled",
+    "success_probability",
+    "sequentialize_crosstalk",
+    "count_conflicts",
+    "exhaustive_best_order",
+    "ExhaustiveResult",
+    "to_json",
+    "from_json",
+    "compile_portfolio",
+    "PortfolioResult",
+    "PortfolioEntry",
+    "depth_objective",
+    "gate_count_objective",
+    "reliability_objective",
+    "analyze_compiled",
+    "CompilationAnalysis",
+]

@@ -1,0 +1,170 @@
+"""Additional initial-mapping strategies from the paper's related work.
+
+Section III surveys two further placement ideas that QAIM is positioned
+against; both are implemented here so comparisons and extensions are
+possible:
+
+* :func:`reverse_traversal_placement` — Li et al.'s (ASPLOS'19) reverse
+  traversal: start from a random mapping, compile the circuit, then compile
+  its *reverse* starting from the final mapping, and iterate.  Because
+  quantum circuits are reversible, the reverse circuit's final mapping is a
+  valid (and progressively better) initial mapping for the forward circuit.
+  The paper notes this "showed significant performance improvement at the
+  expense of higher compilation time due to repeated compilations" — the
+  trade QAIM avoids.
+* :func:`vqa_placement` — Tannu & Qureshi's Variation-aware Qubit
+  Allocation: select physical qubits maximising *cumulative link
+  reliability* rather than raw connectivity, using calibration data.  This
+  is the allocation-side counterpart of VIC's routing-side awareness.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..circuits import QuantumCircuit
+from ..hardware.calibration import Calibration
+from ..hardware.coupling import CouplingGraph
+from ..hardware.profiling import program_profile
+from .backend import ConventionalBackend
+from .mapping import Mapping
+
+__all__ = ["reverse_traversal_placement", "vqa_placement"]
+
+Pair = Tuple[int, int]
+
+
+def _pairs_to_circuit(pairs: Sequence[Pair], num_logical: int) -> QuantumCircuit:
+    """A CPHASE-only proxy circuit for mapping purposes (angles irrelevant)."""
+    qc = QuantumCircuit(max(num_logical, 1))
+    for a, b in pairs:
+        qc.cphase(0.5, a, b)
+    return qc
+
+
+def reverse_traversal_placement(
+    pairs: Sequence[Pair],
+    num_logical: int,
+    coupling: CouplingGraph,
+    rng: Optional[np.random.Generator] = None,
+    traversals: int = 3,
+) -> Mapping:
+    """Reverse-traversal initial mapping (Li et al., ASPLOS'19 style).
+
+    Args:
+        pairs: Logical endpoints of the circuit's two-qubit gates.
+        num_logical: Number of logical qubits.
+        coupling: Target device.
+        rng: Seeds the random starting mapping.
+        traversals: Number of forward+reverse refinement rounds (the paper
+            reports 3 reverse traversals sufficing).
+
+    Returns:
+        The refined initial :class:`~repro.compiler.mapping.Mapping`.
+    """
+    if num_logical > coupling.num_qubits:
+        raise ValueError(
+            f"{num_logical} logical qubits do not fit on "
+            f"{coupling.num_qubits}-qubit device {coupling.name}"
+        )
+    if traversals < 1:
+        raise ValueError(f"traversals must be >= 1, got {traversals}")
+    rng = rng if rng is not None else np.random.default_rng()
+    forward = _pairs_to_circuit(pairs, num_logical)
+    reverse = forward.reversed_ops()
+    backend = ConventionalBackend(coupling)
+
+    mapping = Mapping.random(num_logical, coupling.num_qubits, rng)
+    for _ in range(traversals):
+        # Forward pass: where do the qubits end up?
+        result = backend.compile(forward, mapping)
+        # Reverse pass starting there: its final mapping is a good initial
+        # mapping for the forward circuit.
+        result = backend.compile(reverse, Mapping(result.final_mapping, coupling.num_qubits))
+        mapping = Mapping(result.final_mapping, coupling.num_qubits)
+    return mapping
+
+
+def vqa_placement(
+    pairs: Sequence[Pair],
+    num_logical: int,
+    calibration: Calibration,
+    rng: Optional[np.random.Generator] = None,
+) -> Mapping:
+    """Variation-aware Qubit Allocation (Tannu & Qureshi style).
+
+    Greedy analogue of QAIM where a physical qubit's desirability is the
+    *cumulative success rate of its couplings* instead of its connectivity
+    strength: heavily used logical qubits land on physical qubits whose
+    links are reliable, and logical neighbours are drawn onto reliable
+    nearby qubits.
+
+    Args:
+        pairs: Logical endpoints of the circuit's CPHASE gates.
+        num_logical: Number of logical qubits.
+        calibration: Device calibration (defines both topology and
+            reliability).
+        rng: Optional tie-break randomiser.
+    """
+    coupling = calibration.coupling
+    if num_logical > coupling.num_qubits:
+        raise ValueError(
+            f"{num_logical} logical qubits do not fit on "
+            f"{coupling.num_qubits}-qubit device {coupling.name}"
+        )
+    reliability: Dict[int, float] = {
+        q: sum(
+            calibration.cnot_success(q, n) for n in coupling.neighbours(q)
+        )
+        for q in range(coupling.num_qubits)
+    }
+    hop = coupling.distance_matrix()
+    profile = program_profile(pairs)
+    adjacency: Dict[int, set] = {q: set() for q in range(num_logical)}
+    for a, b in pairs:
+        adjacency[a].add(b)
+        adjacency[b].add(a)
+
+    order = sorted(range(num_logical), key=lambda q: (-profile.get(q, 0), q))
+    mapping = Mapping({}, coupling.num_qubits)
+    for logical in order:
+        free = [
+            p
+            for p in range(coupling.num_qubits)
+            if mapping.logical_at(p) is None
+        ]
+        anchors = [
+            mapping.physical(n)
+            for n in adjacency[logical]
+            if mapping.is_placed(n)
+        ]
+        if anchors:
+            candidates = sorted(
+                {
+                    p
+                    for a in anchors
+                    for p in coupling.neighbours(a)
+                    if mapping.logical_at(p) is None
+                }
+            ) or free
+
+            def score(p: int) -> float:
+                distance = sum(hop[p, a] for a in anchors)
+                return reliability[p] / max(distance, 1e-9)
+
+        else:
+            candidates = free
+
+            def score(p: int) -> float:
+                return reliability[p]
+
+        best_score = max(score(p) for p in candidates)
+        ties = [p for p in candidates if abs(score(p) - best_score) <= 1e-12]
+        if rng is not None and len(ties) > 1:
+            choice = int(ties[int(rng.integers(len(ties)))])
+        else:
+            choice = min(ties)
+        mapping.place(logical, choice)
+    return mapping

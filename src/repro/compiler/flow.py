@@ -1,0 +1,378 @@
+"""Compilation flows: NAIVE, GreedyV/E, QAIM, IP, IC, VIC (Figure 2).
+
+A flow is the combination of two orthogonal choices:
+
+* **placement** — how the initial logical-to-physical mapping is chosen
+  (``random`` for NAIVE, ``greedy_v``/``greedy_e`` baselines, ``qaim``);
+* **ordering** — how the commuting CPHASE gates are scheduled
+  (``random``, ``ip`` bin-packing, ``ic`` incremental, ``vic``
+  variation-aware incremental).
+
+The paper's named methods are presets over these knobs
+(:data:`METHOD_PRESETS`): NAIVE = random+random, QAIM = qaim+random,
+IP = qaim+ip, IC = qaim+ic, VIC = qaim+vic.
+
+Every flow produces a :class:`CompiledQAOA`: a coupling-compliant physical
+circuit (H prefix, routed CPHASE blocks, RX mixers at the logical qubits'
+*current* physical homes, measurements at their final homes) plus the
+mapping provenance needed to decode samples and the wall-clock compile time.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..circuits import QuantumCircuit, decompose_to_basis
+from ..hardware.calibration import Calibration
+from ..hardware.coupling import CouplingGraph
+from ..qaoa.circuit_builder import build_qaoa_circuit
+from ..qaoa.problems import QAOAProgram
+from .backend import ConventionalBackend
+from .ic import IncrementalCompiler
+from .ip import parallelize
+from .mapping import Mapping
+from .placement import (
+    greedy_e_placement,
+    greedy_v_placement,
+    random_placement,
+    trivial_placement,
+)
+from .qaim import qaim_placement
+
+__all__ = [
+    "CompiledQAOA",
+    "compile_qaoa",
+    "compile_with_method",
+    "run_incremental_flow",
+    "METHOD_PRESETS",
+    "PLACEMENTS",
+    "ORDERINGS",
+]
+
+PLACEMENTS = {
+    "trivial": trivial_placement,
+    "random": random_placement,
+    "greedy_v": greedy_v_placement,
+    "greedy_e": greedy_e_placement,
+    "qaim": qaim_placement,
+}
+
+ORDERINGS = ("random", "ip", "ic", "vic")
+
+#: The paper's named methodologies as (placement, ordering) presets.
+METHOD_PRESETS: Dict[str, tuple] = {
+    "naive": ("random", "random"),
+    "greedy_v": ("greedy_v", "random"),
+    "greedy_e": ("greedy_e", "random"),
+    "qaim": ("qaim", "random"),
+    "ip": ("qaim", "ip"),
+    "ic": ("qaim", "ic"),
+    "vic": ("qaim", "vic"),
+}
+
+
+@dataclasses.dataclass
+class CompiledQAOA:
+    """A hardware-compliant QAOA circuit with full provenance.
+
+    Attributes:
+        circuit: Routed circuit on physical qubits, high-level gates
+            (h/cphase/rx/swap/measure); every two-qubit gate is
+            coupling-compliant.
+        coupling: Target device.
+        program: The QAOA program that was compiled.
+        initial_mapping: logical -> physical at circuit start.
+        final_mapping: logical -> physical at measurement time.
+        swap_count: SWAP gates inserted by routing.
+        compile_time: Wall-clock seconds for the whole flow (placement
+            included), the paper's compilation-time metric.
+        method: Flow description, e.g. ``"qaim+ic"``.
+    """
+
+    circuit: QuantumCircuit
+    coupling: CouplingGraph
+    program: QAOAProgram
+    initial_mapping: Dict[int, int]
+    final_mapping: Dict[int, int]
+    swap_count: int
+    compile_time: float
+    method: str
+
+    @property
+    def num_logical(self) -> int:
+        """Number of logical (program) qubits."""
+        return self.program.num_qubits
+
+    def native(self, optimize: bool = False) -> QuantumCircuit:
+        """The circuit lowered to the IBM basis.
+
+        Args:
+            optimize: Run the peephole pass (CNOT cancellation at
+                CPHASE/SWAP seams, phase merging) on the lowered circuit.
+        """
+        lowered = decompose_to_basis(self.circuit)
+        if optimize:
+            from ..circuits.optimize import peephole_optimize
+
+            lowered = peephole_optimize(lowered)
+        return lowered
+
+    def depth(self) -> int:
+        """Native-basis critical-path depth."""
+        return self.native().depth()
+
+    def gate_count(self) -> int:
+        """Native-basis total gate count (measurements included)."""
+        return self.native().gate_count()
+
+    def validate(self) -> None:
+        """Assert coupling compliance of every two-qubit gate."""
+        for inst in self.circuit:
+            if inst.is_two_qubit and not self.coupling.has_edge(*inst.qubits):
+                raise AssertionError(
+                    f"gate {inst} violates coupling of {self.coupling.name}"
+                )
+
+    def success_probability(self, calibration: Calibration, **kwargs) -> float:
+        """Product-of-gate-success-rates metric (see
+        :func:`repro.compiler.metrics.success_probability`)."""
+        from .metrics import success_probability
+
+        return success_probability(self.native(), calibration, **kwargs)
+
+
+def compile_qaoa(
+    program: QAOAProgram,
+    coupling: CouplingGraph,
+    placement: str = "qaim",
+    ordering: str = "random",
+    calibration: Optional[Calibration] = None,
+    packing_limit: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
+    qaim_radius: int = 2,
+    router: str = "layered",
+    crosstalk_conflicts=None,
+) -> CompiledQAOA:
+    """Compile a QAOA program with the chosen placement and ordering.
+
+    Args:
+        program: Logical QAOA program (edges + per-level angles).
+        coupling: Target device topology.
+        placement: One of :data:`PLACEMENTS`.
+        ordering: One of :data:`ORDERINGS`.
+        calibration: Required for ``ordering="vic"``; must cover
+            ``coupling``.
+        packing_limit: Optional max CPHASE gates per formed layer
+            (applies to ``ip``/``ic``/``vic``; Figure 12's knob).
+        rng: Random generator driving every stochastic tie-break.
+        qaim_radius: Connectivity-strength radius when placement is QAIM.
+        router: Backend SWAP router — ``"layered"`` (the qiskit-style
+            layer-partitioning backend) or ``"sabre"`` (lookahead search).
+            The paper's methodologies are front-ends to either.
+        crosstalk_conflicts: Optional iterable of conflicting coupling
+            pairs; when given, the Section VI crosstalk sequentialisation
+            pass runs post-compilation (see
+            :func:`repro.compiler.crosstalk.sequentialize_crosstalk`).
+
+    Returns:
+        A :class:`CompiledQAOA`.
+    """
+    if placement not in PLACEMENTS:
+        raise ValueError(
+            f"unknown placement {placement!r}; options: {sorted(PLACEMENTS)}"
+        )
+    if ordering not in ORDERINGS:
+        raise ValueError(
+            f"unknown ordering {ordering!r}; options: {ORDERINGS}"
+        )
+    if ordering == "vic":
+        if calibration is None:
+            raise ValueError("VIC ordering requires calibration data")
+        if calibration.coupling.name != coupling.name:
+            raise ValueError(
+                "calibration device does not match target coupling"
+            )
+    if router not in ("layered", "sabre"):
+        raise ValueError(
+            f"unknown router {router!r}; options: ('layered', 'sabre')"
+        )
+    rng = rng if rng is not None else np.random.default_rng()
+
+    start = time.perf_counter()
+    pairs = program.pairs()
+    if placement == "qaim":
+        from .qaim import QAIMConfig
+
+        mapping = qaim_placement(
+            pairs,
+            program.num_qubits,
+            coupling,
+            rng=rng,
+            config=QAIMConfig(radius=qaim_radius),
+        )
+    else:
+        mapping = PLACEMENTS[placement](
+            pairs, program.num_qubits, coupling, rng
+        )
+    initial = mapping.as_dict()
+
+    if ordering in ("random", "ip"):
+        compiled = _compile_monolithic(
+            program, coupling, mapping, ordering, packing_limit, rng, router
+        )
+    else:
+        compiled = _compile_incremental(
+            program, coupling, mapping, ordering, calibration,
+            packing_limit, rng, router,
+        )
+    circuit, final_mapping, swap_count = compiled
+    if crosstalk_conflicts is not None:
+        from .crosstalk import sequentialize_crosstalk
+
+        circuit = sequentialize_crosstalk(circuit, crosstalk_conflicts)
+    elapsed = time.perf_counter() - start
+
+    result = CompiledQAOA(
+        circuit=circuit,
+        coupling=coupling,
+        program=program,
+        initial_mapping=initial,
+        final_mapping=final_mapping,
+        swap_count=swap_count,
+        compile_time=elapsed,
+        method=f"{placement}+{ordering}",
+    )
+    result.validate()
+    return result
+
+
+def _make_router(
+    router: str,
+    coupling: CouplingGraph,
+    distance_matrix=None,
+):
+    """Instantiate the chosen backend router."""
+    if router == "sabre":
+        from .sabre import SabreBackend
+
+        return SabreBackend(coupling, distance_matrix=distance_matrix)
+    return ConventionalBackend(coupling, distance_matrix=distance_matrix)
+
+
+def _compile_monolithic(
+    program: QAOAProgram,
+    coupling: CouplingGraph,
+    mapping: Mapping,
+    ordering: str,
+    packing_limit: Optional[int],
+    rng: np.random.Generator,
+    router: str = "layered",
+):
+    """random/IP orderings: build the full logical circuit, compile once."""
+    if ordering == "ip":
+        ip_result = parallelize(
+            program.pairs(), rng=rng, packing_limit=packing_limit
+        )
+        edge_orders = [ip_result.ordered_pairs] * program.p
+        logical = build_qaoa_circuit(program, edge_orders=edge_orders)
+    else:
+        logical = build_qaoa_circuit(program, rng=rng)
+    backend = _make_router(router, coupling)
+    compiled = backend.compile(logical, mapping)
+    return compiled.circuit, compiled.final_mapping, compiled.swap_count
+
+
+def _compile_incremental(
+    program: QAOAProgram,
+    coupling: CouplingGraph,
+    mapping: Mapping,
+    ordering: str,
+    calibration: Optional[Calibration],
+    packing_limit: Optional[int],
+    rng: np.random.Generator,
+    router: str = "layered",
+):
+    """IC/VIC orderings: layer-at-a-time compilation with stitching."""
+    distance_matrix = (
+        calibration.vic_distance_matrix() if ordering == "vic" else None
+    )
+    compiler = IncrementalCompiler(
+        coupling,
+        distance_matrix=distance_matrix,
+        packing_limit=packing_limit,
+        rng=rng,
+        backend=_make_router(router, coupling, distance_matrix),
+    )
+    return run_incremental_flow(program, mapping, compiler)
+
+
+def run_incremental_flow(
+    program: QAOAProgram,
+    mapping: Mapping,
+    compiler: IncrementalCompiler,
+):
+    """Drive a (possibly custom) incremental compiler through a full QAOA
+    program: H prefix, per-level CPHASE blocks and mixers, measurements.
+
+    Exposed so ablation studies can plug in IncrementalCompiler variants
+    (frozen-distance ordering, alternative edge weights, ...) and still get
+    a complete circuit.  Mutates ``mapping``; returns
+    ``(circuit, final_mapping_dict, swap_count)``.
+    """
+    coupling = compiler.coupling
+    out = QuantumCircuit(coupling.num_qubits, name="qaoa_ic")
+    n = program.num_qubits
+    for q in range(n):
+        out.h(mapping.physical(q))
+    swap_count = 0
+    for level in range(program.p):
+        block = compiler.compile_block(
+            program.cphase_gates(level), mapping, out
+        )
+        swap_count += block.swap_count
+        # Linear Ising terms: virtual RZs, diagonal, commute with the block.
+        for q, angle in program.rz_gates(level):
+            out.rz(angle, mapping.physical(q))
+        mixer = program.mixer_angle(level)
+        for q in range(n):
+            out.rx(mixer, mapping.physical(q))
+    for q in range(n):
+        out.measure(mapping.physical(q))
+    return out, mapping.as_dict(), swap_count
+
+
+def compile_with_method(
+    program: QAOAProgram,
+    coupling: CouplingGraph,
+    method: str,
+    calibration: Optional[Calibration] = None,
+    packing_limit: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
+    router: str = "layered",
+) -> CompiledQAOA:
+    """Compile using one of the paper's named methods.
+
+    ``method`` is one of :data:`METHOD_PRESETS`:
+    ``naive``, ``greedy_v``, ``greedy_e``, ``qaim``, ``ip``, ``ic``,
+    ``vic``.  ``router`` selects the backend (``"layered"``/``"sabre"``).
+    """
+    try:
+        placement, ordering = METHOD_PRESETS[method]
+    except KeyError:
+        raise ValueError(
+            f"unknown method {method!r}; options: {sorted(METHOD_PRESETS)}"
+        ) from None
+    return compile_qaoa(
+        program,
+        coupling,
+        placement=placement,
+        ordering=ordering,
+        calibration=calibration,
+        packing_limit=packing_limit,
+        rng=rng,
+        router=router,
+    )

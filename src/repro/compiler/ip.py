@@ -1,0 +1,159 @@
+"""IP: Instruction Parallelization via greedy bin packing (Section IV-B).
+
+IP re-orders the commuting CPHASE gates of a QAOA level so that as many as
+possible execute concurrently, before the whole circuit is handed to the
+backend once.  The paper formulates layer formation as binary bin packing
+solved with first-fit-decreasing (Figure 4):
+
+1. Create ``MOQ`` empty layers, where ``MOQ`` is the maximum number of
+   CPHASEs on any one qubit — a lower bound on the achievable layer count.
+2. Rank gates by cumulative endpoint activity (descending; ties random) and
+   first-fit each into the earliest layer where both its qubits are free.
+3. Gates that fit nowhere go to an unassigned list; when the pass ends, the
+   procedure restarts on that list with fresh layers.
+
+:func:`fill_single_layer` exposes the one-layer greedy fill that IC/VIC
+reuse ("a greedy approach similar to the one used in IP", Section IV-C),
+including the packing-limit knob studied in Figure 12.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..hardware.profiling import max_operations_per_qubit, program_profile
+
+__all__ = ["IPResult", "parallelize", "fill_single_layer"]
+
+Pair = Tuple[int, int]
+
+
+@dataclasses.dataclass
+class IPResult:
+    """Outcome of instruction parallelization.
+
+    Attributes:
+        layers: CPHASE pairs grouped into concurrently executable layers;
+            within a layer no qubit repeats.
+        rounds: Number of Step-1 restarts needed (1 when everything fit in
+            the first MOQ layers).
+    """
+
+    layers: List[List[Pair]]
+    rounds: int
+
+    @property
+    def ordered_pairs(self) -> List[Pair]:
+        """Flattened gate order (layer by layer) to feed the backend."""
+        return [pair for layer in self.layers for pair in layer]
+
+    @property
+    def num_layers(self) -> int:
+        """Number of CPHASE layers after parallelization."""
+        return len(self.layers)
+
+    def validate(self) -> None:
+        """Assert no layer reuses a qubit."""
+        for i, layer in enumerate(self.layers):
+            seen = set()
+            for a, b in layer:
+                if a in seen or b in seen:
+                    raise AssertionError(f"layer {i} reuses a qubit: {layer}")
+                seen.update((a, b))
+
+
+def _ranked_pairs(
+    pairs: Sequence[Pair], rng: Optional[np.random.Generator]
+) -> List[Pair]:
+    """Pairs sorted by descending cumulative rank, ties shuffled randomly."""
+    profile = program_profile(pairs)
+    indexed = list(pairs)
+    if rng is not None:
+        # Shuffle first, then stable-sort: equal-rank gates end up in random
+        # relative order, exactly the paper's tie-breaking rule.
+        perm = rng.permutation(len(indexed))
+        indexed = [indexed[i] for i in perm]
+    indexed.sort(key=lambda p: -(profile[p[0]] + profile[p[1]]))
+    return indexed
+
+
+def parallelize(
+    pairs: Sequence[Pair],
+    rng: Optional[np.random.Generator] = None,
+    packing_limit: Optional[int] = None,
+    max_rounds: int = 1000,
+) -> IPResult:
+    """Pack CPHASE gates into concurrency layers (the IP procedure).
+
+    Args:
+        pairs: Logical endpoints of the level's CPHASE gates.
+        rng: Random generator for rank tie-breaking (None = deterministic).
+        packing_limit: Optional cap on gates per layer (Figure 12's knob).
+        max_rounds: Safety bound on Step-4 restarts.
+
+    Returns:
+        An :class:`IPResult`; ``result.ordered_pairs`` is the gate sequence
+        the backend should receive.
+    """
+    if packing_limit is not None and packing_limit < 1:
+        raise ValueError(f"packing_limit must be >= 1, got {packing_limit}")
+    remaining = list(pairs)
+    all_layers: List[List[Pair]] = []
+    rounds = 0
+    while remaining:
+        rounds += 1
+        if rounds > max_rounds:
+            raise RuntimeError("IP failed to converge (max_rounds exceeded)")
+        moq = max_operations_per_qubit(remaining)
+        layers: List[List[Pair]] = [[] for _ in range(max(moq, 1))]
+        occupied: List[set] = [set() for _ in range(max(moq, 1))]
+        unassigned: List[Pair] = []
+        for pair in _ranked_pairs(remaining, rng):
+            a, b = pair
+            for layer, used in zip(layers, occupied):
+                if a in used or b in used:
+                    continue
+                if packing_limit is not None and len(layer) >= packing_limit:
+                    continue
+                layer.append(pair)
+                used.update((a, b))
+                break
+            else:
+                unassigned.append(pair)
+        all_layers.extend(layer for layer in layers if layer)
+        remaining = unassigned
+    result = IPResult(layers=all_layers, rounds=max(rounds, 1))
+    result.validate()
+    return result
+
+
+def fill_single_layer(
+    sorted_pairs: Sequence[Pair],
+    packing_limit: Optional[int] = None,
+) -> Tuple[List[Pair], List[Pair]]:
+    """Greedily fill one layer from an already-sorted pair list.
+
+    Walks ``sorted_pairs`` in order, taking each gate whose qubits are both
+    still free in the layer (first-fit), up to ``packing_limit`` gates.
+
+    Returns:
+        ``(layer, remaining)`` — the chosen gates and everything left over,
+        in their original order.
+    """
+    if packing_limit is not None and packing_limit < 1:
+        raise ValueError(f"packing_limit must be >= 1, got {packing_limit}")
+    layer: List[Pair] = []
+    used: set = set()
+    remaining: List[Pair] = []
+    for pair in sorted_pairs:
+        a, b = pair
+        full = packing_limit is not None and len(layer) >= packing_limit
+        if full or a in used or b in used:
+            remaining.append(pair)
+            continue
+        layer.append(pair)
+        used.update((a, b))
+    return layer, remaining

@@ -1,0 +1,140 @@
+"""Circuit-quality metrics (Section V-A).
+
+The four metrics the paper reports for every compiled circuit:
+
+* **depth** — native-basis critical-path length;
+* **gate count** — native-basis total gates;
+* **compilation time** — captured by the flows themselves;
+* **success probability** — the product of per-gate success rates under a
+  calibration (Section II: "the product of the success probabilities of
+  individual gates").
+
+Plus the derived counters useful in analysis: CNOT count and SWAP count.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from ..circuits import IBM_BASIS, QuantumCircuit, decompose_to_basis
+from ..hardware.calibration import Calibration
+
+__all__ = ["CircuitMetrics", "success_probability", "measure_compiled"]
+
+
+@dataclasses.dataclass
+class CircuitMetrics:
+    """Bundle of the paper's circuit-quality numbers for one compilation.
+
+    Attributes:
+        method: Compilation flow name.
+        depth: Native circuit depth.
+        gate_count: Native total gate count.
+        cnot_count: Native CNOT count.
+        swap_count: SWAPs inserted by routing.
+        compile_time: Wall-clock compile seconds.
+        success_probability: Product-of-gate-success metric, when a
+            calibration was supplied.
+        execution_time_ns: Estimated wall-clock circuit duration under the
+            default gate-duration model (when requested).
+        decoherence_factor: Estimated T2 survival factor (when requested).
+    """
+
+    method: str
+    depth: int
+    gate_count: int
+    cnot_count: int
+    swap_count: int
+    compile_time: float
+    success_probability: Optional[float] = None
+    execution_time_ns: Optional[float] = None
+    decoherence_factor: Optional[float] = None
+
+
+def _ensure_native(circuit: QuantumCircuit) -> QuantumCircuit:
+    if all(inst.name in IBM_BASIS for inst in circuit):
+        return circuit
+    return decompose_to_basis(circuit)
+
+
+def success_probability(
+    circuit: QuantumCircuit,
+    calibration: Calibration,
+    include_readout: bool = False,
+    include_single_qubit: bool = True,
+) -> float:
+    """Product of per-gate success rates of a (native) circuit.
+
+    Rules:
+
+    * ``cnot`` gates multiply in the calibrated coupling success rate —
+      the dominant term, and the one the paper's VIC targets;
+    * ``u1`` gates are free: on IBM hardware phase gates are implemented
+      *virtually* (frame update), with no physical pulse — this is also why
+      the CPHASE success model is just two CNOTs (Section IV-D);
+    * other single-qubit gates multiply in the per-qubit single-qubit
+      success rate when ``include_single_qubit``;
+    * measurements multiply in readout fidelity when ``include_readout``.
+
+    The circuit is lowered to the native basis first if needed; it must be
+    coupling-compliant for the calibration's device.
+    """
+    native = _ensure_native(circuit)
+    prob = 1.0
+    for inst in native:
+        if inst.name == "cnot":
+            prob *= calibration.cnot_success(*inst.qubits)
+        elif inst.name == "measure":
+            if include_readout:
+                prob *= calibration.readout_fidelity(inst.qubits[0])
+        elif inst.name == "barrier" or inst.name == "u1":
+            continue
+        elif include_single_qubit:
+            prob *= calibration.single_qubit_success(inst.qubits[0])
+    return prob
+
+
+def measure_compiled(
+    compiled,
+    calibration: Optional[Calibration] = None,
+    include_timing: bool = False,
+    t2_ns: float = 70_000.0,
+    **success_kwargs,
+) -> CircuitMetrics:
+    """Collect all metrics for a compiled result.
+
+    Args:
+        compiled: :class:`~repro.compiler.flow.CompiledQAOA` or
+            :class:`~repro.compiler.backend.CompiledCircuit` (anything with
+            ``circuit``, ``swap_count``, ``compile_time``, ``method``).
+        calibration: When given, also compute success probability.
+        include_timing: Also estimate execution time and the T2 survival
+            factor under the default gate-duration model.
+        t2_ns: Dephasing constant for the survival estimate.
+        **success_kwargs: Forwarded to :func:`success_probability`.
+    """
+    native = decompose_to_basis(compiled.circuit)
+    sp = (
+        success_probability(native, calibration, **success_kwargs)
+        if calibration is not None
+        else None
+    )
+    exec_ns = None
+    survival = None
+    if include_timing:
+        from ..circuits.timing import decoherence_factor, execution_time
+
+        exec_ns = execution_time(native)
+        survival = decoherence_factor(native, t2_ns=t2_ns)
+    return CircuitMetrics(
+        method=compiled.method,
+        depth=native.depth(),
+        gate_count=native.gate_count(),
+        cnot_count=native.count_ops().get("cnot", 0),
+        swap_count=compiled.swap_count,
+        compile_time=compiled.compile_time,
+        success_probability=sp,
+        execution_time_ns=exec_ns,
+        decoherence_factor=survival,
+    )

@@ -1,0 +1,179 @@
+"""Initial-placement strategies: trivial, random, GreedyV, GreedyE.
+
+These are the baselines QAIM is evaluated against (Section III, "Initial
+Mapping", and Section V-C):
+
+* **trivial** — logical ``i`` on physical ``i``;
+* **random** — uniformly random placement (the NAIVE flow);
+* **GreedyV** (Murali et al., ASPLOS'19) — heaviest logical qubit (most
+  operations) onto the highest-degree physical qubit, repeatedly;
+* **GreedyE** (same work) — heaviest program *pair* onto the heaviest
+  hardware edge.  The paper points out this is a poor fit for QAOA, where
+  every pair interacts exactly once per level — we implement it so that
+  observation is testable.
+
+All strategies share the signature
+``(pairs, num_logical, coupling, rng) -> Mapping`` so flows can swap them
+freely; ``pairs`` is the list of logical CPHASE endpoints.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..hardware.coupling import CouplingGraph
+from ..hardware.profiling import program_profile
+from .mapping import Mapping
+
+__all__ = [
+    "trivial_placement",
+    "random_placement",
+    "greedy_v_placement",
+    "greedy_e_placement",
+    "PlacementFn",
+]
+
+Pair = Tuple[int, int]
+PlacementFn = Callable[
+    [Sequence[Pair], int, CouplingGraph, Optional[np.random.Generator]],
+    Mapping,
+]
+
+
+def _check_fits(num_logical: int, coupling: CouplingGraph) -> None:
+    if num_logical > coupling.num_qubits:
+        raise ValueError(
+            f"{num_logical} logical qubits do not fit on "
+            f"{coupling.num_qubits}-qubit device {coupling.name}"
+        )
+
+
+def trivial_placement(
+    pairs: Sequence[Pair],
+    num_logical: int,
+    coupling: CouplingGraph,
+    rng: Optional[np.random.Generator] = None,
+) -> Mapping:
+    """Identity placement (logical ``i`` -> physical ``i``)."""
+    _check_fits(num_logical, coupling)
+    return Mapping.trivial(num_logical, coupling.num_qubits)
+
+
+def random_placement(
+    pairs: Sequence[Pair],
+    num_logical: int,
+    coupling: CouplingGraph,
+    rng: Optional[np.random.Generator] = None,
+) -> Mapping:
+    """Uniformly random placement — the NAIVE flow's initial mapping."""
+    _check_fits(num_logical, coupling)
+    rng = rng if rng is not None else np.random.default_rng()
+    return Mapping.random(num_logical, coupling.num_qubits, rng)
+
+
+def _sorted_logical_by_weight(
+    pairs: Sequence[Pair], num_logical: int
+) -> List[int]:
+    """Logical qubits heaviest-first (by CPHASE count), index-tiebroken."""
+    profile = program_profile(pairs)
+    return sorted(
+        range(num_logical), key=lambda q: (-profile.get(q, 0), q)
+    )
+
+
+def greedy_v_placement(
+    pairs: Sequence[Pair],
+    num_logical: int,
+    coupling: CouplingGraph,
+    rng: Optional[np.random.Generator] = None,
+) -> Mapping:
+    """GreedyV: heaviest logical qubit onto highest-degree physical qubit.
+
+    Ties on degree break toward the lower physical index (deterministic),
+    matching the descending-sort formulation of the original heuristic.
+    """
+    _check_fits(num_logical, coupling)
+    logical_order = _sorted_logical_by_weight(pairs, num_logical)
+    physical_order = sorted(
+        range(coupling.num_qubits), key=lambda p: (-coupling.degree(p), p)
+    )
+    mapping = Mapping({}, coupling.num_qubits)
+    for logical, physical in zip(logical_order, physical_order):
+        mapping.place(logical, physical)
+    return mapping
+
+
+def greedy_e_placement(
+    pairs: Sequence[Pair],
+    num_logical: int,
+    coupling: CouplingGraph,
+    rng: Optional[np.random.Generator] = None,
+) -> Mapping:
+    """GreedyE: heaviest program pair onto the heaviest free hardware edge.
+
+    Pair weight is the number of CPHASE gates between the two logical qubits
+    (for single-level QAOA this is 1 for every pair — the degeneracy the
+    paper calls out).  Hardware-edge weight is the endpoint degree sum.
+    Leftover logical qubits go onto the highest-degree free physical qubits.
+    """
+    _check_fits(num_logical, coupling)
+    weight: Dict[Pair, int] = {}
+    for a, b in pairs:
+        key = (min(a, b), max(a, b))
+        weight[key] = weight.get(key, 0) + 1
+    ordered_pairs = sorted(weight, key=lambda e: (-weight[e], e))
+
+    def edge_weight(edge: Pair) -> int:
+        return coupling.degree(edge[0]) + coupling.degree(edge[1])
+
+    mapping = Mapping({}, coupling.num_qubits)
+    for a, b in ordered_pairs:
+        placed_a, placed_b = mapping.is_placed(a), mapping.is_placed(b)
+        if placed_a and placed_b:
+            continue
+        if not placed_a and not placed_b:
+            free_edges = [
+                e
+                for e in coupling.edges
+                if mapping.logical_at(e[0]) is None
+                and mapping.logical_at(e[1]) is None
+            ]
+            if free_edges:
+                best = max(free_edges, key=lambda e: (edge_weight(e), -e[0], -e[1]))
+                mapping.place(a, best[0])
+                mapping.place(b, best[1])
+                continue
+            # No fully free edge: fall through to per-qubit placement.
+            placed_a = _place_on_best_free(mapping, coupling, a)
+            placed_b = _place_on_best_free(mapping, coupling, b)
+            continue
+        # Exactly one endpoint placed: put the other next to it if possible.
+        placed, unplaced = (a, b) if placed_a else (b, a)
+        anchor = mapping.physical(placed)
+        free_neighbours = [
+            p for p in coupling.neighbours(anchor) if mapping.logical_at(p) is None
+        ]
+        if free_neighbours:
+            best = max(free_neighbours, key=lambda p: (coupling.degree(p), -p))
+            mapping.place(unplaced, best)
+        else:
+            _place_on_best_free(mapping, coupling, unplaced)
+
+    for logical in range(num_logical):
+        if not mapping.is_placed(logical):
+            _place_on_best_free(mapping, coupling, logical)
+    return mapping
+
+
+def _place_on_best_free(
+    mapping: Mapping, coupling: CouplingGraph, logical: int
+) -> bool:
+    """Place ``logical`` on the highest-degree free physical qubit."""
+    free = mapping.free_physical()
+    if not free:
+        raise RuntimeError("no free physical qubits left")
+    best = max(free, key=lambda p: (coupling.degree(p), -p))
+    mapping.place(logical, best)
+    return True

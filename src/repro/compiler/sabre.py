@@ -1,0 +1,268 @@
+"""A second conventional backend: SABRE-style lookahead SWAP routing.
+
+The paper positions its methodologies as front-ends that "can be integrated
+into any conventional compiler" (Figure 2's backend box).  Our default
+backend (:class:`~repro.compiler.backend.ConventionalBackend`) is the
+layer-partitioning style of Zulehner et al. / qiskit's swap mapper.  This
+module provides the other mainstream style — the heuristic search of Li,
+Ding & Xie's SABRE (ASPLOS'19), which the paper's Section III discusses —
+so the front-ends can be exercised against two genuinely different routers:
+
+* maintain a *front layer* of gates whose dependencies are satisfied;
+* execute everything executable (single-qubit gates always, two-qubit gates
+  when their endpoints are adjacent);
+* when stuck, score every candidate SWAP (edges touching a front-layer
+  qubit) by the resulting total distance of the front layer plus a
+  discounted look-ahead over upcoming gates, with a decay penalty on
+  recently swapped qubits to avoid thrashing; apply the best SWAP.
+
+The class intentionally mirrors :class:`ConventionalBackend`'s interface
+(``compile`` / ``continue_compile``) so IC/VIC can drive it unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..circuits import QuantumCircuit
+from ..circuits.gates import Instruction
+from ..hardware.coupling import CouplingGraph
+from .backend import CompiledCircuit
+from .mapping import Mapping
+
+__all__ = ["SabreBackend"]
+
+
+class SabreBackend:
+    """Lookahead-heuristic SWAP router with the ConventionalBackend API.
+
+    Args:
+        coupling: Target device.
+        distance_matrix: Distance table steering the heuristic (hop
+            distances by default; pass a reliability-weighted table for
+            variation-aware routing).
+        lookahead: Number of upcoming two-qubit gates included in the
+            extended set.
+        lookahead_weight: Relative weight of the extended set's distance.
+        decay_factor: Multiplicative penalty applied to SWAPs touching
+            recently swapped qubits (anti-thrashing).
+        decay_reset: Number of SWAPs after which decay penalties reset.
+    """
+
+    def __init__(
+        self,
+        coupling: CouplingGraph,
+        distance_matrix: Optional[np.ndarray] = None,
+        lookahead: int = 20,
+        lookahead_weight: float = 0.5,
+        decay_factor: float = 0.001,
+        decay_reset: int = 5,
+    ) -> None:
+        self.coupling = coupling
+        self.distance_matrix = (
+            distance_matrix
+            if distance_matrix is not None
+            else coupling.distance_matrix()
+        )
+        self.lookahead = lookahead
+        self.lookahead_weight = lookahead_weight
+        self.decay_factor = decay_factor
+        self.decay_reset = decay_reset
+
+    # ------------------------------------------------------------------
+    # public API (mirrors ConventionalBackend)
+    # ------------------------------------------------------------------
+    def compile(
+        self,
+        circuit: QuantumCircuit,
+        mapping: Mapping,
+        name: Optional[str] = None,
+    ) -> CompiledCircuit:
+        """Route ``circuit`` starting from ``mapping`` (not mutated)."""
+        working = mapping.copy()
+        initial = working.as_dict()
+        out = QuantumCircuit(
+            self.coupling.num_qubits,
+            name=name or f"{circuit.name}@{self.coupling.name}(sabre)",
+        )
+        swap_count = self.continue_compile(circuit, working, out)
+        result = CompiledCircuit(
+            circuit=out,
+            coupling=self.coupling,
+            initial_mapping=initial,
+            final_mapping=working.as_dict(),
+            swap_count=swap_count,
+            method="sabre",
+        )
+        result.validate()
+        return result
+
+    def continue_compile(
+        self,
+        circuit: QuantumCircuit,
+        mapping: Mapping,
+        out: QuantumCircuit,
+    ) -> int:
+        """Append the routed ``circuit`` to ``out``; mutates ``mapping``."""
+        pending: List[Instruction] = [
+            inst for inst in circuit if not inst.is_directive
+        ]
+        # Dependency tracking: index of the next unexecuted gate per qubit.
+        swap_count = 0
+        executed = [False] * len(pending)
+        # Predecessor structure: gate i depends on the latest earlier gate
+        # sharing any qubit.
+        preds: List[Set[int]] = [set() for _ in pending]
+        last_on: Dict[int, int] = {}
+        for i, inst in enumerate(pending):
+            for q in inst.qubits:
+                if q in last_on:
+                    preds[i].add(last_on[q])
+                last_on[q] = i
+
+        remaining_preds = [set(p) for p in preds]
+        succs: List[Set[int]] = [set() for _ in pending]
+        for i, p in enumerate(preds):
+            for j in p:
+                succs[j].add(i)
+
+        front: Set[int] = {
+            i for i, p in enumerate(remaining_preds) if not p
+        }
+        decay = np.ones(self.coupling.num_qubits)
+        swaps_since_reset = 0
+        guard = 0
+        max_iters = 10000 * (len(pending) + 1)
+
+        def executable(i: int) -> bool:
+            inst = pending[i]
+            if len(inst.qubits) == 1:
+                return True
+            pa, pb = (
+                mapping.physical(inst.qubits[0]),
+                mapping.physical(inst.qubits[1]),
+            )
+            return self.coupling.has_edge(pa, pb)
+
+        def emit(i: int) -> None:
+            inst = pending[i]
+            physical = tuple(mapping.physical(q) for q in inst.qubits)
+            out.append(Instruction(inst.name, physical, inst.params))
+            executed[i] = True
+            front.discard(i)
+            for j in succs[i]:
+                remaining_preds[j].discard(i)
+                if not remaining_preds[j]:
+                    front.add(j)
+
+        while front:
+            guard += 1
+            if guard > max_iters:
+                raise RuntimeError("SABRE routing failed to converge")
+            ready = [i for i in sorted(front) if executable(i)]
+            if ready:
+                for i in ready:
+                    emit(i)
+                continue
+            # Stuck: every front gate is a non-adjacent two-qubit gate.
+            swap = self._choose_swap(pending, front, succs, mapping, decay)
+            out.append(Instruction("swap", swap))
+            mapping.apply_swap(*swap)
+            swap_count += 1
+            decay[list(swap)] += self.decay_factor
+            swaps_since_reset += 1
+            if swaps_since_reset >= self.decay_reset:
+                decay[:] = 1.0
+                swaps_since_reset = 0
+        return swap_count
+
+    # ------------------------------------------------------------------
+    def _extended_set(
+        self,
+        pending: Sequence[Instruction],
+        front: Set[int],
+        succs: Sequence[Set[int]],
+    ) -> List[int]:
+        """Up to ``lookahead`` upcoming two-qubit gates past the front."""
+        out: List[int] = []
+        frontier = sorted(front)
+        seen = set(frontier)
+        while frontier and len(out) < self.lookahead:
+            nxt: List[int] = []
+            for i in frontier:
+                for j in sorted(succs[i]):
+                    if j in seen:
+                        continue
+                    seen.add(j)
+                    nxt.append(j)
+                    if len(pending[j].qubits) == 2:
+                        out.append(j)
+                        if len(out) >= self.lookahead:
+                            break
+                if len(out) >= self.lookahead:
+                    break
+            frontier = nxt
+        return out
+
+    def _choose_swap(
+        self,
+        pending: Sequence[Instruction],
+        front: Set[int],
+        succs: Sequence[Set[int]],
+        mapping: Mapping,
+        decay: np.ndarray,
+    ) -> Tuple[int, int]:
+        """Score candidate SWAPs; return the best edge."""
+        dist = self.distance_matrix
+        front_gates = [
+            pending[i] for i in sorted(front) if len(pending[i].qubits) == 2
+        ]
+        if not front_gates:
+            raise RuntimeError("SABRE stuck without two-qubit front gates")
+        ext_gates = [
+            pending[i]
+            for i in self._extended_set(pending, front, succs)
+        ]
+        involved_physical = {
+            mapping.physical(q) for g in front_gates for q in g.qubits
+        }
+        candidates = [
+            e
+            for e in sorted(self.coupling.edges)
+            if e[0] in involved_physical or e[1] in involved_physical
+        ]
+
+        def total_distance(gates, swapped: Tuple[int, int]) -> float:
+            a, b = swapped
+
+            def phys(q: int) -> int:
+                p = mapping.physical(q)
+                if p == a:
+                    return b
+                if p == b:
+                    return a
+                return p
+
+            return sum(
+                float(dist[phys(g.qubits[0]), phys(g.qubits[1])])
+                for g in gates
+            )
+
+        best_edge = None
+        best_score = None
+        for edge in candidates:
+            score = total_distance(front_gates, edge)
+            if ext_gates:
+                score += (
+                    self.lookahead_weight
+                    * total_distance(ext_gates, edge)
+                    / len(ext_gates)
+                )
+            score *= max(decay[edge[0]], decay[edge[1]])
+            if best_score is None or score < best_score - 1e-12:
+                best_score = score
+                best_edge = edge
+        assert best_edge is not None
+        return best_edge

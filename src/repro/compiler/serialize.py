@@ -1,0 +1,112 @@
+"""JSON serialisation of compiled results.
+
+A compiled circuit is only useful downstream together with its provenance —
+which device it targets, where each logical qubit starts and ends, what the
+flow cost.  This module persists the whole :class:`CompiledQAOA` (or
+:class:`CompiledCircuit`) as a self-contained JSON document and restores it,
+so compilation results can be cached, diffed, shipped to an execution
+service, or inspected offline.
+
+The circuit itself is embedded as OpenQASM 2.0 (see
+:mod:`repro.circuits.qasm`), keeping the payload readable by other tools.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Union
+
+from ..circuits.qasm import dumps as qasm_dumps
+from ..circuits.qasm import loads as qasm_loads
+from ..hardware.coupling import CouplingGraph
+from ..qaoa.problems import Level, QAOAProgram
+from .backend import CompiledCircuit
+from .flow import CompiledQAOA
+
+__all__ = ["to_json", "from_json"]
+
+_FORMAT_VERSION = 1
+
+
+def _coupling_payload(coupling: CouplingGraph) -> dict:
+    return {
+        "name": coupling.name,
+        "num_qubits": coupling.num_qubits,
+        "edges": sorted(list(e) for e in coupling.edges),
+    }
+
+
+def _coupling_from(payload: dict) -> CouplingGraph:
+    return CouplingGraph(
+        payload["num_qubits"],
+        [tuple(e) for e in payload["edges"]],
+        name=payload["name"],
+    )
+
+
+def to_json(compiled: Union[CompiledQAOA, CompiledCircuit]) -> str:
+    """Serialise a compiled result (QAOA flow or raw backend output)."""
+    payload = {
+        "format_version": _FORMAT_VERSION,
+        "kind": "qaoa" if isinstance(compiled, CompiledQAOA) else "circuit",
+        "method": compiled.method,
+        "coupling": _coupling_payload(compiled.coupling),
+        "qasm": qasm_dumps(compiled.circuit),
+        "initial_mapping": {
+            str(k): v for k, v in compiled.initial_mapping.items()
+        },
+        "final_mapping": {
+            str(k): v for k, v in compiled.final_mapping.items()
+        },
+        "swap_count": compiled.swap_count,
+        "compile_time": compiled.compile_time,
+    }
+    if isinstance(compiled, CompiledQAOA):
+        program = compiled.program
+        payload["program"] = {
+            "num_qubits": program.num_qubits,
+            "edges": [list(e) for e in program.edges],
+            "levels": [[lv.gamma, lv.beta] for lv in program.levels],
+            "linear": {str(k): v for k, v in program.linear.items()},
+        }
+    return json.dumps(payload, indent=2)
+
+
+def from_json(text: str) -> Union[CompiledQAOA, CompiledCircuit]:
+    """Restore a compiled result produced by :func:`to_json`."""
+    payload = json.loads(text)
+    version = payload.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported serialisation version {version!r} "
+            f"(expected {_FORMAT_VERSION})"
+        )
+    coupling = _coupling_from(payload["coupling"])
+    circuit = qasm_loads(payload["qasm"])
+    circuit = circuit.remap({}, num_qubits=coupling.num_qubits)
+    common = dict(
+        circuit=circuit,
+        coupling=coupling,
+        initial_mapping={
+            int(k): v for k, v in payload["initial_mapping"].items()
+        },
+        final_mapping={
+            int(k): v for k, v in payload["final_mapping"].items()
+        },
+        swap_count=payload["swap_count"],
+        compile_time=payload["compile_time"],
+        method=payload["method"],
+    )
+    if payload["kind"] == "qaoa":
+        prog = payload["program"]
+        program = QAOAProgram(
+            num_qubits=prog["num_qubits"],
+            edges=[tuple(e) for e in prog["edges"]],
+            levels=[Level(g, b) for g, b in prog["levels"]],
+            linear={int(k): v for k, v in prog.get("linear", {}).items()},
+        )
+        result = CompiledQAOA(program=program, **common)
+    else:
+        result = CompiledCircuit(**common)
+    result.validate()
+    return result

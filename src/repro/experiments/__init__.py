@@ -1,0 +1,31 @@
+"""Experiment harness regenerating every figure and table of the paper."""
+
+from . import figures
+from .harness import (
+    DEFAULT_BETA,
+    DEFAULT_GAMMA,
+    RunRecord,
+    compile_record,
+    make_problem,
+    mean_by,
+    ratio_table,
+    run_sweep,
+    scaled_instances,
+)
+from .reporting import banner, format_ratio_table, format_table
+
+__all__ = [
+    "figures",
+    "RunRecord",
+    "make_problem",
+    "compile_record",
+    "run_sweep",
+    "mean_by",
+    "ratio_table",
+    "scaled_instances",
+    "DEFAULT_GAMMA",
+    "DEFAULT_BETA",
+    "format_table",
+    "format_ratio_table",
+    "banner",
+]

@@ -1,0 +1,17 @@
+"""Per-figure experiment modules; each exposes ``run(...) -> FigureResult``."""
+
+from . import ablations, fig7, fig8, fig9, fig10, fig11a, fig11b, fig12, sec6_planner
+from .common import FigureResult
+
+__all__ = [
+    "FigureResult",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11a",
+    "fig11b",
+    "fig12",
+    "sec6_planner",
+    "ablations",
+]

@@ -1,0 +1,36 @@
+"""Shared result container for the per-figure experiment modules."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional
+
+__all__ = ["FigureResult"]
+
+
+@dataclasses.dataclass
+class FigureResult:
+    """Output of one figure/table reproduction.
+
+    Attributes:
+        figure: Identifier, e.g. ``"fig7"``.
+        description: What the experiment measures.
+        table: Formatted text table (the rows/series the paper plots).
+        headline: Named scalar takeaways, e.g.
+            ``{"qaim_vs_naive_depth_er0.1": 0.88}`` — these are what
+            EXPERIMENTS.md compares against the paper's reported numbers.
+        raw: Raw grouped numbers for programmatic consumers.
+    """
+
+    figure: str
+    description: str
+    table: str
+    headline: Dict[str, float]
+    raw: Optional[dict] = None
+
+    def render(self) -> str:
+        """Full text block: header, table, headline numbers."""
+        lines = [f"[{self.figure}] {self.description}", "", self.table, ""]
+        for key in sorted(self.headline):
+            lines.append(f"  {key} = {self.headline[key]:.4f}")
+        return "\n".join(lines)

@@ -1,0 +1,75 @@
+"""Section VI comparative analysis: the temporal-planner workload.
+
+The paper compares against Venturelli et al.'s temporal-planner compiler
+[46] on its workload: 50 instances of 8-node Erdős–Rényi graphs with exactly
+8 edges on an 8-qubit *cyclic* architecture, reporting that IC produces
+8.51% smaller depth and 12.99% smaller gate count, while compiling orders of
+magnitude faster (the planner needed ~70 s for 8-qubit circuits; the
+heuristic flows stay well under a second).
+
+We do not have the planner; the reproduction target here is (a) IC beating
+the conventional NAIVE flow on this workload by a margin in that ballpark
+and (b) compile times in the milliseconds — demonstrating the scalability
+claim ("reasonably good quality solutions ... within 10s" for 36 qubits is
+exercised by the Figure 12 bench).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ...hardware.devices import ring_device
+from ..harness import mean_by, run_sweep, scaled_instances
+from ..reporting import format_table
+from .common import FigureResult
+
+__all__ = ["run"]
+
+METHODS = ("naive", "ic")
+
+
+def run(instances: Optional[int] = None, seed: int = 2027) -> FigureResult:
+    """Reproduce the Section VI 8-qubit cyclic-architecture comparison."""
+    instances = instances or scaled_instances(reduced=15, paper=50)
+    coupling = ring_device(8)
+    records = run_sweep(
+        coupling, METHODS, "er_m", 8, (8,), instances, seed
+    )
+    means = {
+        metric: mean_by(records, metric, keys=("method",))
+        for metric in ("depth", "gate_count", "compile_time")
+    }
+    rows = []
+    for method in METHODS:
+        rows.append(
+            [
+                method.upper(),
+                means["depth"][(method,)],
+                means["gate_count"][(method,)],
+                means["compile_time"][(method,)],
+            ]
+        )
+    depth_gain = 1.0 - means["depth"][("ic",)] / means["depth"][("naive",)]
+    gate_gain = (
+        1.0 - means["gate_count"][("ic",)] / means["gate_count"][("naive",)]
+    )
+    table = format_table(
+        ["method", "mean depth", "mean gates", "mean time (s)"],
+        rows,
+        float_fmt="{:.4g}",
+    )
+    headline = {
+        "ic_depth_reduction_vs_naive": depth_gain,
+        "ic_gate_reduction_vs_naive": gate_gain,
+        "ic_mean_compile_seconds": means["compile_time"][("ic",)],
+    }
+    return FigureResult(
+        figure="sec6_planner",
+        description=(
+            f"8-node / 8-edge ER graphs on ring_8 "
+            f"({instances} instances; planner-comparison workload)"
+        ),
+        table=table,
+        headline=headline,
+        raw={"means": means},
+    )

@@ -1,0 +1,260 @@
+"""Experiment harness: workloads, per-instance records, aggregation.
+
+Everything the per-figure experiment modules share:
+
+* workload construction (:func:`make_problem`) over the paper's two graph
+  families (Erdős–Rényi by edge probability, d-regular by degree),
+* compiling one instance with one method and collecting the paper's
+  metrics into a flat :class:`RunRecord`,
+* aggregation (mean per group) and ratio-vs-baseline computation — the
+  paper reports most results as ratios against NAIVE or QAIM.
+
+Scaling: each experiment accepts an ``instances`` count.  The benchmark
+suite passes reduced defaults so it finishes on a laptop and honours the
+``REPRO_FULL=1`` environment variable for paper-scale sweeps (see
+:func:`scaled_instances`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import zlib
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..compiler import compile_with_method, measure_compiled
+from ..hardware.calibration import Calibration
+from ..hardware.coupling import CouplingGraph
+from ..qaoa.graphs import (
+    erdos_renyi_fixed_edges,
+    erdos_renyi_graph,
+    random_regular_graph,
+)
+from ..qaoa.problems import MaxCutProblem
+
+__all__ = [
+    "RunRecord",
+    "make_problem",
+    "compile_record",
+    "run_sweep",
+    "mean_by",
+    "ratio_table",
+    "scaled_instances",
+    "stable_hash",
+    "DEFAULT_GAMMA",
+    "DEFAULT_BETA",
+]
+
+#: Nominal QAOA angles for compile-only experiments.  Depth/gate-count/
+#: compile-time are angle-independent, so any fixed value works; these are
+#: in the typical optimal range for p=1 MaxCut.
+DEFAULT_GAMMA = 0.7
+DEFAULT_BETA = 0.35
+
+
+def stable_hash(text: str) -> int:
+    """Process-independent 16-bit hash (``hash()`` is salted per process,
+    which would make seeded sweeps irreproducible across runs)."""
+    return zlib.crc32(text.encode()) & 0xFFFF
+
+
+def scaled_instances(reduced: int, paper: int) -> int:
+    """Instance count for a sweep: ``reduced`` normally, ``paper`` when the
+    ``REPRO_FULL`` environment variable is set truthy."""
+    if os.environ.get("REPRO_FULL", "").strip() not in ("", "0", "false"):
+        return paper
+    return reduced
+
+
+@dataclasses.dataclass
+class RunRecord:
+    """One compiled instance's metrics (a row in every figure's raw data).
+
+    Attributes:
+        family: Workload family label, e.g. ``"er"`` or ``"regular"``.
+        param: Family parameter (edge probability or degree).
+        num_nodes: Problem size.
+        instance: Instance index within the sweep.
+        method: Compilation method name.
+        depth: Native circuit depth.
+        gate_count: Native gate count.
+        cnot_count: Native CNOT count.
+        swap_count: Inserted SWAPs.
+        compile_time: Wall-clock compile seconds.
+        success_probability: Product-of-gate-success metric (when a
+            calibration was supplied).
+    """
+
+    family: str
+    param: float
+    num_nodes: int
+    instance: int
+    method: str
+    depth: int
+    gate_count: int
+    cnot_count: int
+    swap_count: int
+    compile_time: float
+    success_probability: Optional[float] = None
+
+
+def make_problem(
+    family: str,
+    num_nodes: int,
+    param: float,
+    rng: np.random.Generator,
+) -> MaxCutProblem:
+    """Sample one MaxCut instance from a named workload family.
+
+    Families:
+        * ``"er"`` — Erdős–Rényi with edge probability ``param``;
+        * ``"regular"`` — ``param``-regular graph;
+        * ``"er_m"`` — ER with exactly ``param`` edges (Section VI).
+    """
+    if family == "er":
+        graph = erdos_renyi_graph(num_nodes, float(param), rng)
+    elif family == "regular":
+        graph = random_regular_graph(num_nodes, int(param), rng)
+    elif family == "er_m":
+        for _ in range(1000):
+            graph = erdos_renyi_fixed_edges(num_nodes, int(param), rng)
+            if graph.number_of_edges() > 0:
+                break
+    else:
+        raise ValueError(f"unknown workload family {family!r}")
+    return MaxCutProblem.from_graph(graph)
+
+
+def compile_record(
+    problem: MaxCutProblem,
+    coupling: CouplingGraph,
+    method: str,
+    rng: np.random.Generator,
+    calibration: Optional[Calibration] = None,
+    packing_limit: Optional[int] = None,
+    gamma: float = DEFAULT_GAMMA,
+    beta: float = DEFAULT_BETA,
+    family: str = "",
+    param: float = 0.0,
+    instance: int = 0,
+) -> RunRecord:
+    """Compile one instance with one method and collect its metrics."""
+    program = problem.to_program([gamma], [beta])
+    compiled = compile_with_method(
+        program,
+        coupling,
+        method,
+        calibration=calibration,
+        packing_limit=packing_limit,
+        rng=rng,
+    )
+    metrics = measure_compiled(compiled, calibration=calibration)
+    return RunRecord(
+        family=family,
+        param=param,
+        num_nodes=problem.num_nodes,
+        instance=instance,
+        method=method,
+        depth=metrics.depth,
+        gate_count=metrics.gate_count,
+        cnot_count=metrics.cnot_count,
+        swap_count=metrics.swap_count,
+        compile_time=metrics.compile_time,
+        success_probability=metrics.success_probability,
+    )
+
+
+def run_sweep(
+    coupling: CouplingGraph,
+    methods: Sequence[str],
+    family: str,
+    num_nodes: int,
+    params: Sequence[float],
+    instances: int,
+    seed: int,
+    calibration: Optional[Calibration] = None,
+    packing_limit: Optional[int] = None,
+) -> List[RunRecord]:
+    """The generic sweep behind most figures.
+
+    For each family parameter, ``instances`` random problems are sampled;
+    every method compiles *the same* instances (shared problem, independent
+    method rng derived from the seed) so ratios are paired, as in the paper.
+    """
+    records: List[RunRecord] = []
+    for param in params:
+        problem_rng = np.random.default_rng((seed, int(param * 1000), 0))
+        for i in range(instances):
+            problem = make_problem(family, num_nodes, param, problem_rng)
+            for method in methods:
+                method_rng = np.random.default_rng(
+                    (seed, int(param * 1000), i, stable_hash(method))
+                )
+                records.append(
+                    compile_record(
+                        problem,
+                        coupling,
+                        method,
+                        method_rng,
+                        calibration=calibration,
+                        packing_limit=packing_limit,
+                        family=family,
+                        param=param,
+                        instance=i,
+                    )
+                )
+    return records
+
+
+def mean_by(
+    records: Iterable[RunRecord],
+    metric: str,
+    keys: Sequence[str] = ("family", "param", "method"),
+) -> Dict[Tuple, float]:
+    """Mean of ``metric`` grouped by the given record fields.
+
+    ``None`` metric values (e.g. success probability without calibration)
+    are skipped; a group with no values raises.
+    """
+    groups: Dict[Tuple, List[float]] = {}
+    for rec in records:
+        value = getattr(rec, metric)
+        if value is None:
+            continue
+        key = tuple(getattr(rec, k) for k in keys)
+        groups.setdefault(key, []).append(float(value))
+    if not groups:
+        raise ValueError(f"no values for metric {metric!r}")
+    return {key: float(np.mean(vals)) for key, vals in groups.items()}
+
+
+def ratio_table(
+    records: Iterable[RunRecord],
+    metric: str,
+    baseline_method: str,
+    keys: Sequence[str] = ("family", "param"),
+) -> Dict[Tuple, Dict[str, float]]:
+    """Mean-metric ratios of every method against a baseline, per group.
+
+    Returns ``{group_key: {method: mean(method)/mean(baseline)}}`` — the
+    shape of the paper's Figure 7/8/9 bar charts.
+    """
+    records = list(records)
+    means = mean_by(records, metric, keys=tuple(keys) + ("method",))
+    out: Dict[Tuple, Dict[str, float]] = {}
+    group_keys = sorted({key[:-1] for key in means})
+    for group in group_keys:
+        base = means.get(group + (baseline_method,))
+        if base is None or base == 0.0:
+            raise ValueError(
+                f"missing/zero baseline {baseline_method!r} for group {group}"
+            )
+        methods = {
+            key[-1]: value / base
+            for key, value in means.items()
+            if key[:-1] == group
+        }
+        out[group] = methods
+    return out

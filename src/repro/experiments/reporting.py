@@ -1,0 +1,66 @@
+"""Plain-text result tables for the benchmark harness.
+
+The benches print the same rows/series the paper's figures show; these
+helpers keep that output consistent and readable in a terminal or a
+``tee``'d log file.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Sequence, Tuple
+
+__all__ = ["format_table", "format_ratio_table", "banner"]
+
+
+def banner(title: str, width: int = 72) -> str:
+    """A section header for bench output."""
+    bar = "=" * width
+    return f"\n{bar}\n{title}\n{bar}"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    float_fmt: str = "{:.3f}",
+) -> str:
+    """Render rows as an aligned text table.
+
+    Floats go through ``float_fmt``; everything else through ``str``.
+    """
+    rendered: List[List[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        cells = []
+        for cell in row:
+            if isinstance(cell, float):
+                cells.append(float_fmt.format(cell))
+            else:
+                cells.append(str(cell))
+        rendered.append(cells)
+    widths = [
+        max(len(r[i]) for r in rendered) for i in range(len(headers))
+    ]
+    lines = []
+    for idx, row in enumerate(rendered):
+        line = "  ".join(cell.rjust(w) for cell, w in zip(row, widths))
+        lines.append(line)
+        if idx == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def format_ratio_table(
+    ratios: Mapping[Tuple, Mapping[str, float]],
+    methods: Sequence[str],
+    group_header: str = "group",
+    float_fmt: str = "{:.3f}",
+) -> str:
+    """Render the output of :func:`repro.experiments.harness.ratio_table`.
+
+    One row per group; one column per method (ratio vs baseline).
+    """
+    headers = [group_header] + list(methods)
+    rows = []
+    for group in sorted(ratios):
+        label = "/".join(str(g) for g in group)
+        rows.append([label] + [ratios[group].get(m, float("nan")) for m in methods])
+    return format_table(headers, rows, float_fmt=float_fmt)

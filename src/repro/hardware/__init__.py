@@ -1,0 +1,54 @@
+"""Hardware models: coupling graphs, calibration data, profiling."""
+
+from .calibration import Calibration, random_calibration, uniform_calibration
+from .coupling import CouplingGraph, Edge, floyd_warshall
+from .devices import (
+    DEVICE_BUILDERS,
+    figure6_calibration,
+    figure6_device,
+    fully_connected_device,
+    get_device,
+    grid_device,
+    ibmq_16_melbourne,
+    ibmq_20_tokyo,
+    ibmq_poughkeepsie,
+    linear_device,
+    melbourne_calibration,
+    ring_device,
+)
+from .random import random_connected_device, random_degree_bounded_device
+from .profiling import (
+    hardware_profile,
+    interaction_pairs,
+    max_operations_per_qubit,
+    program_profile,
+    rank_cphases,
+)
+
+__all__ = [
+    "CouplingGraph",
+    "Edge",
+    "floyd_warshall",
+    "Calibration",
+    "random_calibration",
+    "uniform_calibration",
+    "ibmq_20_tokyo",
+    "ibmq_16_melbourne",
+    "ibmq_poughkeepsie",
+    "melbourne_calibration",
+    "grid_device",
+    "linear_device",
+    "ring_device",
+    "fully_connected_device",
+    "figure6_device",
+    "figure6_calibration",
+    "get_device",
+    "DEVICE_BUILDERS",
+    "random_connected_device",
+    "random_degree_bounded_device",
+    "hardware_profile",
+    "program_profile",
+    "interaction_pairs",
+    "rank_cphases",
+    "max_operations_per_qubit",
+]

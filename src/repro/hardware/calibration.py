@@ -1,0 +1,234 @@
+"""Device calibration data: per-gate error rates.
+
+The paper's variation-aware techniques (VQA-style allocation and VIC) and the
+circuit success-probability metric both consume *calibration data*: per-edge
+CNOT error rates (Figure 10(a) shows one day of ibmq_16_melbourne data) and,
+optionally, single-qubit gate and readout error rates.
+
+:class:`Calibration` stores these and exposes the derived quantities the
+compiler uses:
+
+* ``cnot_success(a, b)`` — ``1 - error`` for the coupling,
+* ``vic_edge_weights()`` — ``1 / success`` weights for VIC's distance table,
+* :func:`random_calibration` — Gaussian CNOT-error sampling
+  (``mu=1e-2, sigma=0.5e-2``), the model used for Figure 11(a)'s summary.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional
+
+import numpy as np
+
+from .coupling import CouplingGraph, Edge
+
+__all__ = ["Calibration", "random_calibration", "uniform_calibration"]
+
+
+def _norm_edge(a: int, b: int) -> Edge:
+    return (min(a, b), max(a, b))
+
+
+@dataclasses.dataclass
+class Calibration:
+    """Error rates for one device at one point in time.
+
+    Attributes:
+        coupling: The device topology the data belongs to.
+        cnot_error: Per-edge CNOT error rate in ``[0, 1)``.
+        single_qubit_error: Per-qubit single-qubit gate error rate; defaults
+            to 0 for every qubit (single-qubit errors are an order of
+            magnitude below CNOT errors and the paper's success-probability
+            comparisons are driven by the two-qubit gates).
+        readout_error: Per-qubit measurement misread probability.
+        timestamp: Free-form provenance label (e.g. "4/8/2020").
+    """
+
+    coupling: CouplingGraph
+    cnot_error: Dict[Edge, float]
+    single_qubit_error: Dict[int, float] = dataclasses.field(default_factory=dict)
+    readout_error: Dict[int, float] = dataclasses.field(default_factory=dict)
+    timestamp: str = ""
+
+    def __post_init__(self) -> None:
+        normalised = {}
+        for (a, b), err in self.cnot_error.items():
+            edge = _norm_edge(a, b)
+            if not self.coupling.has_edge(*edge):
+                raise ValueError(
+                    f"calibration for non-existent coupling {edge} on "
+                    f"{self.coupling.name}"
+                )
+            if not 0.0 <= err < 1.0:
+                raise ValueError(f"CNOT error {err} on {edge} outside [0, 1)")
+            normalised[edge] = float(err)
+        missing = self.coupling.edges - set(normalised)
+        if missing:
+            raise ValueError(
+                f"missing CNOT calibration for edges {sorted(missing)}"
+            )
+        self.cnot_error = normalised
+        for q, err in {**self.single_qubit_error, **self.readout_error}.items():
+            if not 0 <= q < self.coupling.num_qubits:
+                raise ValueError(f"qubit {q} out of range in calibration")
+            if not 0.0 <= err < 1.0:
+                raise ValueError(f"error rate {err} on qubit {q} outside [0, 1)")
+
+    # ------------------------------------------------------------------
+    # lookups
+    # ------------------------------------------------------------------
+    def cnot_error_rate(self, a: int, b: int) -> float:
+        """CNOT error rate on the (undirected) coupling ``a - b``."""
+        edge = _norm_edge(a, b)
+        if edge not in self.cnot_error:
+            raise KeyError(f"no coupling {edge} on {self.coupling.name}")
+        return self.cnot_error[edge]
+
+    def cnot_success(self, a: int, b: int) -> float:
+        """CNOT success probability ``1 - error``."""
+        return 1.0 - self.cnot_error_rate(a, b)
+
+    def cphase_success(self, a: int, b: int) -> float:
+        """Success rate of a CPHASE on the coupling.
+
+        On IBM hardware the RZ inside the CPHASE decomposition is virtual,
+        so the CPHASE reliability is the product of its two CNOTs
+        (Section IV-D: 0.9 CNOT -> ~0.81 CPHASE).
+        """
+        s = self.cnot_success(a, b)
+        return s * s
+
+    def swap_success(self, a: int, b: int) -> float:
+        """Success rate of a SWAP (three CNOTs) on the coupling."""
+        s = self.cnot_success(a, b)
+        return s * s * s
+
+    def single_qubit_success(self, qubit: int) -> float:
+        """Success probability of one single-qubit gate on ``qubit``."""
+        return 1.0 - self.single_qubit_error.get(qubit, 0.0)
+
+    def readout_fidelity(self, qubit: int) -> float:
+        """Probability that measuring ``qubit`` reports the true value."""
+        return 1.0 - self.readout_error.get(qubit, 0.0)
+
+    # ------------------------------------------------------------------
+    # derived tables
+    # ------------------------------------------------------------------
+    def vic_edge_weights(self) -> Dict[Edge, float]:
+        """Edge weights ``1 / cphase_success`` for VIC routing.
+
+        Figure 6 uses ``1/R`` where ``R`` is the two-qubit operation success
+        rate; combined with Floyd–Warshall this makes the "distance" between
+        qubits grow as reliability falls.
+        """
+        return {
+            e: 1.0 / self.cphase_success(*e) for e in self.coupling.edges
+        }
+
+    def vic_distance_matrix(self) -> np.ndarray:
+        """Reliability-weighted all-pairs distances (Figure 6(d))."""
+        return self.coupling.weighted_distance_matrix(self.vic_edge_weights())
+
+    def mean_cnot_error(self) -> float:
+        """Average CNOT error over all couplings."""
+        return float(np.mean(list(self.cnot_error.values())))
+
+    def best_edge(self) -> Edge:
+        """The most reliable coupling."""
+        return min(self.cnot_error, key=self.cnot_error.get)
+
+    def worst_edge(self) -> Edge:
+        """The least reliable coupling."""
+        return max(self.cnot_error, key=self.cnot_error.get)
+
+    def drifted(
+        self,
+        rng,
+        relative_sigma: float = 0.3,
+        min_error: float = 1.0e-3,
+        max_error: float = 0.5,
+        timestamp: str = "drifted",
+    ) -> "Calibration":
+        """A temporally drifted copy of this calibration.
+
+        Quantum hardware "suffers from the temporal variation" of qubit
+        quality (Section VII, citing the authors' ISLPED'19 study): the
+        calibration VIC compiled against may be stale at execution time.
+        Each CNOT error rate is multiplied by a log-normal factor with the
+        given relative spread; single-qubit and readout errors are kept
+        (their drift is second-order for the paper's metrics).
+
+        Args:
+            rng: Random generator.
+            relative_sigma: Sigma of the log-normal drift factor.
+            min_error: Floor for drifted error rates.
+            max_error: Ceiling for drifted error rates.
+            timestamp: Provenance label of the copy.
+        """
+        if relative_sigma < 0:
+            raise ValueError("relative_sigma must be >= 0")
+        drifted_errors = {}
+        for edge in sorted(self.cnot_error):
+            factor = float(np.exp(rng.normal(0.0, relative_sigma)))
+            drifted_errors[edge] = float(
+                np.clip(self.cnot_error[edge] * factor, min_error, max_error)
+            )
+        return Calibration(
+            coupling=self.coupling,
+            cnot_error=drifted_errors,
+            single_qubit_error=dict(self.single_qubit_error),
+            readout_error=dict(self.readout_error),
+            timestamp=timestamp,
+        )
+
+
+def uniform_calibration(
+    coupling: CouplingGraph,
+    cnot_error: float = 0.01,
+    single_qubit_error: float = 0.0,
+    readout_error: float = 0.0,
+) -> Calibration:
+    """Calibration with identical error rates everywhere (no variation)."""
+    return Calibration(
+        coupling=coupling,
+        cnot_error={e: cnot_error for e in coupling.edges},
+        single_qubit_error={
+            q: single_qubit_error for q in range(coupling.num_qubits)
+        },
+        readout_error={q: readout_error for q in range(coupling.num_qubits)},
+        timestamp="uniform",
+    )
+
+
+def random_calibration(
+    coupling: CouplingGraph,
+    rng: Optional[np.random.Generator] = None,
+    mean: float = 1.0e-2,
+    sigma: float = 0.5e-2,
+    min_error: float = 1.0e-3,
+    max_error: float = 0.5,
+    single_qubit_error: float = 1.0e-3,
+    readout_error: float = 2.0e-2,
+) -> Calibration:
+    """Sample per-edge CNOT errors from a clipped normal distribution.
+
+    This reproduces the Figure 11(a) setup: "CNOT error-rates for different
+    qubit pairs are picked randomly from a normal distribution
+    (mu = 1.0e-2, sigma = 0.5e-2)".  Samples are clipped to
+    ``[min_error, max_error]`` so success rates stay physical.
+    """
+    rng = rng if rng is not None else np.random.default_rng()
+    errors = {}
+    for e in sorted(coupling.edges):
+        err = float(np.clip(rng.normal(mean, sigma), min_error, max_error))
+        errors[e] = err
+    return Calibration(
+        coupling=coupling,
+        cnot_error=errors,
+        single_qubit_error={
+            q: single_qubit_error for q in range(coupling.num_qubits)
+        },
+        readout_error={q: readout_error for q in range(coupling.num_qubits)},
+        timestamp="random",
+    )

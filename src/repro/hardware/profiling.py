@@ -1,0 +1,92 @@
+"""Hardware and program profiling used by QAIM and IP (Section IV-A).
+
+Two profiles drive the paper's placement and ordering heuristics:
+
+* **Hardware profile** — the connectivity strength of every physical qubit
+  (Figure 3(b)).  Computed once per device and cached, exactly as the paper
+  recommends ("this profiling can be done once for every hardware").
+* **Program profile** — the number of CPHASE operations per logical qubit
+  (Figure 3(c)), i.e. the vertex degree of the problem's interaction graph.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from .coupling import CouplingGraph
+
+__all__ = [
+    "hardware_profile",
+    "program_profile",
+    "interaction_pairs",
+    "rank_cphases",
+    "max_operations_per_qubit",
+]
+
+Pair = Tuple[int, int]
+
+
+def hardware_profile(
+    coupling: CouplingGraph, radius: int = 2
+) -> Dict[int, int]:
+    """Connectivity-strength profile of every physical qubit.
+
+    Thin wrapper over :meth:`CouplingGraph.connectivity_profile` kept here so
+    all profiling lives in one module; results are cheap enough to recompute
+    (the distance matrix is already cached on the coupling graph).
+    """
+    return coupling.connectivity_profile(radius=radius)
+
+
+def program_profile(pairs: Iterable[Pair]) -> Dict[int, int]:
+    """CPHASE operations per logical qubit (Figure 3(c)/4(b)).
+
+    Args:
+        pairs: The logical-qubit pairs of the circuit's CPHASE gates.
+
+    Returns:
+        Mapping logical qubit -> number of CPHASE gates touching it.
+    """
+    counts: Dict[int, int] = {}
+    for a, b in pairs:
+        counts[a] = counts.get(a, 0) + 1
+        counts[b] = counts.get(b, 0) + 1
+    return counts
+
+
+def interaction_pairs(circuit) -> List[Pair]:
+    """Extract the (control, target) pairs of every CPHASE in a circuit.
+
+    Accepts a :class:`~repro.circuits.circuit.QuantumCircuit`; order follows
+    program order, duplicates are preserved (multi-level QAOA repeats every
+    edge once per level).
+    """
+    return [
+        (inst.qubits[0], inst.qubits[1])
+        for inst in circuit
+        if inst.name == "cphase"
+    ]
+
+
+def rank_cphases(pairs: Sequence[Pair]) -> List[Tuple[Pair, int]]:
+    """Rank CPHASE operations by cumulative qubit activity (Figure 4(c)).
+
+    The rank of gate ``(a, b)`` is ``ops(a) + ops(b)`` where ``ops`` counts
+    all CPHASE gates touching the qubit.  Returns ``(pair, rank)`` tuples
+    sorted by descending rank; ties keep input order (the paper breaks ties
+    randomly — callers who want that shuffle before ranking).
+    """
+    profile = program_profile(pairs)
+    ranked = [((a, b), profile[a] + profile[b]) for a, b in pairs]
+    ranked.sort(key=lambda item: -item[1])
+    return ranked
+
+
+def max_operations_per_qubit(pairs: Iterable[Pair]) -> int:
+    """MOQ — the maximum number of CPHASEs on any single qubit (Figure 4(b)).
+
+    This lower-bounds the number of layers any ordering can achieve, because
+    gates sharing a qubit can never run concurrently.
+    """
+    profile = program_profile(pairs)
+    return max(profile.values(), default=0)

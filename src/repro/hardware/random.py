@@ -1,0 +1,106 @@
+"""Random device topologies for fuzzing and scaling studies.
+
+The paper evaluates on fixed devices; for testing the compiler stack it is
+useful to sweep over *arbitrary* connected topologies (property-based tests)
+and over parameterised families (how do the methods scale with device
+sparsity?).  Generators here always return connected graphs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import networkx as nx
+import numpy as np
+
+from .coupling import CouplingGraph
+
+__all__ = ["random_connected_device", "random_degree_bounded_device"]
+
+
+def random_connected_device(
+    num_qubits: int,
+    extra_edges: int = 0,
+    rng: Optional[np.random.Generator] = None,
+    name: Optional[str] = None,
+) -> CouplingGraph:
+    """A random connected topology: spanning tree + ``extra_edges`` chords.
+
+    Args:
+        num_qubits: Device size (>= 2).
+        extra_edges: Edges added beyond the spanning tree (duplicates are
+            re-rolled; capped at the complete graph).
+        rng: Random generator.
+        name: Optional device name.
+    """
+    if num_qubits < 2:
+        raise ValueError("need at least 2 qubits")
+    if extra_edges < 0:
+        raise ValueError("extra_edges must be >= 0")
+    rng = rng if rng is not None else np.random.default_rng()
+    tree = nx.random_labeled_tree(
+        num_qubits, seed=int(rng.integers(2 ** 31 - 1))
+    )
+    edges = {tuple(sorted(e)) for e in tree.edges()}
+    max_edges = num_qubits * (num_qubits - 1) // 2
+    target = min(len(edges) + extra_edges, max_edges)
+    guard = 0
+    while len(edges) < target:
+        guard += 1
+        if guard > 100 * max_edges:
+            break
+        a, b = rng.choice(num_qubits, size=2, replace=False)
+        edges.add((int(min(a, b)), int(max(a, b))))
+    return CouplingGraph(
+        num_qubits,
+        sorted(edges),
+        name=name or f"random_{num_qubits}q_{len(edges)}e",
+    )
+
+
+def random_degree_bounded_device(
+    num_qubits: int,
+    max_degree: int = 4,
+    rng: Optional[np.random.Generator] = None,
+    name: Optional[str] = None,
+) -> CouplingGraph:
+    """A random connected topology with bounded qubit degree.
+
+    Superconducting devices rarely exceed degree 3-6; this generator builds
+    a random spanning tree (respecting the bound) and densifies with chords
+    that keep every qubit at or below ``max_degree``.
+    """
+    if max_degree < 2:
+        raise ValueError("max_degree must be >= 2 for a connected device")
+    if num_qubits < 2:
+        raise ValueError("need at least 2 qubits")
+    rng = rng if rng is not None else np.random.default_rng()
+    degree = {q: 0 for q in range(num_qubits)}
+    edges = set()
+    # Random tree under the degree bound: attach each new node to a random
+    # existing node that still has headroom.
+    order = list(rng.permutation(num_qubits))
+    placed = [order[0]]
+    for node in order[1:]:
+        candidates = [p for p in placed if degree[p] < max_degree]
+        if not candidates:  # every placed node saturated: relax by chain
+            candidates = [placed[-1]]
+        anchor = int(candidates[int(rng.integers(len(candidates)))])
+        edges.add((min(anchor, node), max(anchor, node)))
+        degree[anchor] += 1
+        degree[node] += 1
+        placed.append(node)
+    # Densify.
+    for _ in range(num_qubits * 2):
+        a, b = rng.choice(num_qubits, size=2, replace=False)
+        a, b = int(min(a, b)), int(max(a, b))
+        if (a, b) in edges or degree[a] >= max_degree or degree[b] >= max_degree:
+            continue
+        edges.add((a, b))
+        degree[a] += 1
+        degree[b] += 1
+    return CouplingGraph(
+        num_qubits,
+        sorted(edges),
+        name=name or f"random_deg{max_degree}_{num_qubits}q",
+    )

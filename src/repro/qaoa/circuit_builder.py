@@ -1,0 +1,106 @@
+"""Building logical QAOA circuits from a :class:`QAOAProgram`.
+
+The p-level QAOA-MaxCut circuit (Figure 1(b)):
+
+* Hadamard on every qubit (uniform superposition),
+* per level: one CPHASE per edge (angle ``-gamma * w``) followed by
+  ``RX(2*beta)`` on every qubit,
+* measurement of every qubit.
+
+The CPHASE order within a level is a free choice — that freedom is the whole
+paper.  :func:`build_qaoa_circuit` accepts an explicit order (or an rng to
+randomise it, the NAIVE behaviour) so compilation flows control it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..circuits import QuantumCircuit
+from .problems import QAOAProgram
+
+__all__ = ["build_qaoa_circuit", "order_edges"]
+
+Pair = Tuple[int, int]
+
+
+def order_edges(
+    gates: Sequence[Tuple[int, int, float]],
+    order: Optional[Sequence[Pair]] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> List[Tuple[int, int, float]]:
+    """Re-order a level's CPHASE gates.
+
+    Args:
+        gates: ``(a, b, angle)`` triples.
+        order: Explicit pair order (each pair must appear with matching
+            multiplicity); wins over ``rng``.
+        rng: Shuffle randomly when no explicit order is given.
+
+    Returns:
+        The gates in the requested order.
+    """
+    if order is not None:
+        remaining = list(gates)
+        out: List[Tuple[int, int, float]] = []
+        for a, b in order:
+            for i, gate in enumerate(remaining):
+                ga, gb = gate[0], gate[1]
+                if {ga, gb} == {a, b}:
+                    out.append(remaining.pop(i))
+                    break
+            else:
+                raise ValueError(f"pair ({a}, {b}) not found among gates")
+        if remaining:
+            raise ValueError(
+                f"order omitted {len(remaining)} gate(s): {remaining}"
+            )
+        return out
+    gates = list(gates)
+    if rng is not None:
+        perm = rng.permutation(len(gates))
+        gates = [gates[i] for i in perm]
+    return gates
+
+
+def build_qaoa_circuit(
+    program: QAOAProgram,
+    edge_orders: Optional[Sequence[Sequence[Pair]]] = None,
+    rng: Optional[np.random.Generator] = None,
+    measure: bool = True,
+) -> QuantumCircuit:
+    """Construct the logical QAOA circuit for ``program``.
+
+    Args:
+        program: The QAOA level structure.
+        edge_orders: Optional per-level explicit CPHASE orders (one sequence
+            of pairs per level).
+        rng: Random CPHASE order per level when ``edge_orders`` is None and
+            an rng is given; otherwise program order is kept.
+        measure: Append measurement of every qubit.
+
+    Returns:
+        A logical-qubit :class:`~repro.circuits.circuit.QuantumCircuit`.
+    """
+    if edge_orders is not None and len(edge_orders) != program.p:
+        raise ValueError(
+            f"edge_orders has {len(edge_orders)} entries for p={program.p}"
+        )
+    circuit = QuantumCircuit(program.num_qubits, name="qaoa")
+    for q in range(program.num_qubits):
+        circuit.h(q)
+    for level in range(program.p):
+        gates = program.cphase_gates(level)
+        order = edge_orders[level] if edge_orders is not None else None
+        for a, b, angle in order_edges(gates, order=order, rng=rng):
+            circuit.cphase(angle, a, b)
+        for q, angle in program.rz_gates(level):
+            circuit.rz(angle, q)
+        mixer = program.mixer_angle(level)
+        for q in range(program.num_qubits):
+            circuit.rx(mixer, q)
+    if measure:
+        circuit.measure_all()
+    return circuit

@@ -1,0 +1,120 @@
+"""Problem-graph workload generators (Section V-B).
+
+The paper's benchmark suite is built from two random-graph families,
+"inspired from recent works on QAOA":
+
+* **Erdős–Rényi** ``G(n, p)`` graphs with edge probabilities 0.1–0.6;
+* **random d-regular** graphs with 3–8 edges per node.
+
+Plus the Section VI comparison workload: 8-node ER graphs conditioned on
+having exactly 8 edges.  All generators take an explicit seed/rng so every
+experiment in :mod:`repro.experiments` is reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import networkx as nx
+import numpy as np
+
+__all__ = [
+    "erdos_renyi_graph",
+    "random_regular_graph",
+    "erdos_renyi_fixed_edges",
+    "graph_edges",
+    "ensure_no_isolated_qubits",
+]
+
+Pair = Tuple[int, int]
+
+
+def _seed_from(rng: Optional[np.random.Generator]) -> int:
+    """Derive a deterministic int seed for networkx from our rng."""
+    if rng is None:
+        rng = np.random.default_rng()
+    return int(rng.integers(0, 2 ** 31 - 1))
+
+
+def graph_edges(graph: nx.Graph) -> List[Pair]:
+    """Normalised (min, max) sorted edge list of a graph."""
+    return sorted((min(a, b), max(a, b)) for a, b in graph.edges())
+
+
+def erdos_renyi_graph(
+    num_nodes: int,
+    edge_probability: float,
+    rng: Optional[np.random.Generator] = None,
+    require_edges: bool = True,
+) -> nx.Graph:
+    """Sample a ``G(n, p)`` Erdős–Rényi graph.
+
+    Args:
+        num_nodes: Number of nodes (logical qubits).
+        edge_probability: Independent inclusion probability per node pair.
+        rng: Random generator (seeded for reproducibility).
+        require_edges: Re-sample until the graph has at least one edge, so
+            every instance yields a non-empty QAOA circuit.
+    """
+    if not 0.0 <= edge_probability <= 1.0:
+        raise ValueError(f"edge_probability {edge_probability} outside [0, 1]")
+    if num_nodes < 2:
+        raise ValueError("need at least 2 nodes")
+    rng = rng if rng is not None else np.random.default_rng()
+    for _ in range(1000):
+        graph = nx.erdos_renyi_graph(
+            num_nodes, edge_probability, seed=_seed_from(rng)
+        )
+        if graph.number_of_edges() > 0 or not require_edges:
+            return graph
+    raise RuntimeError(
+        f"failed to sample a non-empty G({num_nodes}, {edge_probability})"
+    )
+
+
+def random_regular_graph(
+    num_nodes: int,
+    degree: int,
+    rng: Optional[np.random.Generator] = None,
+) -> nx.Graph:
+    """Sample a random ``degree``-regular graph on ``num_nodes`` nodes.
+
+    ``num_nodes * degree`` must be even (handshake lemma) and
+    ``degree < num_nodes``.
+    """
+    if degree >= num_nodes:
+        raise ValueError(f"degree {degree} >= num_nodes {num_nodes}")
+    if (num_nodes * degree) % 2 != 0:
+        raise ValueError(
+            f"n*d must be even for a regular graph (n={num_nodes}, d={degree})"
+        )
+    rng = rng if rng is not None else np.random.default_rng()
+    return nx.random_regular_graph(degree, num_nodes, seed=_seed_from(rng))
+
+
+def erdos_renyi_fixed_edges(
+    num_nodes: int,
+    num_edges: int,
+    rng: Optional[np.random.Generator] = None,
+) -> nx.Graph:
+    """A uniformly random graph with exactly ``num_edges`` edges (G(n, m)).
+
+    This is the Section VI planner-comparison workload: "8-node erdos-renyi
+    random graphs with exactly 8 edges".
+    """
+    max_edges = num_nodes * (num_nodes - 1) // 2
+    if not 0 <= num_edges <= max_edges:
+        raise ValueError(
+            f"num_edges {num_edges} outside [0, {max_edges}] for n={num_nodes}"
+        )
+    rng = rng if rng is not None else np.random.default_rng()
+    return nx.gnm_random_graph(num_nodes, num_edges, seed=_seed_from(rng))
+
+
+def ensure_no_isolated_qubits(graph: nx.Graph) -> bool:
+    """Whether every node participates in at least one edge.
+
+    Isolated nodes are legal (their qubits just get H + RX + measure) but
+    some sweeps prefer to filter them; this predicate makes that explicit.
+    """
+    return all(d > 0 for _, d in graph.degree())

@@ -1,0 +1,140 @@
+"""The hybrid quantum-classical optimisation loop (Section V-G).
+
+The paper finds optimal QAOA-MaxCut parameters by running "the
+quantum-classical optimization loop (L-BFGS-B classical optimizer used from
+SciPy library with convergence limit set to e-6)".  We reproduce that loop
+with the ideal statevector simulator as the quantum side: the objective is
+the exact expectation of the cut value over the QAOA output distribution.
+
+For p = 1 on unweighted problems the analytic expectation of
+:mod:`repro.qaoa.analytic` is used as a fast path unless disabled — it is
+mathematically the same objective, without building a state.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import List, Optional, Sequence
+
+import numpy as np
+from scipy import optimize
+
+from ..sim.statevector import StatevectorSimulator
+from .analytic import analytic_optimal_parameters
+from .circuit_builder import build_qaoa_circuit
+from .problems import MaxCutProblem
+
+__all__ = ["QAOAOptimizationResult", "qaoa_expectation", "optimize_qaoa"]
+
+
+@dataclasses.dataclass
+class QAOAOptimizationResult:
+    """Outcome of the hybrid loop.
+
+    Attributes:
+        gammas: Optimal cost angles, one per level.
+        betas: Optimal mixer angles, one per level.
+        expectation: ``<C>`` at the optimum.
+        approximation_ratio: ``expectation / max_cut`` (noiseless).
+        evaluations: Number of objective evaluations used.
+    """
+
+    gammas: List[float]
+    betas: List[float]
+    expectation: float
+    approximation_ratio: float
+    evaluations: int
+
+
+def qaoa_expectation(
+    problem: MaxCutProblem,
+    gammas: Sequence[float],
+    betas: Sequence[float],
+    simulator: Optional[StatevectorSimulator] = None,
+) -> float:
+    """Exact noiseless ``<C>`` for the given parameters (via statevector)."""
+    simulator = simulator or StatevectorSimulator()
+    program = problem.to_program(gammas, betas)
+    circuit = build_qaoa_circuit(program, measure=False)
+    return simulator.expectation_diagonal(circuit, problem.cut_values())
+
+
+def optimize_qaoa(
+    problem: MaxCutProblem,
+    p: int = 1,
+    rng: Optional[np.random.Generator] = None,
+    restarts: int = 3,
+    tol: float = 1e-6,
+    use_analytic: bool = True,
+    simulator: Optional[StatevectorSimulator] = None,
+) -> QAOAOptimizationResult:
+    """Run the hybrid loop and return optimal ``(gammas, betas)``.
+
+    Args:
+        problem: The MaxCut instance.
+        p: Number of QAOA levels.
+        rng: Generator for the random restarts' initial points.
+        restarts: Number of L-BFGS-B starts (best result kept).  The QAOA
+            landscape is non-convex; a handful of restarts is the standard
+            mitigation.
+        tol: L-BFGS-B convergence tolerance (paper: 1e-6).
+        use_analytic: For p=1 unweighted problems, optimise the closed-form
+            expectation instead of simulating (identical objective).
+        simulator: Statevector simulator override.
+
+    Returns:
+        A :class:`QAOAOptimizationResult`.
+    """
+    if p < 1:
+        raise ValueError(f"p must be >= 1, got {p}")
+    rng = rng if rng is not None else np.random.default_rng()
+    max_cut = problem.max_cut_value()
+
+    unweighted = all(abs(w - 1.0) < 1e-12 for _, _, w in problem.edges)
+    if use_analytic and p == 1 and unweighted:
+        gamma, beta, expectation = analytic_optimal_parameters(problem)
+        return QAOAOptimizationResult(
+            gammas=[gamma],
+            betas=[beta],
+            expectation=expectation,
+            approximation_ratio=expectation / max_cut,
+            evaluations=0,
+        )
+
+    simulator = simulator or StatevectorSimulator()
+    cut_values = problem.cut_values()
+    evaluations = 0
+
+    def objective(params: np.ndarray) -> float:
+        nonlocal evaluations
+        evaluations += 1
+        gammas, betas = params[:p], params[p:]
+        program = problem.to_program(gammas, betas)
+        circuit = build_qaoa_circuit(program, measure=False)
+        return -simulator.expectation_diagonal(circuit, cut_values)
+
+    best_value = math.inf
+    best_params = None
+    for _ in range(max(restarts, 1)):
+        x0 = np.concatenate(
+            [
+                rng.uniform(-math.pi, math.pi, size=p),
+                rng.uniform(-math.pi / 2, math.pi / 2, size=p),
+            ]
+        )
+        result = optimize.minimize(
+            objective, x0=x0, method="L-BFGS-B", tol=tol
+        )
+        if result.fun < best_value:
+            best_value = float(result.fun)
+            best_params = result.x.copy()
+    assert best_params is not None
+    expectation = -best_value
+    return QAOAOptimizationResult(
+        gammas=[float(g) for g in best_params[:p]],
+        betas=[float(b) for b in best_params[p:]],
+        expectation=expectation,
+        approximation_ratio=expectation / max_cut,
+        evaluations=evaluations,
+    )

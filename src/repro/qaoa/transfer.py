@@ -1,0 +1,127 @@
+"""Parameter transfer across similar QAOA instances.
+
+The paper notes (Section I) that QAOA parameter values "can be found
+(without the optimization routines) by exploiting their relationship among
+similar instances [Wecker et al.] or analytically [Streif & Leib]".  The
+analytic route lives in :mod:`repro.qaoa.analytic`; this module implements
+the instance-transfer route:
+
+* optimise a handful of *donor* instances drawn from a workload family,
+* aggregate their optimal angles (median, robust to the occasional bad
+  local optimum),
+* reuse the aggregated angles on new instances of the family with **no**
+  per-instance optimisation.
+
+:func:`transfer_quality` measures what the shortcut costs: the ratio of the
+transferred-parameter expectation to the instance's own optimum (1.0 means
+transfer was free).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .analytic import analytic_expectation
+from .optimizer import optimize_qaoa, qaoa_expectation
+from .problems import MaxCutProblem
+
+__all__ = ["TransferredParameters", "learn_parameters", "transfer_quality"]
+
+
+@dataclasses.dataclass
+class TransferredParameters:
+    """Family-level QAOA angles learned from donor instances.
+
+    Attributes:
+        gammas: Aggregated cost angles (one per level).
+        betas: Aggregated mixer angles.
+        donor_ratios: Approximation ratio each donor achieved at its own
+            optimum (diagnostic).
+    """
+
+    gammas: List[float]
+    betas: List[float]
+    donor_ratios: List[float]
+
+    @property
+    def p(self) -> int:
+        """Number of QAOA levels."""
+        return len(self.gammas)
+
+
+def _canonicalise(gamma: float, beta: float) -> Tuple[float, float]:
+    """Map p=1 angles into a canonical fundamental domain.
+
+    The p=1 QAOA landscape has the symmetries ``(gamma, beta) ->
+    (gamma + 2*pi, beta)``, ``(gamma, beta + pi/2... )`` and the joint sign
+    flip ``(-gamma, -beta)``.  Donors may converge to different equivalent
+    optima; folding everything into ``gamma >= 0`` (via the joint flip)
+    keeps the median meaningful.
+    """
+    gamma = float(np.arctan2(np.sin(gamma), np.cos(gamma)))  # wrap to (-pi, pi]
+    beta = float(np.arctan2(np.sin(2 * beta), np.cos(2 * beta)) / 2.0)
+    if gamma < 0:
+        gamma, beta = -gamma, -beta
+    return gamma, beta
+
+
+def learn_parameters(
+    donors: Sequence[MaxCutProblem],
+    p: int = 1,
+    rng: Optional[np.random.Generator] = None,
+) -> TransferredParameters:
+    """Optimise each donor and aggregate the angles (component median).
+
+    Args:
+        donors: Instances from the workload family (a handful suffices).
+        p: QAOA levels.
+        rng: Generator for optimiser restarts.
+
+    Returns:
+        The family-level :class:`TransferredParameters`.
+    """
+    if not donors:
+        raise ValueError("need at least one donor instance")
+    rng = rng if rng is not None else np.random.default_rng()
+    all_gammas, all_betas, ratios = [], [], []
+    for problem in donors:
+        result = optimize_qaoa(problem, p=p, rng=rng)
+        gammas, betas = list(result.gammas), list(result.betas)
+        if p == 1:
+            gammas[0], betas[0] = _canonicalise(gammas[0], betas[0])
+        all_gammas.append(gammas)
+        all_betas.append(betas)
+        ratios.append(result.approximation_ratio)
+    gamma_med = np.median(np.array(all_gammas), axis=0)
+    beta_med = np.median(np.array(all_betas), axis=0)
+    return TransferredParameters(
+        gammas=[float(g) for g in gamma_med],
+        betas=[float(b) for b in beta_med],
+        donor_ratios=ratios,
+    )
+
+
+def transfer_quality(
+    problem: MaxCutProblem,
+    params: TransferredParameters,
+    rng: Optional[np.random.Generator] = None,
+) -> float:
+    """Transferred-expectation over own-optimum ratio for one recipient.
+
+    1.0 means the family angles were as good as instance-specific
+    optimisation; the paper's premise is that similar instances land close.
+    """
+    unweighted = all(abs(w - 1.0) < 1e-12 for _, _, w in problem.edges)
+    if params.p == 1 and unweighted:
+        transferred = analytic_expectation(
+            problem, params.gammas[0], params.betas[0]
+        )
+    else:
+        transferred = qaoa_expectation(problem, params.gammas, params.betas)
+    own = optimize_qaoa(problem, p=params.p, rng=rng).expectation
+    if own <= 0:
+        raise ValueError("recipient optimum is non-positive")
+    return transferred / own

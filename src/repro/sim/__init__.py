@@ -1,0 +1,32 @@
+"""Simulators: ideal statevector and noisy Monte-Carlo trajectory sampling."""
+
+from .density import DensityMatrixSimulator
+from .noise import NoiseModel, NoisySimulator
+from .sampler import (
+    bitstring_to_index,
+    counts_to_probabilities,
+    expectation_from_counts,
+    index_to_bitstring,
+    marginal_counts,
+    merge_counts,
+    most_frequent,
+    total_shots,
+)
+from .statevector import StatevectorSimulator, apply_gate, zero_state
+
+__all__ = [
+    "StatevectorSimulator",
+    "apply_gate",
+    "zero_state",
+    "NoiseModel",
+    "NoisySimulator",
+    "DensityMatrixSimulator",
+    "bitstring_to_index",
+    "counts_to_probabilities",
+    "expectation_from_counts",
+    "index_to_bitstring",
+    "marginal_counts",
+    "merge_counts",
+    "most_frequent",
+    "total_shots",
+]

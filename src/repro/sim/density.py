@@ -1,0 +1,160 @@
+"""Exact density-matrix simulation of the stochastic-Pauli noise model.
+
+The Monte-Carlo trajectory sampler (:mod:`repro.sim.noise`) approximates the
+noisy output distribution; this module computes it *exactly* for small
+circuits by evolving the density matrix through the same channels:
+
+* unitary gates: ``rho -> U rho U^dagger``;
+* two-qubit depolarizing with probability ``p``: the uniform mixture of the
+  15 non-identity two-qubit Paulis on the gate's qubits;
+* single-qubit depolarizing: uniform mixture of X, Y, Z;
+* readout error: classical bit-flip confusion applied to the outcome
+  distribution.
+
+Memory is O(4^n), so the simulator refuses beyond ``max_qubits`` (default
+10: a 2 MB matrix).  Its role is validation — the test suite checks that
+trajectory sampling converges to these exact probabilities — and exact
+small-instance studies where Monte-Carlo noise would blur comparisons.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..circuits import QuantumCircuit
+from ..circuits.gates import gate_spec
+from .noise import NoiseModel
+from .statevector import apply_gate
+
+__all__ = ["DensityMatrixSimulator"]
+
+_PAULI_1Q = [
+    gate_spec("x").matrix(),
+    gate_spec("y").matrix(),
+    gate_spec("z").matrix(),
+]
+
+
+def _apply_to_density(rho: np.ndarray, matrix: np.ndarray, qubits, n: int):
+    """``rho -> U rho U^dagger`` with rho as a rank-2n tensor."""
+    # Left multiplication: treat the first n axes as the ket side.
+    rho = apply_gate(rho, matrix, qubits)
+    # Right multiplication by U^dagger: act on the bra side (axes n..2n-1)
+    # with the conjugate matrix.
+    bra_qubits = tuple(q + n for q in qubits)
+    rho = apply_gate(rho, matrix.conj(), bra_qubits)
+    return rho
+
+
+class DensityMatrixSimulator:
+    """Exact mixed-state evolution under a :class:`NoiseModel`.
+
+    Args:
+        noise: The stochastic-Pauli noise model (T2 idle dephasing is not
+            supported here — it requires time tracking better suited to the
+            trajectory sampler; passing a model with ``t2_ns`` set raises).
+        max_qubits: Refuse circuits larger than this (4^n scaling).
+    """
+
+    def __init__(self, noise: NoiseModel, max_qubits: int = 10) -> None:
+        if noise.t2_ns is not None:
+            raise ValueError(
+                "DensityMatrixSimulator does not support T2 idle dephasing; "
+                "use the trajectory sampler for timed noise"
+            )
+        self.noise = noise
+        self.max_qubits = max_qubits
+
+    # ------------------------------------------------------------------
+    def _depolarize_single(self, rho, qubit: int, p: float, n: int):
+        if p <= 0.0:
+            return rho
+        mixed = np.zeros_like(rho)
+        for pauli in _PAULI_1Q:
+            mixed = mixed + _apply_to_density(rho, pauli, (qubit,), n)
+        return (1.0 - p) * rho + (p / 3.0) * mixed
+
+    def _depolarize_double(self, rho, qubits, p: float, n: int):
+        if p <= 0.0:
+            return rho
+        mixed = np.zeros_like(rho)
+        identity = np.eye(2)
+        paulis = [identity] + _PAULI_1Q
+        for i, pa in enumerate(paulis):
+            for j, pb in enumerate(paulis):
+                if i == 0 and j == 0:
+                    continue
+                term = rho
+                if i:
+                    term = _apply_to_density(term, pa, (qubits[0],), n)
+                if j:
+                    term = _apply_to_density(term, pb, (qubits[1],), n)
+                mixed = mixed + term
+        return (1.0 - p) * rho + (p / 15.0) * mixed
+
+    def run(self, circuit: QuantumCircuit) -> np.ndarray:
+        """Evolve ``|0..0><0..0|`` through the noisy circuit.
+
+        Returns the final density matrix as a ``(2^n, 2^n)`` array.
+        """
+        n = circuit.num_qubits
+        if n > self.max_qubits:
+            raise ValueError(
+                f"{n}-qubit density matrix exceeds limit {self.max_qubits}"
+            )
+        dim = 2 ** n
+        rho = np.zeros((dim, dim), dtype=complex)
+        rho[0, 0] = 1.0
+        rho = rho.reshape((2,) * (2 * n))
+        for inst in circuit:
+            if inst.is_directive or inst.is_measurement:
+                continue
+            rho = _apply_to_density(rho, inst.matrix(), inst.qubits, n)
+            if inst.is_two_qubit:
+                p = self.noise.two_qubit_prob(*inst.qubits)
+                rho = self._depolarize_double(rho, inst.qubits, p, n)
+            else:
+                q = inst.qubits[0]
+                p = self.noise.single_qubit_depol.get(q, 0.0)
+                rho = self._depolarize_single(rho, q, p, n)
+        return rho.reshape(dim, dim)
+
+    def probabilities(self, circuit: QuantumCircuit) -> np.ndarray:
+        """Exact outcome distribution (readout error included)."""
+        rho = self.run(circuit)
+        probs = np.real(np.diag(rho)).copy()
+        probs = np.clip(probs, 0.0, None)
+        probs /= probs.sum()
+        return self._apply_readout(probs, circuit.num_qubits)
+
+    def _apply_readout(self, probs: np.ndarray, n: int) -> np.ndarray:
+        out = probs
+        for q in range(n):
+            p = self.noise.readout_flip.get(q, 0.0)
+            if p <= 0.0:
+                continue
+            flipped = out.reshape(-1).copy()
+            idx = np.arange(len(flipped))
+            partner = idx ^ (1 << q)
+            out = (1.0 - p) * flipped + p * flipped[partner]
+        return out
+
+    def sample_counts(
+        self,
+        circuit: QuantumCircuit,
+        shots: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> Dict[str, int]:
+        """Sample bitstrings from the exact noisy distribution."""
+        if shots < 1:
+            raise ValueError("shots must be positive")
+        rng = rng if rng is not None else np.random.default_rng()
+        probs = self.probabilities(circuit)
+        indices = rng.choice(len(probs), size=shots, p=probs)
+        counts: Dict[str, int] = {}
+        n = circuit.num_qubits
+        for idx, freq in zip(*np.unique(indices, return_counts=True)):
+            counts[format(int(idx), f"0{n}b")] = int(freq)
+        return counts

@@ -1,0 +1,297 @@
+"""Noisy circuit execution via Monte-Carlo Pauli trajectories.
+
+This module is the stand-in for the paper's real-hardware runs (Section V-G
+validates on ``ibmq_16_melbourne``; we have no QPU).  The noise model is the
+standard NISQ abstraction consistent with how the paper itself reasons about
+errors:
+
+* after every **two-qubit gate** on coupling ``(a, b)``, a two-qubit
+  depolarizing channel fires with probability derived from the calibrated
+  CNOT error rate of that coupling;
+* after every **single-qubit gate**, a single-qubit depolarizing channel
+  fires with the calibrated single-qubit error rate;
+* at **measurement**, each classical bit flips independently with the
+  calibrated readout error.
+
+Depolarizing channels are unravelled as stochastic Pauli insertions, so each
+trajectory is a pure-state simulation with random Pauli gates injected.  The
+sampler averages over ``trajectories`` noise realisations and draws
+``shots / trajectories`` bitstrings from each — noise realisations and shot
+noise are independent, so this converges to the same distribution as one
+trajectory per shot at a fraction of the cost.
+
+Why this preserves the paper's experiment: ARG compares the *same* logical
+problem compiled different ways; the compiled circuit with more two-qubit
+gates on less-reliable couplings accumulates more depolarization and its
+sampled approximation ratio drops further below the noiseless one.  That
+monotone relationship is exactly what the hardware experiment measures.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..circuits import QuantumCircuit
+from ..circuits.gates import gate_spec
+from ..hardware import Calibration
+from .statevector import apply_gate, zero_state
+
+__all__ = ["NoiseModel", "NoisySimulator"]
+
+_PAULIS = {
+    "i": None,
+    "x": gate_spec("x").matrix(),
+    "y": gate_spec("y").matrix(),
+    "z": gate_spec("z").matrix(),
+}
+_ONE_QUBIT_PAULIS = ["x", "y", "z"]
+_TWO_QUBIT_PAULIS = [
+    (p, q) for p in ("i", "x", "y", "z") for q in ("i", "x", "y", "z")
+][1:]  # all 15 non-identity pairs
+
+
+@dataclasses.dataclass
+class NoiseModel:
+    """Stochastic-Pauli noise parameters for a device.
+
+    Attributes:
+        two_qubit_depol: Per-edge probability that a depolarizing event
+            follows a two-qubit gate on that edge.
+        single_qubit_depol: Per-qubit probability after single-qubit gates.
+        readout_flip: Per-qubit classical bit-flip probability at readout.
+        t2_ns: Optional dephasing time constant.  When set, the simulator
+            tracks wall-clock time per qubit through a
+            :class:`~repro.circuits.timing.DurationModel` and applies a
+            stochastic Z flip with probability ``(1 - exp(-dt/T2)) / 2``
+            for every idle interval ``dt`` — this is what makes circuit
+            *depth* (not just gate count) degrade fidelity, the paper's
+            decoherence argument made operational.
+    """
+
+    two_qubit_depol: Dict[Tuple[int, int], float]
+    single_qubit_depol: Dict[int, float]
+    readout_flip: Dict[int, float]
+    t2_ns: Optional[float] = None
+
+    @classmethod
+    def from_calibration(
+        cls, calibration: Calibration, t2_ns: Optional[float] = None
+    ) -> "NoiseModel":
+        """Build a noise model directly from device calibration data.
+
+        The calibrated CNOT *error rate* is used as the depolarizing-event
+        probability for that coupling — i.e. a gate with error rate ``e``
+        succeeds (acts ideally) with probability ``1 - e``, matching the
+        paper's success-probability definition (Section II).  Pass
+        ``t2_ns`` to additionally model idle dephasing.
+        """
+        return cls(
+            two_qubit_depol={
+                e: calibration.cnot_error[e] for e in calibration.coupling.edges
+            },
+            single_qubit_depol={
+                q: calibration.single_qubit_error.get(q, 0.0)
+                for q in range(calibration.coupling.num_qubits)
+            },
+            readout_flip={
+                q: calibration.readout_error.get(q, 0.0)
+                for q in range(calibration.coupling.num_qubits)
+            },
+            t2_ns=t2_ns,
+        )
+
+    @classmethod
+    def ideal(cls, num_qubits: int) -> "NoiseModel":
+        """A noise model that never fires (for testing)."""
+        return cls(
+            two_qubit_depol={},
+            single_qubit_depol={q: 0.0 for q in range(num_qubits)},
+            readout_flip={q: 0.0 for q in range(num_qubits)},
+        )
+
+    def two_qubit_prob(self, a: int, b: int) -> float:
+        """Depolarizing probability for a two-qubit gate on ``a - b``."""
+        return self.two_qubit_depol.get(
+            (min(a, b), max(a, b)), 0.0
+        )
+
+    def scaled(self, factor: float) -> "NoiseModel":
+        """A copy with every error probability multiplied by ``factor``.
+
+        Useful for noise-sensitivity sweeps; probabilities are clipped to
+        [0, 1).
+        """
+
+        def clip(p: float) -> float:
+            return min(max(p * factor, 0.0), 0.999999)
+
+        return NoiseModel(
+            two_qubit_depol={e: clip(p) for e, p in self.two_qubit_depol.items()},
+            single_qubit_depol={
+                q: clip(p) for q, p in self.single_qubit_depol.items()
+            },
+            readout_flip={q: clip(p) for q, p in self.readout_flip.items()},
+            t2_ns=(self.t2_ns / factor if self.t2_ns and factor > 0 else self.t2_ns),
+        )
+
+
+class NoisySimulator:
+    """Monte-Carlo trajectory sampler standing in for real hardware.
+
+    Args:
+        noise: The stochastic-Pauli noise model.
+        trajectories: Number of independent noise realisations to average
+            over when sampling; shots are split evenly across them.
+        durations: Gate-duration model used for idle-dephasing timing when
+            ``noise.t2_ns`` is set (defaults to
+            :class:`~repro.circuits.timing.DurationModel`).
+    """
+
+    def __init__(
+        self,
+        noise: NoiseModel,
+        trajectories: int = 32,
+        durations=None,
+    ) -> None:
+        if trajectories < 1:
+            raise ValueError("need at least one trajectory")
+        self.noise = noise
+        self.trajectories = trajectories
+        if durations is None and noise.t2_ns is not None:
+            from ..circuits.timing import DurationModel
+
+            durations = DurationModel()
+        self.durations = durations
+
+    # ------------------------------------------------------------------
+    # single-trajectory evolution
+    # ------------------------------------------------------------------
+    def _inject_single(self, state, qubit: int, rng) -> np.ndarray:
+        pauli = _ONE_QUBIT_PAULIS[rng.integers(3)]
+        return apply_gate(state, _PAULIS[pauli], (qubit,))
+
+    def _inject_double(self, state, qubits: Tuple[int, int], rng) -> np.ndarray:
+        pa, pb = _TWO_QUBIT_PAULIS[rng.integers(15)]
+        if pa != "i":
+            state = apply_gate(state, _PAULIS[pa], (qubits[0],))
+        if pb != "i":
+            state = apply_gate(state, _PAULIS[pb], (qubits[1],))
+        return state
+
+    def _maybe_dephase(
+        self,
+        state: np.ndarray,
+        qubit: int,
+        idle_ns: float,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Stochastic Z flip for an idle interval under T2 dephasing."""
+        if idle_ns <= 0.0:
+            return state
+        p_flip = 0.5 * (1.0 - np.exp(-idle_ns / self.noise.t2_ns))
+        if rng.random() < p_flip:
+            state = apply_gate(state, _PAULIS["z"], (qubit,))
+        return state
+
+    def run_trajectory(
+        self, circuit: QuantumCircuit, rng: np.random.Generator
+    ) -> np.ndarray:
+        """One noisy pure-state evolution; returns the flat final state.
+
+        With ``noise.t2_ns`` set, per-qubit wall clocks (from the duration
+        model) are tracked and every idle gap triggers a stochastic Z flip
+        — so deeper circuits decohere more even at equal gate count.
+        """
+        state = zero_state(circuit.num_qubits)
+        track_time = self.noise.t2_ns is not None
+        clocks = [0.0] * circuit.num_qubits if track_time else None
+        for inst in circuit:
+            if inst.is_directive or inst.is_measurement:
+                if track_time and inst.is_directive and inst.qubits:
+                    sync = max(clocks[q] for q in inst.qubits)
+                    for q in inst.qubits:
+                        clocks[q] = sync
+                continue
+            if track_time:
+                start = max(clocks[q] for q in inst.qubits)
+                for q in inst.qubits:
+                    state = self._maybe_dephase(
+                        state, q, start - clocks[q], rng
+                    )
+                duration = self.durations.duration(inst)
+                for q in inst.qubits:
+                    clocks[q] = start + duration
+            state = apply_gate(state, inst.matrix(), inst.qubits)
+            if inst.is_two_qubit:
+                p = self.noise.two_qubit_prob(*inst.qubits)
+                if p > 0.0 and rng.random() < p:
+                    state = self._inject_double(state, inst.qubits, rng)
+            else:
+                q = inst.qubits[0]
+                p = self.noise.single_qubit_depol.get(q, 0.0)
+                if p > 0.0 and rng.random() < p:
+                    state = self._inject_single(state, q, rng)
+        if track_time:
+            # Final alignment: every qubit idles until the global end time
+            # (all qubits are measured together at the circuit's end).
+            end = max(clocks) if clocks else 0.0
+            for q in range(circuit.num_qubits):
+                state = self._maybe_dephase(state, q, end - clocks[q], rng)
+        return state.reshape(-1)
+
+    # ------------------------------------------------------------------
+    # sampling
+    # ------------------------------------------------------------------
+    def _apply_readout_error(
+        self, indices: np.ndarray, num_qubits: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        out = indices.copy()
+        for q in range(num_qubits):
+            p = self.noise.readout_flip.get(q, 0.0)
+            if p <= 0.0:
+                continue
+            flips = rng.random(len(out)) < p
+            out[flips] ^= 1 << q
+        return out
+
+    def sample_indices(
+        self,
+        circuit: QuantumCircuit,
+        shots: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> np.ndarray:
+        """Sample ``shots`` little-endian basis indices under noise."""
+        if shots < 1:
+            raise ValueError(f"shots must be positive, got {shots}")
+        rng = rng if rng is not None else np.random.default_rng()
+        n_traj = min(self.trajectories, shots)
+        base, extra = divmod(shots, n_traj)
+        all_indices: List[np.ndarray] = []
+        dim = 2 ** circuit.num_qubits
+        for t in range(n_traj):
+            state = self.run_trajectory(circuit, rng)
+            probs = np.abs(state) ** 2
+            probs /= probs.sum()
+            traj_shots = base + (1 if t < extra else 0)
+            if traj_shots == 0:
+                continue
+            all_indices.append(rng.choice(dim, size=traj_shots, p=probs))
+        indices = np.concatenate(all_indices)
+        return self._apply_readout_error(indices, circuit.num_qubits, rng)
+
+    def sample_counts(
+        self,
+        circuit: QuantumCircuit,
+        shots: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> Dict[str, int]:
+        """Sample and histogram bitstrings (``q_{n-1}...q_0`` order)."""
+        indices = self.sample_indices(circuit, shots, rng)
+        n = circuit.num_qubits
+        counts: Dict[str, int] = {}
+        for idx, freq in zip(*np.unique(indices, return_counts=True)):
+            counts[format(int(idx), f"0{n}b")] = int(freq)
+        return counts

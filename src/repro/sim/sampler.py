@@ -1,0 +1,96 @@
+"""Bitstring-count utilities shared by the simulators and QAOA evaluation."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping
+
+__all__ = [
+    "counts_to_probabilities",
+    "merge_counts",
+    "expectation_from_counts",
+    "most_frequent",
+    "bitstring_to_index",
+    "index_to_bitstring",
+    "marginal_counts",
+    "total_shots",
+]
+
+
+def bitstring_to_index(bits: str) -> int:
+    """Convert a ``q_{n-1}...q_0`` bitstring to a little-endian index."""
+    return int(bits, 2)
+
+
+def index_to_bitstring(index: int, num_qubits: int) -> str:
+    """Convert a little-endian index to a ``q_{n-1}...q_0`` bitstring."""
+    return format(index, f"0{num_qubits}b")
+
+
+def total_shots(counts: Mapping[str, int]) -> int:
+    """Total number of samples in a counts histogram."""
+    return sum(counts.values())
+
+
+def counts_to_probabilities(counts: Mapping[str, int]) -> Dict[str, float]:
+    """Normalise a counts histogram to relative frequencies."""
+    total = total_shots(counts)
+    if total <= 0:
+        raise ValueError("empty counts")
+    return {bits: c / total for bits, c in counts.items()}
+
+
+def merge_counts(*histograms: Mapping[str, int]) -> Dict[str, int]:
+    """Sum several counts histograms key-wise."""
+    merged: Dict[str, int] = {}
+    for hist in histograms:
+        for bits, c in hist.items():
+            merged[bits] = merged.get(bits, 0) + c
+    return merged
+
+
+def expectation_from_counts(
+    counts: Mapping[str, int], value_fn
+) -> float:
+    """Sample mean of ``value_fn(bitstring)`` over the histogram.
+
+    This mirrors the paper's QAOA evaluation: "the expectation value of the
+    cost function is calculated by taking its mean over a finite number of
+    samples from the QAOA-circuit output".
+    """
+    total = total_shots(counts)
+    if total <= 0:
+        raise ValueError("empty counts")
+    acc = 0.0
+    for bits, c in counts.items():
+        acc += value_fn(bits) * c
+    return acc / total
+
+
+def most_frequent(counts: Mapping[str, int]) -> str:
+    """The modal bitstring; ties break lexicographically for determinism."""
+    if not counts:
+        raise ValueError("empty counts")
+    best = max(counts.values())
+    return min(bits for bits, c in counts.items() if c == best)
+
+
+def marginal_counts(
+    counts: Mapping[str, int], keep_qubits: Iterable[int]
+) -> Dict[str, int]:
+    """Marginalise a histogram onto ``keep_qubits``.
+
+    Bitstrings are ``q_{n-1}...q_0``; the marginal keeps the listed qubits
+    in descending-qubit order.  Used when a compiled circuit occupies more
+    physical qubits than the logical problem and only the data qubits'
+    outcomes matter.
+    """
+    keep = sorted(set(keep_qubits), reverse=True)
+    out: Dict[str, int] = {}
+    for bits, c in counts.items():
+        n = len(bits)
+        for q in keep:
+            if q >= n:
+                raise ValueError(f"qubit {q} outside {n}-bit strings")
+        sub = "".join(bits[n - 1 - q] for q in keep)
+        out[sub] = out.get(sub, 0) + c
+    return out

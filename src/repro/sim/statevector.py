@@ -1,0 +1,152 @@
+"""Dense statevector simulator.
+
+This is the "noiseless simulator" role that qiskit plays in the paper: it
+produces the ideal output distribution of a (compiled or uncompiled) QAOA
+circuit, from which the noiseless approximation ratio ``r0`` of the ARG
+metric is computed (Section V-A).
+
+Conventions:
+
+* Little-endian qubit order — basis state index ``i`` stores qubit ``q`` in
+  bit ``(i >> q) & 1``; bitstrings returned by sampling are written
+  most-significant-qubit first (``q_{n-1} ... q_1 q_0``), matching the
+  common hardware convention.
+* Measurements and barriers are skipped during state evolution; sampling
+  measures every qubit at the end.  This is sufficient for QAOA circuits,
+  which are measure-at-the-end by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from ..circuits import QuantumCircuit
+
+__all__ = ["apply_gate", "StatevectorSimulator", "zero_state"]
+
+_MAX_DENSE_QUBITS = 24  # 2^24 complex128 = 256 MiB; refuse beyond this.
+
+
+def zero_state(num_qubits: int) -> np.ndarray:
+    """The ``|0...0>`` state as a rank-``num_qubits`` tensor of shape (2,)*n."""
+    state = np.zeros((2,) * num_qubits, dtype=complex)
+    state[(0,) * num_qubits] = 1.0
+    return state
+
+
+def apply_gate(
+    state: np.ndarray, matrix: np.ndarray, qubits: Sequence[int]
+) -> np.ndarray:
+    """Apply a k-qubit unitary ``matrix`` to ``state`` on ``qubits``.
+
+    ``state`` is a rank-n tensor where tensor axis ``n-1-q`` holds qubit
+    ``q`` (so that flattening yields little-endian indices).  ``matrix`` is
+    ``(2^k, 2^k)`` with gate-qubit 0 as the least-significant bit of the
+    matrix index, matching :mod:`repro.circuits.gates`.
+    """
+    n = state.ndim
+    k = len(qubits)
+    tensor = matrix.reshape((2,) * (2 * k))
+    # Matrix-row bit j corresponds to gate qubit j (little endian), so the
+    # reshaped output/input axes run over gate qubits k-1 .. 0.
+    in_axes = [n - 1 - q for q in reversed(qubits)]
+    moved = np.tensordot(tensor, state, axes=(list(range(k, 2 * k)), in_axes))
+    return np.moveaxis(moved, range(k), in_axes)
+
+
+class StatevectorSimulator:
+    """Ideal (noise-free) circuit execution.
+
+    Example::
+
+        sim = StatevectorSimulator()
+        probs = sim.probabilities(circuit)
+        counts = sim.sample_counts(circuit, shots=1024, rng=rng)
+    """
+
+    def __init__(self, max_qubits: int = _MAX_DENSE_QUBITS) -> None:
+        self.max_qubits = max_qubits
+
+    def _check_size(self, circuit: QuantumCircuit) -> None:
+        if circuit.num_qubits > self.max_qubits:
+            raise ValueError(
+                f"{circuit.num_qubits}-qubit circuit exceeds dense-simulation "
+                f"limit of {self.max_qubits} qubits"
+            )
+
+    def run(
+        self, circuit: QuantumCircuit, initial_state: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Evolve ``|0...0>`` (or ``initial_state``) through the circuit.
+
+        Returns the final state as a flat ``2**n`` vector (little-endian).
+        Measurements/barriers are ignored.
+        """
+        self._check_size(circuit)
+        n = circuit.num_qubits
+        if initial_state is not None:
+            state = np.asarray(initial_state, dtype=complex).reshape((2,) * n)
+        else:
+            state = zero_state(n)
+        for inst in circuit:
+            if inst.is_directive or inst.is_measurement:
+                continue
+            state = apply_gate(state, inst.matrix(), inst.qubits)
+        return state.reshape(-1)
+
+    def probabilities(self, circuit: QuantumCircuit) -> np.ndarray:
+        """Output probability of each little-endian basis index."""
+        amplitudes = self.run(circuit)
+        probs = np.abs(amplitudes) ** 2
+        total = probs.sum()
+        if not np.isclose(total, 1.0, atol=1e-8):
+            raise RuntimeError(f"state norm drifted to {total}")
+        return probs / total
+
+    def sample_indices(
+        self,
+        circuit: QuantumCircuit,
+        shots: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> np.ndarray:
+        """Sample ``shots`` basis-state indices from the output distribution."""
+        if shots < 1:
+            raise ValueError(f"shots must be positive, got {shots}")
+        rng = rng if rng is not None else np.random.default_rng()
+        probs = self.probabilities(circuit)
+        return rng.choice(len(probs), size=shots, p=probs)
+
+    def sample_counts(
+        self,
+        circuit: QuantumCircuit,
+        shots: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> Dict[str, int]:
+        """Sample and histogram bitstrings (``q_{n-1}...q_0`` order)."""
+        indices = self.sample_indices(circuit, shots, rng)
+        n = circuit.num_qubits
+        counts: Dict[str, int] = {}
+        for idx, freq in zip(*np.unique(indices, return_counts=True)):
+            bits = format(int(idx), f"0{n}b")
+            counts[bits] = int(freq)
+        return counts
+
+    def expectation_diagonal(
+        self, circuit: QuantumCircuit, values: np.ndarray
+    ) -> float:
+        """Exact expectation of a computational-basis-diagonal observable.
+
+        Args:
+            circuit: Circuit to run.
+            values: ``2**n`` array; ``values[i]`` is the observable's value
+                on basis state ``i`` (little-endian).  For QAOA-MaxCut this
+                is the cut value of each bitstring.
+        """
+        probs = self.probabilities(circuit)
+        if len(values) != len(probs):
+            raise ValueError(
+                f"observable has {len(values)} entries for {len(probs)} states"
+            )
+        return float(np.dot(probs, values))

@@ -1,0 +1,86 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits import QuantumCircuit
+from repro.hardware import (
+    ibmq_16_melbourne,
+    ibmq_20_tokyo,
+    linear_device,
+    melbourne_calibration,
+    ring_device,
+)
+from repro.qaoa import MaxCutProblem
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def tokyo():
+    return ibmq_20_tokyo()
+
+
+@pytest.fixture
+def melbourne():
+    return ibmq_16_melbourne()
+
+
+@pytest.fixture
+def melbourne_cal():
+    return melbourne_calibration()
+
+
+@pytest.fixture
+def line4():
+    return linear_device(4)
+
+
+@pytest.fixture
+def ring8():
+    return ring_device(8)
+
+
+@pytest.fixture
+def k4_problem():
+    """Complete graph on 4 nodes (the Figure 1 problem graph is K4 minus
+    nothing — a 4-node 3-regular graph IS K4)."""
+    return MaxCutProblem(
+        4, [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]
+    )
+
+
+@pytest.fixture
+def toy_fig3_pairs():
+    """The Figure 3(c)/5 toy cost Hamiltonian: 7 CPHASEs on 5 qubits."""
+    return [(0, 1), (0, 2), (0, 3), (0, 4), (1, 2), (1, 4), (3, 4)]
+
+
+def circuit_unitary(circuit: QuantumCircuit) -> np.ndarray:
+    """Dense unitary of a (small) circuit via simulation of basis states."""
+    from repro.sim import StatevectorSimulator
+
+    n = circuit.num_qubits
+    sim = StatevectorSimulator()
+    dim = 2 ** n
+    cols = []
+    for i in range(dim):
+        basis = np.zeros(dim, dtype=complex)
+        basis[i] = 1.0
+        cols.append(sim.run(circuit.only_unitary(), initial_state=basis))
+    return np.column_stack(cols)
+
+
+def assert_equal_up_to_global_phase(u: np.ndarray, v: np.ndarray, atol=1e-9):
+    """Assert two unitaries differ only by a global phase."""
+    assert u.shape == v.shape
+    idx = np.unravel_index(np.argmax(np.abs(u)), u.shape)
+    assert abs(v[idx]) > 1e-12, "reference entry vanishes in v"
+    phase = u[idx] / v[idx]
+    assert abs(abs(phase) - 1.0) < 1e-9
+    np.testing.assert_allclose(u, phase * v, atol=atol)

@@ -1,0 +1,40 @@
+"""Integration: figure modules honour their parameter overrides.
+
+The benches and the CLI pass reduced parameters; these tests pin the
+contract that overrides actually flow through (a silent fallback to paper
+defaults would make 'reduced mode' lie about what it measured).
+"""
+
+import pytest
+
+from repro.experiments.figures import fig7, fig10, fig11b, fig12
+
+
+class TestParameterOverrides:
+    def test_fig7_custom_densities_appear_in_groups(self):
+        result = fig7.run(instances=1, er_probs=(0.25,), degrees=(4,))
+        groups = set(result.raw["depth"])
+        assert groups == {("er", 0.25), ("regular", 4)}
+        assert "qaim_vs_naive_depth_er0.25" in result.headline
+
+    def test_fig10_custom_sizes(self):
+        result = fig10.run(instances=1, node_sizes=(13,))
+        assert "vic_over_ic_sp_er_n13" in result.headline
+        assert "vic_over_ic_sp_er_n14" not in result.headline
+
+    def test_fig11b_overrides_reach_description(self):
+        result = fig11b.run(
+            instances=1, num_nodes=7, shots=256, trajectories=4
+        )
+        assert "7-node" in result.description
+        assert "256 shots" in result.description
+
+    def test_fig12_grid_grows_for_large_problems(self):
+        result = fig12.run(
+            instances=1, num_nodes=38, packing_limits=(4, 8)
+        )
+        assert "grid_7x7" in result.description
+
+    def test_fig12_custom_limits_in_headline(self):
+        result = fig12.run(instances=1, num_nodes=12, packing_limits=(2, 6))
+        assert "er_depth_limit2_over_limit6" in result.headline

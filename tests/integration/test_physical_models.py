@@ -1,0 +1,154 @@
+"""Integration: timing, decoherence and success-probability models against
+the compilation flows — quantifying the paper's qualitative claims.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits.timing import decoherence_factor, execution_time
+from repro.compiler import compile_with_method, success_probability
+from repro.experiments.harness import make_problem
+from repro.hardware import (
+    ibmq_16_melbourne,
+    ibmq_20_tokyo,
+    melbourne_calibration,
+)
+from repro.sim import NoiseModel, NoisySimulator, StatevectorSimulator
+from repro.qaoa.evaluation import decode_physical_counts
+
+
+def _mean_over_instances(metric_fn, methods, instances=6, seed=99):
+    problem_rng = np.random.default_rng(seed)
+    sums = {m: 0.0 for m in methods}
+    for i in range(instances):
+        problem = make_problem("er", 14, 0.4, problem_rng)
+        program = problem.to_program([0.7], [0.35])
+        for method in methods:
+            compiled = compile_with_method(
+                program,
+                ibmq_20_tokyo(),
+                method,
+                rng=np.random.default_rng((i, method == methods[0])),
+            )
+            sums[method] += metric_fn(compiled)
+    return {m: v / instances for m, v in sums.items()}
+
+
+class TestExecutionTime:
+    def test_ic_executes_faster_than_naive(self):
+        """Depth reduction is execution-time reduction, quantitatively."""
+        times = _mean_over_instances(
+            lambda c: execution_time(c.native()), ("naive", "ic")
+        )
+        assert times["ic"] < times["naive"]
+
+    def test_ic_decoheres_less_than_naive(self):
+        factors = _mean_over_instances(
+            lambda c: decoherence_factor(c.native()), ("naive", "ic")
+        )
+        assert factors["ic"] > factors["naive"]
+
+
+class TestSuccessProbabilityIsPredictive:
+    def test_metric_tracks_sampled_fidelity_under_noise_scaling(self):
+        """The product-of-gate-success metric and the actually sampled
+        approximation ratio must move together: scale the hardware noise
+        up and both fall, monotonically, for a fixed compiled circuit."""
+        coupling = ibmq_16_melbourne()
+        calibration = melbourne_calibration()
+        problem = make_problem("er", 9, 0.45, np.random.default_rng(7))
+        program = problem.to_program([0.7], [0.35])
+        compiled = compile_with_method(
+            program, coupling, "ic", rng=np.random.default_rng(8)
+        )
+        base = NoiseModel.from_calibration(calibration)
+
+        def sampled_ratio(scale):
+            noisy = NoisySimulator(base.scaled(scale), trajectories=48)
+            totals = []
+            for seed in range(3):
+                counts = decode_physical_counts(
+                    noisy.sample_counts(
+                        compiled.circuit, 2048, np.random.default_rng(seed)
+                    ),
+                    compiled.final_mapping,
+                    problem.num_nodes,
+                )
+                shots = sum(counts.values())
+                totals.append(
+                    sum(problem.cut_value(b) * c for b, c in counts.items())
+                    / shots
+                )
+            return float(np.mean(totals)) / problem.max_cut_value()
+
+        ratios = [sampled_ratio(s) for s in (0.0, 1.0, 4.0)]
+        assert ratios[0] > ratios[1] > ratios[2]
+
+    def test_vic_maximises_the_metric_it_optimises(self):
+        """Across instances, VIC's geometric-mean success probability must
+        beat IC's on the heavily varied melbourne calibration (Figure 10's
+        claim; geometric mean because the metric is multiplicative)."""
+        import math
+
+        coupling = ibmq_16_melbourne()
+        calibration = melbourne_calibration()
+        problem_rng = np.random.default_rng(17)
+        logs = {"ic": [], "vic": []}
+        for i in range(10):
+            problem = make_problem("er", 13, 0.5, problem_rng)
+            program = problem.to_program([0.7], [0.35])
+            for method in logs:
+                compiled = compile_with_method(
+                    program,
+                    coupling,
+                    method,
+                    calibration=calibration,
+                    rng=np.random.default_rng((i, method == "ic")),
+                )
+                logs[method].append(
+                    math.log(
+                        success_probability(compiled.native(), calibration)
+                    )
+                )
+        assert np.mean(logs["vic"]) > np.mean(logs["ic"])
+
+
+class TestT2EndToEnd:
+    def test_t2_degrades_compiled_qaoa_output(self):
+        coupling = ibmq_16_melbourne()
+        calibration = melbourne_calibration()
+        problem = make_problem("er", 8, 0.5, np.random.default_rng(3))
+        program = problem.to_program([0.7], [0.35])
+        compiled = compile_with_method(
+            program, coupling, "ic", rng=np.random.default_rng(4)
+        )
+
+        def sampled_ratio(noisy):
+            values = []
+            for seed in range(4):
+                counts = decode_physical_counts(
+                    noisy.sample_counts(
+                        compiled.circuit, 4096, np.random.default_rng(seed)
+                    ),
+                    compiled.final_mapping,
+                    problem.num_nodes,
+                )
+                total = sum(counts.values())
+                values.append(
+                    sum(problem.cut_value(b) * c for b, c in counts.items())
+                    / total
+                )
+            return float(np.mean(values)) / problem.max_cut_value()
+
+        without_t2 = sampled_ratio(
+            NoisySimulator(
+                NoiseModel.from_calibration(calibration), trajectories=48
+            )
+        )
+        with_t2 = sampled_ratio(
+            NoisySimulator(
+                NoiseModel.from_calibration(calibration, t2_ns=2_000.0),
+                trajectories=48,
+            )
+        )
+        assert with_t2 < without_t2

@@ -1,0 +1,40 @@
+"""Integration tests for the consolidated experiment runner."""
+
+import pytest
+
+from repro.experiments.figures import sec6_planner
+from repro.experiments.runner import (
+    PAPER_HEADLINES,
+    main,
+    render_report,
+)
+
+
+class TestRenderReport:
+    def test_contains_paper_claims_and_measurements(self):
+        result = sec6_planner.run(instances=3)
+        report = render_report([result])
+        assert "## sec6_planner" in report
+        assert "Paper reports" in report
+        assert "temporal planner" in report
+        assert "ic_depth_reduction_vs_naive" in report
+
+    def test_every_figure_has_paper_headlines(self):
+        for figure in (
+            "fig7", "fig8", "fig9", "fig10", "fig11a", "fig11b", "fig12",
+            "sec6_planner",
+        ):
+            assert figure in PAPER_HEADLINES
+
+
+class TestMainScript:
+    def test_writes_report_file(self, tmp_path, capsys):
+        out = tmp_path / "report.md"
+        code = main(
+            ["--instances", "1", "--output", str(out), "--no-ablations"]
+        )
+        assert code == 0
+        text = out.read_text()
+        assert text.startswith("# Experiment report")
+        assert "## fig7" in text
+        assert "## sec6_planner" in text

@@ -1,0 +1,145 @@
+"""Property-based tests for the circuit IR and basis lowering."""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import (
+    QuantumCircuit,
+    asap_layers,
+    circuit_depth,
+    decompose_to_basis,
+    layer_qubit_sets,
+    two_qubit_depth,
+)
+from repro.sim import StatevectorSimulator
+
+from ..conftest import assert_equal_up_to_global_phase, circuit_unitary
+
+NUM_QUBITS = 4
+
+_single = st.sampled_from(["h", "x", "rx", "rz", "ry"])
+_double = st.sampled_from(["cnot", "cz", "swap", "cphase"])
+
+
+@st.composite
+def random_circuits(draw, max_gates=20, num_qubits=NUM_QUBITS):
+    qc = QuantumCircuit(num_qubits)
+    n_gates = draw(st.integers(0, max_gates))
+    for _ in range(n_gates):
+        if draw(st.booleans()):
+            name = draw(_single)
+            q = draw(st.integers(0, num_qubits - 1))
+            params = (
+                (draw(st.floats(-math.pi, math.pi)),)
+                if name in ("rx", "rz", "ry")
+                else ()
+            )
+            qc.add(name, (q,), params)
+        else:
+            name = draw(_double)
+            a = draw(st.integers(0, num_qubits - 1))
+            b = draw(st.integers(0, num_qubits - 1).filter(lambda x: x != a))
+            params = (
+                (draw(st.floats(-math.pi, math.pi)),)
+                if name == "cphase"
+                else ()
+            )
+            qc.add(name, (a, b), params)
+    return qc
+
+
+class TestLayeringInvariants:
+    @given(random_circuits())
+    @settings(max_examples=60, deadline=None)
+    def test_depth_equals_layer_count(self, qc):
+        assert circuit_depth(qc) == len(asap_layers(qc))
+
+    @given(random_circuits())
+    @settings(max_examples=60, deadline=None)
+    def test_layers_partition_all_gates(self, qc):
+        layers = asap_layers(qc)
+        total = sum(len(layer) for layer in layers)
+        assert total == qc.gate_count()
+
+    @given(random_circuits())
+    @settings(max_examples=60, deadline=None)
+    def test_layer_qubits_disjoint(self, qc):
+        for layer, qubits in zip(
+            asap_layers(qc), layer_qubit_sets(asap_layers(qc))
+        ):
+            used = [q for inst in layer for q in inst.qubits]
+            assert len(used) == len(set(used))
+
+    @given(random_circuits())
+    @settings(max_examples=60, deadline=None)
+    def test_depth_bounds(self, qc):
+        depth = circuit_depth(qc)
+        assert two_qubit_depth(qc) <= depth <= qc.gate_count()
+
+    @given(random_circuits())
+    @settings(max_examples=60, deadline=None)
+    def test_program_order_preserved_per_qubit(self, qc):
+        """Within each qubit's timeline, layer indices must be increasing in
+        program order — ASAP never reorders dependent gates."""
+        layers = asap_layers(qc)
+        position = {}
+        for idx, layer in enumerate(layers):
+            for inst in layer:
+                position[id(inst)] = idx
+        last_layer = {}
+        for inst in qc:
+            if inst.is_directive:
+                continue
+            idx = position[id(inst)]
+            for q in inst.qubits:
+                if q in last_layer:
+                    assert idx > last_layer[q]
+                last_layer[q] = idx
+
+
+class TestLoweringInvariants:
+    @given(random_circuits(max_gates=10, num_qubits=3))
+    @settings(max_examples=30, deadline=None)
+    def test_lowering_preserves_unitary(self, qc):
+        native = decompose_to_basis(qc)
+        assert_equal_up_to_global_phase(
+            circuit_unitary(qc), circuit_unitary(native), atol=1e-8
+        )
+
+    @given(random_circuits())
+    @settings(max_examples=40, deadline=None)
+    def test_lowering_is_idempotent(self, qc):
+        once = decompose_to_basis(qc)
+        twice = decompose_to_basis(once)
+        assert once.instructions == twice.instructions
+
+    @given(random_circuits())
+    @settings(max_examples=40, deadline=None)
+    def test_lowering_never_shrinks_two_qubit_count(self, qc):
+        # cphase -> 2 cnots, swap -> 3: two-qubit gates only multiply.
+        native = decompose_to_basis(qc)
+        assert native.num_two_qubit_gates() >= qc.num_two_qubit_gates()
+
+
+class TestSimulatorInvariants:
+    @given(random_circuits(max_gates=12))
+    @settings(max_examples=40, deadline=None)
+    def test_state_normalised(self, qc):
+        sim = StatevectorSimulator()
+        state = sim.run(qc)
+        assert np.linalg.norm(state) == np.float64(1.0) or abs(
+            np.linalg.norm(state) - 1.0
+        ) < 1e-9
+
+    @given(random_circuits(max_gates=12), st.integers(0, 2 ** 31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_sampling_matches_probabilities(self, qc, seed):
+        sim = StatevectorSimulator()
+        probs = sim.probabilities(qc)
+        counts = sim.sample_counts(qc, 200, np.random.default_rng(seed))
+        assert sum(counts.values()) == 200
+        for bits in counts:
+            assert probs[int(bits, 2)] > 0

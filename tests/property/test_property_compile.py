@@ -1,0 +1,104 @@
+"""Property-based tests across the whole compilation stack."""
+
+import networkx as nx
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler import compile_with_method
+from repro.hardware import ring_device
+from repro.qaoa import MaxCutProblem
+from repro.sim import StatevectorSimulator
+
+
+@st.composite
+def problems(draw, max_nodes=6):
+    n = draw(st.integers(3, max_nodes))
+    seed = draw(st.integers(0, 2 ** 31 - 1))
+    rng = np.random.default_rng(seed)
+    for _ in range(50):
+        g = nx.erdos_renyi_graph(n, 0.5, seed=int(rng.integers(1 << 30)))
+        if g.number_of_edges() > 0:
+            return MaxCutProblem.from_graph(g)
+    raise AssertionError("could not sample a non-empty graph")
+
+
+METHODS = st.sampled_from(["naive", "greedy_v", "greedy_e", "qaim", "ip", "ic"])
+
+
+class TestCompilationProperties:
+    @given(problems(), METHODS, st.integers(0, 2 ** 31 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_compiled_circuit_is_coupling_compliant(self, problem, method, seed):
+        program = problem.to_program([0.5], [0.3])
+        compiled = compile_with_method(
+            program, ring_device(8), method, rng=np.random.default_rng(seed)
+        )
+        compiled.validate()
+
+    @given(problems(), METHODS, st.integers(0, 2 ** 31 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_gate_census_invariant(self, problem, method, seed):
+        """Every flow emits exactly the program's gates plus SWAPs."""
+        program = problem.to_program([0.5], [0.3])
+        compiled = compile_with_method(
+            program, ring_device(8), method, rng=np.random.default_rng(seed)
+        )
+        ops = compiled.circuit.count_ops()
+        n = problem.num_nodes
+        assert ops["h"] == n
+        assert ops["cphase"] == len(problem.edges)
+        assert ops["rx"] == n
+        assert ops["measure"] == n
+        assert ops.get("swap", 0) == compiled.swap_count
+
+    @given(problems(), METHODS, st.integers(0, 2 ** 31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_distribution_preserved(self, problem, method, seed):
+        """Compilation never changes the computed state (marginalised onto
+        logical qubits through the final mapping)."""
+        from repro.qaoa import build_qaoa_circuit
+
+        program = problem.to_program([0.7], [0.25])
+        compiled = compile_with_method(
+            program, ring_device(8), method, rng=np.random.default_rng(seed)
+        )
+        sim = StatevectorSimulator()
+        reference = sim.probabilities(build_qaoa_circuit(program, measure=False))
+        phys = sim.probabilities(compiled.circuit.only_unitary())
+        n = problem.num_nodes
+        mapping = compiled.final_mapping
+        observed = np.zeros(2 ** n)
+        for idx in range(len(phys)):
+            logical_idx = 0
+            for q in range(n):
+                if (idx >> mapping[q]) & 1:
+                    logical_idx |= 1 << q
+            observed[logical_idx] += phys[idx]
+        np.testing.assert_allclose(observed, reference, atol=1e-9)
+
+    @given(problems(), st.integers(0, 2 ** 31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_final_mapping_reachable_from_initial_by_swaps(
+        self, problem, seed
+    ):
+        """The final mapping must equal the initial mapping transported
+        through the circuit's SWAP gates, in order."""
+        program = problem.to_program([0.5], [0.3])
+        compiled = compile_with_method(
+            program, ring_device(8), "ic", rng=np.random.default_rng(seed)
+        )
+        mapping = dict(compiled.initial_mapping)
+        inverse = {p: l for l, p in mapping.items()}
+        for inst in compiled.circuit:
+            if inst.name != "swap":
+                continue
+            a, b = inst.qubits
+            la, lb = inverse.pop(a, None), inverse.pop(b, None)
+            if la is not None:
+                inverse[b] = la
+                mapping[la] = b
+            if lb is not None:
+                inverse[a] = lb
+                mapping[lb] = a
+        assert mapping == compiled.final_mapping

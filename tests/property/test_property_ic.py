@@ -1,0 +1,93 @@
+"""Property-based tests for incremental compilation invariants."""
+
+import networkx as nx
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import QuantumCircuit
+from repro.compiler.ic import IncrementalCompiler
+from repro.compiler.mapping import Mapping
+from repro.hardware.coupling import CouplingGraph
+
+
+@st.composite
+def devices_and_blocks(draw):
+    """A connected device plus a CPHASE block that fits on it."""
+    n = draw(st.integers(4, 9))
+    seed = draw(st.integers(0, 2 ** 31 - 1))
+    rng = np.random.default_rng(seed)
+    tree = nx.random_labeled_tree(n, seed=int(rng.integers(1 << 30)))
+    edges = {tuple(sorted(e)) for e in tree.edges()}
+    for _ in range(draw(st.integers(0, n))):
+        a, b = rng.choice(n, size=2, replace=False)
+        edges.add((int(min(a, b)), int(max(a, b))))
+    device = CouplingGraph(n, sorted(edges))
+
+    num_logical = draw(st.integers(2, n))
+    count = draw(st.integers(1, 8))
+    gates = []
+    for _ in range(count):
+        a = draw(st.integers(0, num_logical - 1))
+        b = draw(st.integers(0, num_logical - 1).filter(lambda x: x != a))
+        gates.append((a, b, 0.5))
+    return device, num_logical, gates
+
+
+class TestICInvariants:
+    @given(devices_and_blocks(), st.integers(0, 2 ** 31 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_every_gate_compiled_exactly_once(self, setup, seed):
+        device, num_logical, gates = setup
+        compiler = IncrementalCompiler(device, rng=np.random.default_rng(seed))
+        mapping = Mapping.trivial(num_logical, device.num_qubits)
+        out = QuantumCircuit(device.num_qubits)
+        compiler.compile_block(gates, mapping, out)
+        assert out.count_ops().get("cphase", 0) == len(gates)
+
+    @given(devices_and_blocks(), st.integers(0, 2 ** 31 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_output_is_coupling_compliant(self, setup, seed):
+        device, num_logical, gates = setup
+        compiler = IncrementalCompiler(device, rng=np.random.default_rng(seed))
+        mapping = Mapping.trivial(num_logical, device.num_qubits)
+        out = QuantumCircuit(device.num_qubits)
+        compiler.compile_block(gates, mapping, out)
+        for inst in out:
+            if inst.is_two_qubit:
+                assert device.has_edge(*inst.qubits)
+
+    @given(devices_and_blocks(), st.integers(0, 2 ** 31 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_layers_cover_gate_multiset(self, setup, seed):
+        device, num_logical, gates = setup
+        compiler = IncrementalCompiler(device, rng=np.random.default_rng(seed))
+        mapping = Mapping.trivial(num_logical, device.num_qubits)
+        out = QuantumCircuit(device.num_qubits)
+        result = compiler.compile_block(gates, mapping, out)
+        layered = sorted(
+            tuple(sorted(p)) for layer in result.layers for p in layer
+        )
+        assert layered == sorted(tuple(sorted((a, b))) for a, b, _ in gates)
+
+    @given(devices_and_blocks(), st.integers(0, 2 ** 31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_swap_count_matches_emitted_swaps(self, setup, seed):
+        device, num_logical, gates = setup
+        compiler = IncrementalCompiler(device, rng=np.random.default_rng(seed))
+        mapping = Mapping.trivial(num_logical, device.num_qubits)
+        out = QuantumCircuit(device.num_qubits)
+        result = compiler.compile_block(gates, mapping, out)
+        assert result.swap_count == out.count_ops().get("swap", 0)
+
+    @given(devices_and_blocks(), st.integers(1, 3), st.integers(0, 2 ** 31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_packing_limit_respected(self, setup, limit, seed):
+        device, num_logical, gates = setup
+        compiler = IncrementalCompiler(
+            device, packing_limit=limit, rng=np.random.default_rng(seed)
+        )
+        mapping = Mapping.trivial(num_logical, device.num_qubits)
+        out = QuantumCircuit(device.num_qubits)
+        result = compiler.compile_block(gates, mapping, out)
+        assert all(len(layer) <= limit for layer in result.layers)

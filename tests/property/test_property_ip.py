@@ -1,0 +1,84 @@
+"""Property-based tests for IP bin packing and the MOQ bound."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler.ip import fill_single_layer, parallelize
+from repro.hardware.profiling import max_operations_per_qubit
+
+
+@st.composite
+def pair_lists(draw, max_qubits=10, max_pairs=25):
+    n = draw(st.integers(2, max_qubits))
+    count = draw(st.integers(0, max_pairs))
+    pairs = []
+    for _ in range(count):
+        a = draw(st.integers(0, n - 1))
+        b = draw(st.integers(0, n - 1).filter(lambda x: x != a))
+        pairs.append((a, b))
+    return pairs
+
+
+class TestParallelizeProperties:
+    @given(pair_lists(), st.integers(0, 2 ** 31 - 1))
+    @settings(max_examples=80, deadline=None)
+    def test_all_gates_preserved_as_multiset(self, pairs, seed):
+        result = parallelize(pairs, rng=np.random.default_rng(seed))
+        assert sorted(result.ordered_pairs) == sorted(pairs)
+
+    @given(pair_lists(), st.integers(0, 2 ** 31 - 1))
+    @settings(max_examples=80, deadline=None)
+    def test_no_layer_reuses_a_qubit(self, pairs, seed):
+        result = parallelize(pairs, rng=np.random.default_rng(seed))
+        result.validate()
+
+    @given(pair_lists())
+    @settings(max_examples=80, deadline=None)
+    def test_layer_count_at_least_moq(self, pairs):
+        result = parallelize(pairs)
+        assert result.num_layers >= max_operations_per_qubit(pairs)
+
+    @given(pair_lists())
+    @settings(max_examples=80, deadline=None)
+    def test_layer_count_at_most_gate_count(self, pairs):
+        result = parallelize(pairs)
+        assert result.num_layers <= max(len(pairs), 0) or not pairs
+
+    @given(pair_lists(), st.integers(1, 4))
+    @settings(max_examples=60, deadline=None)
+    def test_packing_limit_respected(self, pairs, limit):
+        result = parallelize(pairs, packing_limit=limit)
+        assert all(len(layer) <= limit for layer in result.layers)
+        assert sorted(result.ordered_pairs) == sorted(pairs)
+
+    @given(pair_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_no_empty_layers_emitted(self, pairs):
+        result = parallelize(pairs)
+        assert all(layer for layer in result.layers)
+
+
+class TestFillSingleLayerProperties:
+    @given(pair_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_partition(self, pairs):
+        layer, rest = fill_single_layer(pairs)
+        assert sorted(layer + rest) == sorted(pairs)
+
+    @given(pair_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_layer_disjoint(self, pairs):
+        layer, _ = fill_single_layer(pairs)
+        used = [q for pair in layer for q in pair]
+        assert len(used) == len(set(used))
+
+    @given(pair_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_maximality(self, pairs):
+        """First-fit produces a maximal layer: nothing left in `rest` could
+        still fit."""
+        layer, rest = fill_single_layer(pairs)
+        used = {q for pair in layer for q in pair}
+        for a, b in rest:
+            assert a in used or b in used

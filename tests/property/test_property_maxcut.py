@@ -1,0 +1,82 @@
+"""Property-based tests for MaxCut cost functions and the analytic formula."""
+
+import math
+
+import networkx as nx
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.qaoa.analytic import analytic_expectation
+from repro.qaoa.optimizer import qaoa_expectation
+from repro.qaoa.problems import MaxCutProblem
+
+
+@st.composite
+def problems(draw, max_nodes=7):
+    n = draw(st.integers(2, max_nodes))
+    seed = draw(st.integers(0, 2 ** 31 - 1))
+    rng = np.random.default_rng(seed)
+    for _ in range(50):
+        g = nx.erdos_renyi_graph(n, 0.5, seed=int(rng.integers(1 << 30)))
+        if g.number_of_edges() > 0:
+            return MaxCutProblem.from_graph(g)
+    raise AssertionError("unreachable")
+
+
+class TestCutFunctionProperties:
+    @given(problems())
+    @settings(max_examples=60, deadline=None)
+    def test_complement_symmetry(self, problem):
+        table = problem.cut_values()
+        n = problem.num_nodes
+        full = 2 ** n - 1
+        for idx in range(2 ** n):
+            assert table[idx] == table[full ^ idx]
+
+    @given(problems())
+    @settings(max_examples=60, deadline=None)
+    def test_bounds(self, problem):
+        table = problem.cut_values()
+        assert table.min() >= 0.0
+        assert table.max() <= problem.total_weight() + 1e-9
+
+    @given(problems())
+    @settings(max_examples=60, deadline=None)
+    def test_all_zeros_cuts_nothing(self, problem):
+        assert problem.cut_value("0" * problem.num_nodes) == 0.0
+
+    @given(problems())
+    @settings(max_examples=60, deadline=None)
+    def test_max_cut_at_least_half_the_edges(self, problem):
+        # A classic fact: the max cut is always >= half the total weight.
+        assert problem.max_cut_value() >= problem.total_weight() / 2.0
+
+    @given(problems(), st.integers(0, 2 ** 31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_scalar_matches_table(self, problem, seed):
+        rng = np.random.default_rng(seed)
+        idx = int(rng.integers(2 ** problem.num_nodes))
+        bits = format(idx, f"0{problem.num_nodes}b")
+        assert problem.cut_value(bits) == problem.cut_values()[idx]
+
+
+class TestAnalyticFormulaProperties:
+    @given(
+        problems(max_nodes=6),
+        st.floats(-math.pi, math.pi),
+        st.floats(-math.pi / 2, math.pi / 2),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_analytic_matches_simulator_everywhere(self, problem, gamma, beta):
+        analytic = analytic_expectation(problem, gamma, beta)
+        simulated = qaoa_expectation(problem, [gamma], [beta])
+        assert abs(analytic - simulated) < 1e-8
+
+    @given(problems(max_nodes=6), st.floats(-math.pi, math.pi))
+    @settings(max_examples=30, deadline=None)
+    def test_beta_zero_gives_half_edges(self, problem, gamma):
+        # With beta = 0 the mixer is identity and measurement in the
+        # computational basis sees |+...+>: expectation = |E|/2.
+        value = analytic_expectation(problem, gamma, 0.0)
+        assert abs(value - len(problem.edges) / 2.0) < 1e-9

@@ -1,0 +1,76 @@
+"""Property-based tests for the peephole optimiser."""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import QuantumCircuit, decompose_to_basis
+from repro.circuits.optimize import peephole_optimize
+
+from ..conftest import assert_equal_up_to_global_phase, circuit_unitary
+
+NUM_QUBITS = 3
+
+
+@st.composite
+def native_circuits(draw, max_gates=18):
+    """Random circuits biased toward cancellation opportunities."""
+    qc = QuantumCircuit(NUM_QUBITS)
+    for _ in range(draw(st.integers(0, max_gates))):
+        kind = draw(st.integers(0, 5))
+        if kind <= 1:
+            a = draw(st.integers(0, NUM_QUBITS - 1))
+            b = draw(st.integers(0, NUM_QUBITS - 1).filter(lambda x: x != a))
+            qc.cnot(a, b)
+        elif kind == 2:
+            qc.u1(
+                draw(st.floats(-math.pi, math.pi)),
+                draw(st.integers(0, NUM_QUBITS - 1)),
+            )
+        elif kind == 3:
+            qc.u2(
+                draw(st.floats(-math.pi, math.pi)),
+                draw(st.floats(-math.pi, math.pi)),
+                draw(st.integers(0, NUM_QUBITS - 1)),
+            )
+        elif kind == 4:
+            a = draw(st.integers(0, NUM_QUBITS - 1))
+            b = draw(st.integers(0, NUM_QUBITS - 1).filter(lambda x: x != a))
+            qc.cphase(draw(st.floats(-math.pi, math.pi)), a, b)
+        else:
+            qc.u1(0.0, draw(st.integers(0, NUM_QUBITS - 1)))
+    return decompose_to_basis(qc)
+
+
+class TestOptimizeProperties:
+    @given(native_circuits())
+    @settings(max_examples=60, deadline=None)
+    def test_never_grows(self, circuit):
+        out = peephole_optimize(circuit)
+        assert len(out) <= len(circuit)
+        assert out.depth() <= circuit.depth()
+
+    @given(native_circuits(max_gates=12))
+    @settings(max_examples=40, deadline=None)
+    def test_unitary_preserved(self, circuit):
+        out = peephole_optimize(circuit)
+        assert_equal_up_to_global_phase(
+            circuit_unitary(circuit), circuit_unitary(out), atol=1e-8
+        )
+
+    @given(native_circuits())
+    @settings(max_examples=40, deadline=None)
+    def test_idempotent(self, circuit):
+        once = peephole_optimize(circuit)
+        twice = peephole_optimize(once)
+        assert once.instructions == twice.instructions
+
+    @given(native_circuits())
+    @settings(max_examples=40, deadline=None)
+    def test_stays_in_basis(self, circuit):
+        from repro.circuits import IBM_BASIS
+
+        out = peephole_optimize(circuit)
+        out.validate_basis(IBM_BASIS)

@@ -1,0 +1,96 @@
+"""Property-based tests: QASM round-trip and timing-model invariants."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import QuantumCircuit, circuit_depth
+from repro.circuits.qasm import dumps, loads
+from repro.circuits.timing import (
+    DurationModel,
+    decoherence_factor,
+    execution_time,
+    schedule,
+)
+
+NUM_QUBITS = 4
+
+_single = st.sampled_from(["h", "x", "rx", "rz", "u1", "u2", "u3"])
+_double = st.sampled_from(["cnot", "cz", "swap", "cphase", "cu1"])
+_PARAM_COUNT = {"rx": 1, "rz": 1, "u1": 1, "u2": 2, "u3": 3, "cphase": 1, "cu1": 1}
+
+
+@st.composite
+def random_circuits(draw, max_gates=15):
+    qc = QuantumCircuit(NUM_QUBITS)
+    for _ in range(draw(st.integers(0, max_gates))):
+        if draw(st.booleans()):
+            name = draw(_single)
+            q = draw(st.integers(0, NUM_QUBITS - 1))
+            params = tuple(
+                draw(st.floats(-math.pi, math.pi))
+                for _ in range(_PARAM_COUNT.get(name, 0))
+            )
+            qc.add(name, (q,), params)
+        else:
+            name = draw(_double)
+            a = draw(st.integers(0, NUM_QUBITS - 1))
+            b = draw(st.integers(0, NUM_QUBITS - 1).filter(lambda x: x != a))
+            params = tuple(
+                draw(st.floats(-math.pi, math.pi))
+                for _ in range(_PARAM_COUNT.get(name, 0))
+            )
+            qc.add(name, (a, b), params)
+    if draw(st.booleans()):
+        qc.measure_all()
+    return qc
+
+
+class TestQasmRoundTrip:
+    @given(random_circuits())
+    @settings(max_examples=80, deadline=None)
+    def test_loads_dumps_identity(self, qc):
+        parsed = loads(dumps(qc))
+        assert parsed.num_qubits == qc.num_qubits
+        assert parsed.instructions == qc.instructions
+
+    @given(random_circuits())
+    @settings(max_examples=40, deadline=None)
+    def test_dumps_is_deterministic(self, qc):
+        assert dumps(qc) == dumps(qc)
+
+
+class TestTimingInvariants:
+    @given(random_circuits())
+    @settings(max_examples=60, deadline=None)
+    def test_schedule_respects_dependencies(self, qc):
+        gates = schedule(qc)
+        busy_until = {}
+        for g in gates:
+            for q in g.instruction.qubits:
+                assert g.start >= busy_until.get(q, 0.0) - 1e-9
+                busy_until[q] = g.end
+
+    @given(random_circuits())
+    @settings(max_examples=60, deadline=None)
+    def test_execution_time_bounds(self, qc):
+        model = DurationModel()
+        total = execution_time(qc, model)
+        serial = sum(model.duration(inst) for inst in qc if not inst.is_directive)
+        assert 0.0 <= total <= serial + 1e-9
+
+    @given(random_circuits())
+    @settings(max_examples=60, deadline=None)
+    def test_execution_time_at_least_depth_times_min_duration(self, qc):
+        # Using a uniform model, time == depth * unit.
+        uniform = DurationModel(
+            single_qubit=1.0, virtual=1.0, two_qubit=1.0, swap=1.0, measure=1.0
+        )
+        assert execution_time(qc, uniform) == circuit_depth(qc)
+
+    @given(random_circuits())
+    @settings(max_examples=40, deadline=None)
+    def test_decoherence_factor_in_unit_interval(self, qc):
+        factor = decoherence_factor(qc)
+        assert 0.0 < factor <= 1.0

@@ -1,0 +1,86 @@
+"""Property-based tests for routing and mapping invariants."""
+
+import networkx as nx
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.compiler.mapping import Mapping
+from repro.compiler.routing import route_pair
+from repro.hardware.coupling import CouplingGraph
+
+
+@st.composite
+def connected_devices(draw, min_qubits=3, max_qubits=10):
+    n = draw(st.integers(min_qubits, max_qubits))
+    seed = draw(st.integers(0, 2 ** 31 - 1))
+    # Random tree (always connected) plus random extra edges.
+    rng = np.random.default_rng(seed)
+    g = nx.random_labeled_tree(n, seed=int(rng.integers(1 << 30)))
+    extra = draw(st.integers(0, n))
+    for _ in range(extra):
+        a, b = rng.choice(n, size=2, replace=False)
+        g.add_edge(int(a), int(b))
+    return CouplingGraph(n, list(g.edges()))
+
+
+class TestRoutingProperties:
+    @given(connected_devices(), st.data())
+    @settings(max_examples=80, deadline=None)
+    def test_route_ends_adjacent(self, device, data):
+        n = device.num_qubits
+        k = data.draw(st.integers(2, n))
+        mapping = Mapping.trivial(k, n)
+        a = data.draw(st.integers(0, k - 1))
+        b = data.draw(st.integers(0, k - 1).filter(lambda x: x != a))
+        route_pair(device, mapping, a, b)
+        assert device.has_edge(mapping.physical(a), mapping.physical(b))
+
+    @given(connected_devices(), st.data())
+    @settings(max_examples=80, deadline=None)
+    def test_swap_count_bounded_by_distance(self, device, data):
+        n = device.num_qubits
+        mapping = Mapping.trivial(n, n)
+        a = data.draw(st.integers(0, n - 1))
+        b = data.draw(st.integers(0, n - 1).filter(lambda x: x != a))
+        dist = device.distance(a, b)
+        result = route_pair(device, mapping, a, b)
+        assert result.num_swaps == dist - 1
+
+    @given(connected_devices(), st.data())
+    @settings(max_examples=80, deadline=None)
+    def test_mapping_remains_injective(self, device, data):
+        n = device.num_qubits
+        mapping = Mapping.trivial(n, n)
+        for _ in range(data.draw(st.integers(1, 5))):
+            a = data.draw(st.integers(0, n - 1))
+            b = data.draw(st.integers(0, n - 1).filter(lambda x: x != a))
+            route_pair(device, mapping, a, b)
+        values = list(mapping.as_dict().values())
+        assert len(set(values)) == n
+
+    @given(connected_devices(), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_swaps_respect_coupling(self, device, data):
+        n = device.num_qubits
+        mapping = Mapping.trivial(n, n)
+        a = data.draw(st.integers(0, n - 1))
+        b = data.draw(st.integers(0, n - 1).filter(lambda x: x != a))
+        result = route_pair(device, mapping, a, b)
+        for swap in result.swaps:
+            assert device.has_edge(*swap.qubits)
+
+    @given(connected_devices(), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_untouched_logicals_unmoved_except_on_path(self, device, data):
+        """Routing only relocates qubits sitting on the chosen path."""
+        n = device.num_qubits
+        mapping = Mapping.trivial(n, n)
+        before = mapping.as_dict()
+        a = data.draw(st.integers(0, n - 1))
+        b = data.draw(st.integers(0, n - 1).filter(lambda x: x != a))
+        result = route_pair(device, mapping, a, b)
+        touched = {q for swap in result.swaps for q in swap.qubits}
+        for logical, phys in before.items():
+            if phys not in touched:
+                assert mapping.physical(logical) == phys

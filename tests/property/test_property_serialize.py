@@ -1,0 +1,56 @@
+"""Property-based round-trip tests for compiled-result serialisation."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler import compile_with_method
+from repro.compiler.serialize import from_json, to_json
+from repro.hardware import ring_device
+from repro.qaoa import MaxCutProblem
+
+
+@st.composite
+def compiled_results(draw):
+    n = draw(st.integers(3, 6))
+    seed = draw(st.integers(0, 2 ** 31 - 1))
+    rng = np.random.default_rng(seed)
+    # Random connected-ish edge set: a cycle plus random chords.
+    edges = [(i, (i + 1) % n) for i in range(n)]
+    for _ in range(draw(st.integers(0, 3))):
+        a, b = rng.choice(n, size=2, replace=False)
+        edges.append((int(min(a, b)), int(max(a, b))))
+    problem = MaxCutProblem(n, edges)
+    p = draw(st.integers(1, 2))
+    gammas = [draw(st.floats(-3.0, 3.0)) for _ in range(p)]
+    betas = [draw(st.floats(-1.5, 1.5)) for _ in range(p)]
+    method = draw(st.sampled_from(["naive", "qaim", "ip", "ic"]))
+    program = problem.to_program(gammas, betas)
+    return compile_with_method(
+        program, ring_device(8), method, rng=np.random.default_rng(seed)
+    )
+
+
+class TestSerializeRoundTrip:
+    @given(compiled_results())
+    @settings(max_examples=40, deadline=None)
+    def test_instructions_preserved(self, compiled):
+        restored = from_json(to_json(compiled))
+        assert restored.circuit.instructions == compiled.circuit.instructions
+
+    @given(compiled_results())
+    @settings(max_examples=40, deadline=None)
+    def test_mappings_and_metrics_preserved(self, compiled):
+        restored = from_json(to_json(compiled))
+        assert restored.initial_mapping == compiled.initial_mapping
+        assert restored.final_mapping == compiled.final_mapping
+        assert restored.swap_count == compiled.swap_count
+        assert restored.depth() == compiled.depth()
+        assert restored.gate_count() == compiled.gate_count()
+
+    @given(compiled_results())
+    @settings(max_examples=25, deadline=None)
+    def test_double_round_trip_is_stable(self, compiled):
+        once = to_json(compiled)
+        twice = to_json(from_json(once))
+        assert once == twice

@@ -1,0 +1,103 @@
+"""Unit tests for compilation analysis."""
+
+import numpy as np
+import pytest
+
+from repro.compiler import compile_with_method
+from repro.compiler.analysis import analyze_compiled
+from repro.hardware import linear_device, ring_device
+from repro.qaoa import MaxCutProblem
+
+
+def _compiled(method="ic", device=None, seed=0):
+    device = device or ring_device(8)
+    problem = MaxCutProblem(
+        6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (0, 5), (0, 3), (1, 4)]
+    )
+    program = problem.to_program([0.6], [0.3])
+    return compile_with_method(
+        program, device, method, rng=np.random.default_rng(seed)
+    )
+
+
+class TestAnalyzeCompiled:
+    def test_routing_overhead_consistent(self):
+        compiled = _compiled()
+        analysis = analyze_compiled(compiled)
+        assert analysis.routing_native_gates == 3 * compiled.swap_count
+        assert 0.0 <= analysis.routing_overhead < 1.0
+        assert analysis.total_native_gates == compiled.gate_count()
+
+    def test_no_swaps_means_zero_overhead(self):
+        from repro.hardware import fully_connected_device
+
+        compiled = _compiled(device=fully_connected_device(6))
+        analysis = analyze_compiled(compiled)
+        assert compiled.swap_count == 0
+        assert analysis.routing_overhead == 0.0
+        assert all(v == 0 for v in analysis.swap_traffic.values())
+
+    def test_swap_traffic_totals(self):
+        compiled = _compiled(device=linear_device(7))
+        analysis = analyze_compiled(compiled)
+        assert sum(analysis.swap_traffic.values()) == 2 * compiled.swap_count
+
+    def test_displacement_matches_mappings(self):
+        compiled = _compiled(device=linear_device(7))
+        analysis = analyze_compiled(compiled)
+        for logical, start in compiled.initial_mapping.items():
+            end = compiled.final_mapping[logical]
+            expected = compiled.coupling.distance(start, end)
+            assert analysis.displacement[logical] == expected
+
+    def test_layer_occupancy_sums_to_layer_count(self):
+        from repro.circuits import asap_layers
+
+        compiled = _compiled()
+        analysis = analyze_compiled(compiled)
+        n_layers = len(asap_layers(compiled.circuit))
+        assert sum(analysis.layer_occupancy.values()) == n_layers
+        assert analysis.mean_concurrency > 0
+
+    def test_edge_utilisation_counts_all_two_qubit_gates(self):
+        compiled = _compiled()
+        analysis = analyze_compiled(compiled)
+        total = sum(analysis.edge_utilisation.values())
+        assert total == compiled.circuit.num_two_qubit_gates()
+
+    def test_hottest_helpers(self):
+        compiled = _compiled(device=linear_device(7))
+        analysis = analyze_compiled(compiled)
+        hot_qubits = analysis.hottest_qubits(top=2)
+        assert len(hot_qubits) <= 2
+        if hot_qubits:
+            assert hot_qubits[0][1] == max(analysis.swap_traffic.values())
+        hot_edges = analysis.hottest_edges(top=2)
+        assert hot_edges[0][1] == max(analysis.edge_utilisation.values())
+
+    def test_ip_has_higher_concurrency_than_naive(self):
+        """IP's whole point, visible in the analysis numbers (averaged —
+        a lucky random order can occasionally tie or beat IP)."""
+        naive_vals, ip_vals = [], []
+        for seed in range(6):
+            naive_vals.append(
+                analyze_compiled(_compiled(method="naive", seed=seed)).mean_concurrency
+            )
+            ip_vals.append(
+                analyze_compiled(_compiled(method="ip", seed=seed)).mean_concurrency
+            )
+        assert np.mean(ip_vals) >= np.mean(naive_vals)
+
+    def test_qaim_reduces_displacement_vs_random_start(self):
+        rng_depths = []
+        qaim_depths = []
+        for seed in range(6):
+            naive = analyze_compiled(
+                _compiled(method="naive", device=linear_device(7), seed=seed)
+            )
+            qaim = analyze_compiled(
+                _compiled(method="qaim", device=linear_device(7), seed=seed)
+            )
+            rng_depths.append(sum(naive.displacement.values()))
+            qaim_depths.append(sum(qaim.displacement.values()))
+        assert np.mean(qaim_depths) <= np.mean(rng_depths) + 1.0

@@ -1,0 +1,148 @@
+"""Unit tests for calibration data and derived reliability tables."""
+
+import numpy as np
+import pytest
+
+from repro.hardware import (
+    Calibration,
+    linear_device,
+    random_calibration,
+    uniform_calibration,
+)
+from repro.hardware.devices import (
+    FIGURE6_CPHASE_SUCCESS,
+    figure6_calibration,
+    ibmq_16_melbourne,
+    melbourne_calibration,
+)
+
+
+class TestValidation:
+    def test_missing_edge_rejected(self):
+        g = linear_device(3)
+        with pytest.raises(ValueError, match="missing CNOT calibration"):
+            Calibration(g, {(0, 1): 0.01})
+
+    def test_unknown_edge_rejected(self):
+        g = linear_device(3)
+        with pytest.raises(ValueError, match="non-existent"):
+            Calibration(g, {(0, 1): 0.01, (1, 2): 0.01, (0, 2): 0.01})
+
+    def test_error_out_of_range_rejected(self):
+        g = linear_device(2)
+        with pytest.raises(ValueError, match="outside"):
+            Calibration(g, {(0, 1): 1.5})
+
+    def test_edge_key_normalisation(self):
+        g = linear_device(2)
+        cal = Calibration(g, {(1, 0): 0.02})
+        assert cal.cnot_error_rate(0, 1) == pytest.approx(0.02)
+        assert cal.cnot_error_rate(1, 0) == pytest.approx(0.02)
+
+    def test_bad_single_qubit_rate_rejected(self):
+        g = linear_device(2)
+        with pytest.raises(ValueError):
+            Calibration(g, {(0, 1): 0.01}, single_qubit_error={0: 2.0})
+
+    def test_out_of_range_qubit_rejected(self):
+        g = linear_device(2)
+        with pytest.raises(ValueError):
+            Calibration(g, {(0, 1): 0.01}, readout_error={5: 0.1})
+
+
+class TestDerivedQuantities:
+    def test_cnot_success_is_one_minus_error(self):
+        cal = uniform_calibration(linear_device(2), cnot_error=0.1)
+        assert cal.cnot_success(0, 1) == pytest.approx(0.9)
+
+    def test_cphase_success_is_two_cnots(self):
+        """Section IV-D: 0.9 CNOT success -> ~0.81 CPHASE success."""
+        cal = uniform_calibration(linear_device(2), cnot_error=0.1)
+        assert cal.cphase_success(0, 1) == pytest.approx(0.81)
+
+    def test_swap_success_is_three_cnots(self):
+        cal = uniform_calibration(linear_device(2), cnot_error=0.1)
+        assert cal.swap_success(0, 1) == pytest.approx(0.9 ** 3)
+
+    def test_unknown_coupling_raises(self):
+        cal = uniform_calibration(linear_device(3))
+        with pytest.raises(KeyError):
+            cal.cnot_error_rate(0, 2)
+
+    def test_vic_edge_weights_are_inverse_success(self):
+        cal = uniform_calibration(linear_device(2), cnot_error=0.1)
+        weights = cal.vic_edge_weights()
+        assert weights[(0, 1)] == pytest.approx(1.0 / 0.81)
+
+    def test_vic_distance_matrix_orders_by_reliability(self):
+        g = linear_device(3)
+        cal = Calibration(g, {(0, 1): 0.01, (1, 2): 0.2})
+        dist = cal.vic_distance_matrix()
+        assert dist[0, 1] < dist[1, 2]
+
+    def test_best_and_worst_edge(self):
+        g = linear_device(3)
+        cal = Calibration(g, {(0, 1): 0.01, (1, 2): 0.2})
+        assert cal.best_edge() == (0, 1)
+        assert cal.worst_edge() == (1, 2)
+
+    def test_mean_cnot_error(self):
+        g = linear_device(3)
+        cal = Calibration(g, {(0, 1): 0.02, (1, 2): 0.04})
+        assert cal.mean_cnot_error() == pytest.approx(0.03)
+
+    def test_readout_and_single_qubit_defaults(self):
+        cal = Calibration(linear_device(2), {(0, 1): 0.01})
+        assert cal.single_qubit_success(0) == 1.0
+        assert cal.readout_fidelity(1) == 1.0
+
+
+class TestGenerators:
+    def test_uniform_covers_all_edges(self):
+        g = ibmq_16_melbourne()
+        cal = uniform_calibration(g, cnot_error=0.03)
+        for e in g.edges:
+            assert cal.cnot_error[e] == 0.03
+
+    def test_random_calibration_statistics(self):
+        """Figure 11(a) model: N(1e-2, 0.5e-2) clipped."""
+        g = ibmq_16_melbourne()
+        rng = np.random.default_rng(0)
+        samples = []
+        for _ in range(50):
+            cal = random_calibration(g, rng=rng)
+            samples.extend(cal.cnot_error.values())
+        samples = np.array(samples)
+        assert abs(samples.mean() - 1.0e-2) < 2e-3
+        assert samples.min() >= 1.0e-3
+        assert samples.max() < 0.5
+
+    def test_random_calibration_reproducible(self):
+        g = linear_device(4)
+        a = random_calibration(g, rng=np.random.default_rng(9))
+        b = random_calibration(g, rng=np.random.default_rng(9))
+        assert a.cnot_error == b.cnot_error
+
+    def test_random_calibration_clipping(self):
+        g = linear_device(2)
+        cal = random_calibration(
+            g, rng=np.random.default_rng(1), mean=-5.0, sigma=0.0
+        )
+        assert cal.cnot_error[(0, 1)] == pytest.approx(1.0e-3)
+
+
+class TestPaperCalibrations:
+    def test_melbourne_calibration_covers_device(self):
+        cal = melbourne_calibration()
+        assert set(cal.cnot_error) == set(ibmq_16_melbourne().edges)
+        assert cal.timestamp == "4/8/2020"
+
+    def test_melbourne_has_figure10a_values(self):
+        cal = melbourne_calibration()
+        assert cal.cnot_error_rate(0, 1) == pytest.approx(1.87e-2)
+        assert cal.cnot_error_rate(7, 8) == pytest.approx(2.87e-2)
+
+    def test_figure6_calibration_reproduces_success_rates(self):
+        cal = figure6_calibration()
+        for edge, success in FIGURE6_CPHASE_SUCCESS.items():
+            assert cal.cphase_success(*edge) == pytest.approx(success, rel=1e-9)

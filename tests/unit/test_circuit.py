@@ -1,0 +1,141 @@
+"""Unit tests for the QuantumCircuit container."""
+
+import pytest
+
+from repro.circuits import IBM_BASIS, QuantumCircuit
+from repro.circuits.gates import Instruction
+
+
+class TestConstruction:
+    def test_empty(self):
+        qc = QuantumCircuit(3)
+        assert len(qc) == 0
+        assert qc.num_qubits == 3
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError, match="positive"):
+            QuantumCircuit(0)
+
+    def test_from_instructions(self):
+        insts = [Instruction("h", (0,)), Instruction("cnot", (0, 1))]
+        qc = QuantumCircuit(2, insts)
+        assert list(qc) == insts
+
+    def test_builder_chaining(self):
+        qc = QuantumCircuit(3).h(0).cnot(0, 1).cphase(0.4, 1, 2).measure_all()
+        assert [i.name for i in qc] == [
+            "h", "cnot", "cphase", "measure", "measure", "measure",
+        ]
+
+    def test_out_of_range_qubit_rejected(self):
+        qc = QuantumCircuit(2)
+        with pytest.raises(ValueError, match="out of range"):
+            qc.h(2)
+        with pytest.raises(ValueError, match="out of range"):
+            qc.cnot(0, 5)
+
+    def test_all_named_builders(self):
+        qc = QuantumCircuit(3)
+        qc.h(0).x(1).y(2).z(0).rx(0.1, 0).ry(0.2, 1).rz(0.3, 2)
+        qc.u1(0.1, 0).u2(0.1, 0.2, 1).u3(0.1, 0.2, 0.3, 2)
+        qc.cnot(0, 1).cz(1, 2).swap(0, 2).cphase(0.5, 0, 1).cu1(0.3, 1, 2)
+        qc.measure(0).barrier()
+        assert len(qc) == 17
+
+
+class TestQueries:
+    def test_count_ops(self):
+        qc = QuantumCircuit(2).h(0).h(1).cnot(0, 1)
+        assert qc.count_ops() == {"h": 2, "cnot": 1}
+
+    def test_gate_count_excludes_directives(self):
+        qc = QuantumCircuit(2).h(0).barrier().measure_all()
+        assert qc.gate_count() == 3
+        assert qc.gate_count(include_directives=True) == 4
+
+    def test_two_qubit_gates(self):
+        qc = QuantumCircuit(3).h(0).cnot(0, 1).swap(1, 2).measure(0)
+        pairs = [i.name for i in qc.two_qubit_gates()]
+        assert pairs == ["cnot", "swap"]
+        assert qc.num_two_qubit_gates() == 2
+
+    def test_active_qubits(self):
+        qc = QuantumCircuit(5).h(1).cnot(1, 3)
+        assert qc.active_qubits() == (1, 3)
+
+    def test_equality(self):
+        a = QuantumCircuit(2).h(0)
+        b = QuantumCircuit(2).h(0)
+        c = QuantumCircuit(2).h(1)
+        assert a == b
+        assert a != c
+        assert a != QuantumCircuit(3).h(0)
+
+    def test_repr(self):
+        qc = QuantumCircuit(2, name="bell").h(0).cnot(0, 1)
+        assert "bell" in repr(qc)
+        assert "num_instructions=2" in repr(qc)
+
+
+class TestTransforms:
+    def test_copy_is_independent(self):
+        qc = QuantumCircuit(2).h(0)
+        dup = qc.copy()
+        dup.x(1)
+        assert len(qc) == 1
+        assert len(dup) == 2
+
+    def test_compose(self):
+        a = QuantumCircuit(2).h(0)
+        b = QuantumCircuit(2).cnot(0, 1)
+        a.compose(b)
+        assert [i.name for i in a] == ["h", "cnot"]
+
+    def test_compose_too_large_rejected(self):
+        with pytest.raises(ValueError, match="compose"):
+            QuantumCircuit(2).compose(QuantumCircuit(3))
+
+    def test_remap(self):
+        qc = QuantumCircuit(2).cnot(0, 1)
+        mapped = qc.remap({0: 4, 1: 2}, num_qubits=5)
+        assert mapped[0].qubits == (4, 2)
+        assert mapped.num_qubits == 5
+
+    def test_remap_grows_register_automatically(self):
+        qc = QuantumCircuit(2).h(1)
+        mapped = qc.remap({1: 7})
+        assert mapped.num_qubits == 8
+
+    def test_remap_too_small_register_rejected(self):
+        with pytest.raises(ValueError, match="too small"):
+            QuantumCircuit(2).h(1).remap({1: 5}, num_qubits=3)
+
+    def test_reversed_ops(self):
+        qc = QuantumCircuit(2).h(0).cnot(0, 1)
+        rev = qc.reversed_ops()
+        assert [i.name for i in rev] == ["cnot", "h"]
+        assert [i.name for i in qc] == ["h", "cnot"]  # original untouched
+
+    def test_without(self):
+        qc = QuantumCircuit(2).h(0).measure_all().barrier()
+        stripped = qc.without(["measure", "barrier"])
+        assert [i.name for i in stripped] == ["h"]
+
+    def test_only_unitary(self):
+        qc = QuantumCircuit(2).h(0).barrier().measure_all()
+        assert [i.name for i in qc.only_unitary()] == ["h"]
+
+    def test_validate_basis(self):
+        qc = QuantumCircuit(2).cphase(0.3, 0, 1)
+        with pytest.raises(ValueError, match="not in basis"):
+            qc.validate_basis(IBM_BASIS)
+        QuantumCircuit(2).cnot(0, 1).validate_basis(IBM_BASIS)
+
+    def test_measure_all_covers_every_qubit(self):
+        qc = QuantumCircuit(4).measure_all()
+        measured = sorted(i.qubits[0] for i in qc)
+        assert measured == [0, 1, 2, 3]
+
+    def test_barrier_default_spans_all_qubits(self):
+        qc = QuantumCircuit(3).barrier()
+        assert qc[0].qubits == (0, 1, 2)

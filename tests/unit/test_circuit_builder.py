@@ -1,0 +1,96 @@
+"""Unit tests for the QAOA circuit builder."""
+
+import numpy as np
+import pytest
+
+from repro.qaoa.circuit_builder import build_qaoa_circuit, order_edges
+from repro.qaoa.problems import MaxCutProblem
+
+
+@pytest.fixture
+def triangle():
+    return MaxCutProblem(3, [(0, 1), (1, 2), (0, 2)])
+
+
+class TestStructure:
+    def test_p1_layout(self, triangle):
+        program = triangle.to_program([0.5], [0.3])
+        qc = build_qaoa_circuit(program)
+        names = [i.name for i in qc]
+        assert names[:3] == ["h"] * 3
+        assert names[3:6] == ["cphase"] * 3
+        assert names[6:9] == ["rx"] * 3
+        assert names[9:] == ["measure"] * 3
+
+    def test_p2_repeats_blocks(self, triangle):
+        program = triangle.to_program([0.5, 0.2], [0.3, 0.1])
+        qc = build_qaoa_circuit(program)
+        ops = qc.count_ops()
+        assert ops["cphase"] == 6
+        assert ops["rx"] == 6
+        assert ops["h"] == 3
+
+    def test_angles(self, triangle):
+        program = triangle.to_program([0.5], [0.3])
+        qc = build_qaoa_circuit(program)
+        cphases = [i for i in qc if i.name == "cphase"]
+        assert all(i.params == (-0.5,) for i in cphases)
+        rxs = [i for i in qc if i.name == "rx"]
+        assert all(i.params == (0.6,) for i in rxs)
+
+    def test_no_measure_option(self, triangle):
+        program = triangle.to_program([0.5], [0.3])
+        qc = build_qaoa_circuit(program, measure=False)
+        assert "measure" not in qc.count_ops()
+
+    def test_random_order_reproducible(self, triangle):
+        program = triangle.to_program([0.5], [0.3])
+        a = build_qaoa_circuit(program, rng=np.random.default_rng(1))
+        b = build_qaoa_circuit(program, rng=np.random.default_rng(1))
+        assert a.instructions == b.instructions
+
+    def test_explicit_order(self, triangle):
+        program = triangle.to_program([0.5], [0.3])
+        order = [(0, 2), (0, 1), (1, 2)]
+        qc = build_qaoa_circuit(program, edge_orders=[order])
+        cphases = [tuple(i.qubits) for i in qc if i.name == "cphase"]
+        assert cphases == order
+
+    def test_wrong_number_of_orders_rejected(self, triangle):
+        program = triangle.to_program([0.5, 0.2], [0.3, 0.1])
+        with pytest.raises(ValueError, match="entries"):
+            build_qaoa_circuit(program, edge_orders=[[(0, 1), (1, 2), (0, 2)]])
+
+
+class TestOrderEdges:
+    GATES = [(0, 1, -0.5), (1, 2, -0.5), (0, 2, -0.5)]
+
+    def test_explicit_order_wins(self):
+        out = order_edges(self.GATES, order=[(0, 2), (1, 2), (0, 1)])
+        assert [g[:2] for g in out] == [(0, 2), (1, 2), (0, 1)]
+
+    def test_order_matches_unordered_pairs(self):
+        out = order_edges(self.GATES, order=[(2, 0), (2, 1), (1, 0)])
+        assert [g[:2] for g in out] == [(0, 2), (1, 2), (0, 1)]
+
+    def test_missing_pair_rejected(self):
+        with pytest.raises(ValueError, match="not found"):
+            order_edges(self.GATES, order=[(0, 1), (1, 2), (1, 3)])
+
+    def test_incomplete_order_rejected(self):
+        with pytest.raises(ValueError, match="omitted"):
+            order_edges(self.GATES, order=[(0, 1)])
+
+    def test_no_order_no_rng_keeps_input(self):
+        assert order_edges(self.GATES) == self.GATES
+
+    def test_rng_shuffles(self):
+        gates = [(i, i + 1, 0.1) for i in range(0, 20, 2)]
+        shuffled = order_edges(gates, rng=np.random.default_rng(0))
+        assert sorted(shuffled) == sorted(gates)
+        assert shuffled != gates  # astronomically unlikely to match
+
+    def test_duplicate_pairs_consumed_in_order(self):
+        gates = [(0, 1, 0.1), (0, 1, 0.9)]
+        out = order_edges(gates, order=[(0, 1), (0, 1)])
+        assert out == gates

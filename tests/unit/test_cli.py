@@ -1,0 +1,139 @@
+"""Unit tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def _run(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestDevices:
+    def test_lists_library(self):
+        code, text = _run(["devices"])
+        assert code == 0
+        assert "ibmq_20_tokyo" in text
+        assert "ibmq_16_melbourne" in text
+
+
+class TestProfile:
+    def test_tokyo_profile(self):
+        code, text = _run(["profile", "ibmq_20_tokyo"])
+        assert code == 0
+        assert "connectivity strength" in text
+        # Figure 3(b): qubit 0 has degree 2 and strength 7.
+        lines = [l for l in text.splitlines() if l.strip().startswith("0 ")]
+        assert any("7" in l for l in lines)
+
+    def test_radius_flag(self):
+        code, text = _run(["profile", "ring_8", "--radius", "1"])
+        assert code == 0
+
+    def test_unknown_device(self):
+        with pytest.raises(KeyError):
+            _run(["profile", "nonexistent"])
+
+
+class TestCompile:
+    def test_basic_compile(self):
+        code, text = _run(
+            ["compile", "--nodes", "6", "--device", "ring_8",
+             "--method", "ic", "--seed", "3"]
+        )
+        assert code == 0
+        assert "depth=" in text
+        assert "qaim+ic" in text
+
+    def test_vic_gets_calibration_automatically(self):
+        code, text = _run(
+            ["compile", "--nodes", "6", "--device", "ibmq_16_melbourne",
+             "--method", "vic", "--seed", "3"]
+        )
+        assert code == 0
+        assert "success probability=" in text
+
+    def test_qasm_output(self, tmp_path):
+        qasm_file = tmp_path / "circuit.qasm"
+        code, text = _run(
+            ["compile", "--nodes", "5", "--device", "ring_8",
+             "--qasm", str(qasm_file)]
+        )
+        assert code == 0
+        content = qasm_file.read_text()
+        assert content.startswith("OPENQASM 2.0;")
+        from repro.circuits.qasm import loads
+
+        loads(content)  # must parse back
+
+    def test_draw_flag(self):
+        code, text = _run(
+            ["compile", "--nodes", "4", "--device", "ring_8", "--draw"]
+        )
+        assert code == 0
+        assert "q0" in text
+
+    def test_seed_reproducibility(self):
+        def strip_timing(run):
+            code, text = run
+            lines = [
+                line.split("compile=")[0] for line in text.splitlines()
+            ]
+            return code, lines
+
+        a = _run(["compile", "--nodes", "6", "--device", "ring_8", "--seed", "9"])
+        b = _run(["compile", "--nodes", "6", "--device", "ring_8", "--seed", "9"])
+        assert strip_timing(a) == strip_timing(b)
+
+
+class TestExperiment:
+    def test_sec6(self):
+        code, text = _run(["experiment", "sec6", "--instances", "3"])
+        assert code == 0
+        assert "sec6_planner" in text
+        assert "NAIVE" in text
+
+
+class TestAnalyze:
+    def test_analyze_output(self):
+        code, text = _run(
+            ["analyze", "--nodes", "8", "--device", "ring_8",
+             "--method", "ic", "--seed", "2"]
+        )
+        assert code == 0
+        assert "routing" in text
+        assert "mean concurrency" in text
+        assert "hottest couplings" in text
+
+    def test_analyze_vic_gets_calibration(self):
+        code, text = _run(
+            ["analyze", "--nodes", "8", "--device", "ibmq_16_melbourne",
+             "--method", "vic", "--seed", "2"]
+        )
+        assert code == 0
+        assert "qaim+vic" in text
+
+
+class TestArg:
+    def test_arg_command(self):
+        code, text = _run(
+            ["arg", "--nodes", "6", "--shots", "512",
+             "--trajectories", "4", "--seed", "1"]
+        )
+        assert code == 0
+        assert "ARG" in text
+        assert "QAIM" in text and "VIC" in text

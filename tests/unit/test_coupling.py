@@ -1,0 +1,202 @@
+"""Unit tests for coupling graphs, distances and connectivity strength."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.hardware.coupling import CouplingGraph, floyd_warshall
+from repro.hardware.devices import figure6_device, ibmq_20_tokyo, linear_device
+
+
+class TestFloydWarshall:
+    def test_line(self):
+        dist = floyd_warshall(4, {(0, 1): 1.0, (1, 2): 1.0, (2, 3): 1.0})
+        assert dist[0, 3] == 3.0
+        assert dist[3, 0] == 3.0
+        assert dist[1, 1] == 0.0
+
+    def test_matches_networkx_on_random_graphs(self):
+        rng = np.random.default_rng(5)
+        for _ in range(10):
+            g = nx.erdos_renyi_graph(9, 0.4, seed=int(rng.integers(1 << 30)))
+            weights = {
+                (min(a, b), max(a, b)): float(rng.uniform(0.5, 2.0))
+                for a, b in g.edges()
+            }
+            ours = floyd_warshall(9, weights)
+            wg = nx.Graph()
+            wg.add_nodes_from(range(9))
+            for (a, b), w in weights.items():
+                wg.add_edge(a, b, weight=w)
+            ref = dict(nx.all_pairs_dijkstra_path_length(wg))
+            for a in range(9):
+                for b in range(9):
+                    if b in ref[a]:
+                        assert ours[a, b] == pytest.approx(ref[a][b])
+                    else:
+                        assert np.isinf(ours[a, b])
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            floyd_warshall(2, {(0, 1): -0.1})
+
+    def test_disconnected_is_inf(self):
+        dist = floyd_warshall(3, {(0, 1): 1.0})
+        assert np.isinf(dist[0, 2])
+
+
+class TestCouplingGraphStructure:
+    def test_edges_normalised(self):
+        g = CouplingGraph(3, [(1, 0), (2, 1)])
+        assert g.edges == frozenset({(0, 1), (1, 2)})
+        assert g.num_edges() == 2
+
+    def test_duplicate_edges_collapse(self):
+        g = CouplingGraph(2, [(0, 1), (1, 0)])
+        assert g.num_edges() == 1
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError, match="self-loop"):
+            CouplingGraph(2, [(0, 0)])
+
+    def test_out_of_range_edge_rejected(self):
+        with pytest.raises(ValueError, match="out of range"):
+            CouplingGraph(2, [(0, 2)])
+
+    def test_neighbours_and_degree(self):
+        g = linear_device(4)
+        assert g.neighbours(0) == (1,)
+        assert g.neighbours(1) == (0, 2)
+        assert g.degree(2) == 2
+
+    def test_has_edge_symmetric(self):
+        g = linear_device(3)
+        assert g.has_edge(0, 1) and g.has_edge(1, 0)
+        assert not g.has_edge(0, 2)
+
+    def test_is_connected(self):
+        assert linear_device(5).is_connected()
+        assert not CouplingGraph(4, [(0, 1), (2, 3)]).is_connected()
+
+    def test_subgraph_edges(self):
+        g = linear_device(5)
+        assert g.subgraph_edges([0, 1, 3]) == [(0, 1)]
+
+
+class TestDistances:
+    def test_hop_distance(self):
+        g = linear_device(5)
+        assert g.distance(0, 4) == 4
+        assert g.distance(2, 2) == 0
+
+    def test_disconnected_distance_raises(self):
+        g = CouplingGraph(3, [(0, 1)])
+        with pytest.raises(ValueError, match="disconnected"):
+            g.distance(0, 2)
+
+    def test_distance_matrix_is_copy(self):
+        g = linear_device(3)
+        m = g.distance_matrix()
+        m[0, 1] = 99
+        assert g.distance(0, 1) == 1
+
+    def test_weighted_distances_figure6(self):
+        """Figure 6(d): weighted distances with 1/success edge weights."""
+        g = figure6_device()
+        weights = {
+            (0, 1): 1 / 0.90,
+            (0, 5): 1 / 0.82,
+            (1, 2): 1 / 0.85,
+            (1, 4): 1 / 0.81,
+            (2, 3): 1 / 0.89,
+            (3, 4): 1 / 0.88,
+            (4, 5): 1 / 0.84,
+        }
+        dist = g.weighted_distance_matrix(weights)
+        # Spot-check against the printed table (2 d.p. values in the paper).
+        assert dist[0, 1] == pytest.approx(1.11, abs=0.01)
+        assert dist[0, 5] == pytest.approx(1.22, abs=0.01)
+        assert dist[0, 2] == pytest.approx(2.29, abs=0.01)
+        assert dist[0, 3] == pytest.approx(3.41, abs=0.01)
+        assert dist[0, 4] == pytest.approx(2.34, abs=0.01)
+        assert dist[2, 5] == pytest.approx(3.45, abs=0.01)
+        assert dist[1, 4] == pytest.approx(1.23, abs=0.01)
+
+    def test_hop_distances_figure6(self):
+        """Figure 6(c): unweighted distances of the 6-qubit device."""
+        g = figure6_device()
+        expected = {
+            (0, 1): 1, (0, 2): 2, (0, 3): 3, (0, 4): 2, (0, 5): 1,
+            (1, 2): 1, (1, 3): 2, (1, 4): 1, (1, 5): 2,
+            (2, 3): 1, (2, 4): 2, (2, 5): 3,
+            (3, 4): 1, (3, 5): 2,
+            (4, 5): 1,
+        }
+        for (a, b), d in expected.items():
+            assert g.distance(a, b) == d
+
+    def test_missing_edge_weight_defaults_to_one(self):
+        g = linear_device(3)
+        dist = g.weighted_distance_matrix({(0, 1): 2.0})
+        assert dist[0, 2] == pytest.approx(3.0)  # 2.0 + default 1.0
+
+
+class TestShortestPath:
+    def test_path_endpoints_and_adjacency(self):
+        g = ibmq_20_tokyo()
+        path = g.shortest_path(0, 19)
+        assert path[0] == 0 and path[-1] == 19
+        for a, b in zip(path, path[1:]):
+            assert g.has_edge(a, b)
+        assert len(path) == g.distance(0, 19) + 1
+
+    def test_trivial_path(self):
+        g = linear_device(3)
+        assert g.shortest_path(1, 1) == [1]
+
+    def test_weighted_path_avoids_bad_edge(self):
+        # Triangle 0-1-2 where direct edge 0-2 is terrible.
+        g = CouplingGraph(3, [(0, 1), (1, 2), (0, 2)])
+        dist = g.weighted_distance_matrix({(0, 2): 10.0, (0, 1): 1.0, (1, 2): 1.0})
+        assert g.shortest_path(0, 2, dist=dist) == [0, 1, 2]
+        assert g.shortest_path(0, 2) == [0, 2]
+
+    def test_disconnected_raises(self):
+        g = CouplingGraph(3, [(0, 1)])
+        with pytest.raises(ValueError, match="disconnected"):
+            g.shortest_path(0, 2)
+
+
+class TestConnectivityStrength:
+    def test_tokyo_matches_figure3b_qubit0(self):
+        """Figure 3(b): qubit 0 of tokyo has 2 first + 5 second = 7."""
+        g = ibmq_20_tokyo()
+        assert g.connectivity_strength(0) == 7
+
+    def test_tokyo_profile_symmetry(self):
+        # The tokyo layout is left-right symmetric; strength must match.
+        g = ibmq_20_tokyo()
+        profile = g.connectivity_profile()
+        assert profile[0] == profile[15]  # corner qubits
+        assert profile[4] == profile[19]
+
+    def test_radius_one_equals_degree(self):
+        g = ibmq_20_tokyo()
+        for q in range(g.num_qubits):
+            assert g.connectivity_strength(q, radius=1) == g.degree(q)
+
+    def test_radius_grows_monotonically(self):
+        g = ibmq_20_tokyo()
+        for q in range(g.num_qubits):
+            s1 = g.connectivity_strength(q, radius=1)
+            s2 = g.connectivity_strength(q, radius=2)
+            s3 = g.connectivity_strength(q, radius=3)
+            assert s1 <= s2 <= s3
+
+    def test_large_radius_saturates_at_n_minus_1(self):
+        g = linear_device(5)
+        assert g.connectivity_strength(0, radius=10) == 4
+
+    def test_invalid_radius(self):
+        with pytest.raises(ValueError, match="radius"):
+            linear_device(3).connectivity_strength(0, radius=0)

@@ -1,0 +1,81 @@
+"""Unit tests for the optional crosstalk sequentialisation pass."""
+
+import pytest
+
+from repro.circuits import QuantumCircuit, asap_layers, circuit_depth
+from repro.compiler.crosstalk import count_conflicts, sequentialize_crosstalk
+
+
+def _parallel_circuit():
+    """Two two-qubit gates in the same ASAP layer on couplings (0,1), (2,3)."""
+    return QuantumCircuit(4).cnot(0, 1).cnot(2, 3)
+
+
+class TestCountConflicts:
+    def test_conflict_detected(self):
+        qc = _parallel_circuit()
+        assert count_conflicts(qc, [((0, 1), (2, 3))]) == 1
+
+    def test_no_conflict_when_serial(self):
+        qc = QuantumCircuit(4).cnot(0, 1).cnot(1, 2)
+        assert count_conflicts(qc, [((0, 1), (1, 2))]) == 0
+
+    def test_edge_orientation_irrelevant(self):
+        qc = _parallel_circuit()
+        assert count_conflicts(qc, [((1, 0), (3, 2))]) == 1
+
+    def test_self_conflict_rejected(self):
+        with pytest.raises(ValueError, match="itself"):
+            count_conflicts(_parallel_circuit(), [((0, 1), (1, 0))])
+
+
+class TestSequentialize:
+    def test_conflicting_gates_split(self):
+        qc = _parallel_circuit()
+        out = sequentialize_crosstalk(qc, [((0, 1), (2, 3))])
+        assert count_conflicts(out, [((0, 1), (2, 3))]) == 0
+        assert circuit_depth(out) > circuit_depth(qc)
+
+    def test_non_conflicting_circuit_untouched(self):
+        qc = _parallel_circuit()
+        out = sequentialize_crosstalk(qc, [((0, 1), (1, 2))])
+        assert circuit_depth(out) == circuit_depth(qc)
+        assert out.without(["barrier"]).instructions == qc.instructions
+
+    def test_empty_conflict_set_is_identity(self):
+        qc = _parallel_circuit()
+        out = sequentialize_crosstalk(qc, [])
+        assert out.instructions == qc.instructions
+
+    def test_gates_all_preserved(self):
+        qc = QuantumCircuit(6)
+        qc.cnot(0, 1).cnot(2, 3).cnot(4, 5).h(0)
+        out = sequentialize_crosstalk(
+            qc, [((0, 1), (2, 3)), ((2, 3), (4, 5))]
+        )
+        assert out.count_ops().get("cnot") == 3
+        assert out.count_ops().get("h") == 1
+
+    def test_three_way_conflict_serialises_pairwise(self):
+        qc = QuantumCircuit(6).cnot(0, 1).cnot(2, 3).cnot(4, 5)
+        conflicts = [((0, 1), (2, 3)), ((0, 1), (4, 5)), ((2, 3), (4, 5))]
+        out = sequentialize_crosstalk(qc, conflicts)
+        assert count_conflicts(out, conflicts) == 0
+        # All three must now be in distinct layers.
+        two_qubit_layers = [
+            [i for i in layer if i.is_two_qubit]
+            for layer in asap_layers(out)
+        ]
+        assert max(len(l) for l in two_qubit_layers) == 1
+
+    def test_single_qubit_gates_never_split(self):
+        qc = QuantumCircuit(4).h(0).h(1).cnot(2, 3)
+        out = sequentialize_crosstalk(qc, [((0, 1), (2, 3))])
+        assert circuit_depth(out) == circuit_depth(qc)
+
+    def test_only_listed_couplings_affected(self):
+        qc = QuantumCircuit(8)
+        qc.cnot(0, 1).cnot(2, 3).cnot(4, 5).cnot(6, 7)
+        out = sequentialize_crosstalk(qc, [((0, 1), (2, 3))])
+        # (4,5) and (6,7) can still run with everything else.
+        assert circuit_depth(out) == 2

@@ -1,0 +1,142 @@
+"""Unit tests for basis-gate lowering — matrix-level equivalence checks."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import (
+    IBM_BASIS,
+    QuantumCircuit,
+    cphase_to_cnot,
+    decompose_to_basis,
+    expand_instruction,
+    flip_cnot,
+    swap_to_cnot,
+)
+from repro.circuits.gates import Instruction
+
+from ..conftest import assert_equal_up_to_global_phase, circuit_unitary
+
+
+def _unitary_of(instructions, num_qubits):
+    return circuit_unitary(QuantumCircuit(num_qubits, instructions))
+
+
+class TestCphaseDecomposition:
+    """Figure 1(d): CPHASE = CNOT . RZ . CNOT."""
+
+    @pytest.mark.parametrize("gamma", [0.0, 0.3, -1.2, np.pi, 2.7])
+    def test_matrix_equivalence(self, gamma):
+        inst = Instruction("cphase", (0, 1), (gamma,))
+        direct = _unitary_of([inst], 2)
+        expanded = _unitary_of(cphase_to_cnot(inst), 2)
+        assert_equal_up_to_global_phase(direct, expanded)
+
+    def test_structure(self):
+        out = cphase_to_cnot(Instruction("cphase", (0, 1), (0.5,)))
+        assert [i.name for i in out] == ["cnot", "rz", "cnot"]
+        assert out[1].qubits == (1,)
+        assert out[1].params == (0.5,)
+
+
+class TestSwapDecomposition:
+    def test_matrix_equivalence(self):
+        inst = Instruction("swap", (0, 1))
+        direct = _unitary_of([inst], 2)
+        expanded = _unitary_of(swap_to_cnot(inst), 2)
+        assert_equal_up_to_global_phase(direct, expanded)
+
+    def test_three_cnots(self):
+        out = swap_to_cnot(Instruction("swap", (0, 1)))
+        assert [i.name for i in out] == ["cnot"] * 3
+
+
+class TestSingleQubitLowering:
+    @pytest.mark.parametrize(
+        "name,params",
+        [
+            ("h", ()),
+            ("x", ()),
+            ("y", ()),
+            ("z", ()),
+            ("s", ()),
+            ("sdg", ()),
+            ("t", ()),
+            ("rx", (0.7,)),
+            ("ry", (-0.4,)),
+            ("rz", (1.3,)),
+        ],
+    )
+    def test_matrix_equivalence_up_to_phase(self, name, params):
+        inst = Instruction(name, (0,), params)
+        direct = _unitary_of([inst], 1)
+        expanded = _unitary_of(expand_instruction(inst), 1)
+        assert_equal_up_to_global_phase(direct, expanded)
+
+    def test_native_gates_pass_through(self):
+        inst = Instruction("u3", (0,), (0.1, 0.2, 0.3))
+        assert expand_instruction(inst) == [inst]
+
+
+class TestTwoQubitLowering:
+    @pytest.mark.parametrize("name,params", [("cz", ()), ("cu1", (0.8,))])
+    def test_matrix_equivalence(self, name, params):
+        inst = Instruction(name, (0, 1), params)
+        direct = _unitary_of([inst], 2)
+        expanded = _unitary_of(expand_instruction(inst), 2)
+        assert_equal_up_to_global_phase(direct, expanded)
+
+
+class TestDecomposeToBasis:
+    def test_full_qaoa_circuit_lowers(self):
+        qc = QuantumCircuit(3)
+        qc.h(0).h(1).h(2)
+        qc.cphase(0.5, 0, 1).cphase(0.5, 1, 2)
+        qc.rx(0.6, 0).rx(0.6, 1).rx(0.6, 2)
+        qc.measure_all()
+        native = decompose_to_basis(qc)
+        native.validate_basis(IBM_BASIS)
+
+    def test_lowering_preserves_unitary(self):
+        qc = QuantumCircuit(3)
+        qc.h(0).cphase(0.4, 0, 1).swap(1, 2).rx(0.3, 2).cz(0, 2)
+        native = decompose_to_basis(qc)
+        assert_equal_up_to_global_phase(
+            circuit_unitary(qc), circuit_unitary(native)
+        )
+
+    def test_already_native_is_unchanged(self):
+        qc = QuantumCircuit(2).u1(0.3, 0).cnot(0, 1)
+        native = decompose_to_basis(qc)
+        assert native.instructions == qc.instructions
+
+    def test_cphase_expands_to_two_cnots(self):
+        qc = QuantumCircuit(2).cphase(0.4, 0, 1)
+        assert decompose_to_basis(qc).count_ops() == {"cnot": 2, "u1": 1}
+
+    def test_swap_expands_to_three_cnots(self):
+        qc = QuantumCircuit(2).swap(0, 1)
+        assert decompose_to_basis(qc).count_ops() == {"cnot": 3}
+
+    def test_custom_basis(self):
+        qc = QuantumCircuit(2).h(0)
+        out = decompose_to_basis(qc, basis={"h", "cnot"})
+        assert out.count_ops() == {"h": 1}
+
+    def test_unknown_gate_raises(self):
+        qc = QuantumCircuit(2).cphase(0.1, 0, 1)
+        with pytest.raises(ValueError):
+            decompose_to_basis(qc, basis={"u3"})  # cnot not allowed
+
+
+class TestFlipCnot:
+    def test_matrix_equivalence(self):
+        inst = Instruction("cnot", (0, 1))
+        flipped = flip_cnot(inst)
+        assert flipped[2].qubits == (1, 0)
+        assert_equal_up_to_global_phase(
+            _unitary_of([inst], 2), _unitary_of(flipped, 2)
+        )
+
+    def test_rejects_non_cnot(self):
+        with pytest.raises(ValueError, match="expects a cnot"):
+            flip_cnot(Instruction("cz", (0, 1)))

@@ -1,0 +1,151 @@
+"""Unit tests for the device library."""
+
+import pytest
+
+from repro.hardware.devices import (
+    DEVICE_BUILDERS,
+    figure6_device,
+    fully_connected_device,
+    get_device,
+    grid_device,
+    ibmq_16_melbourne,
+    ibmq_20_tokyo,
+    linear_device,
+    ring_device,
+)
+
+
+class TestTokyo:
+    def test_size(self):
+        g = ibmq_20_tokyo()
+        assert g.num_qubits == 20
+        assert g.is_connected()
+
+    def test_qubit0_first_neighbours_match_figure3(self):
+        """Figure 3(a): qubit 0 couples to qubits 1 and 5."""
+        assert ibmq_20_tokyo().neighbours(0) == (1, 5)
+
+    def test_diagonal_couplings_present(self):
+        g = ibmq_20_tokyo()
+        for a, b in [(1, 7), (2, 6), (5, 11), (6, 10), (13, 19), (14, 18)]:
+            assert g.has_edge(a, b)
+
+    def test_grid_couplings_present(self):
+        g = ibmq_20_tokyo()
+        for a, b in [(0, 1), (3, 4), (0, 5), (14, 19), (15, 16)]:
+            assert g.has_edge(a, b)
+
+
+class TestMelbourne:
+    def test_size_and_edges(self):
+        g = ibmq_16_melbourne()
+        assert g.num_qubits == 15
+        assert g.num_edges() == 20
+        assert g.is_connected()
+
+    def test_ladder_structure(self):
+        g = ibmq_16_melbourne()
+        assert g.has_edge(0, 1)
+        assert g.has_edge(0, 14)
+        assert g.has_edge(6, 8)
+        assert g.has_edge(7, 8)
+        assert not g.has_edge(6, 7)
+        assert not g.has_edge(0, 2)
+
+    def test_qubit7_is_an_endpoint(self):
+        # Qubit 7 sits at the end of the bottom row (degree 1).
+        assert ibmq_16_melbourne().degree(7) == 1
+
+
+class TestPoughkeepsie:
+    def test_size_and_sparsity(self):
+        from repro.hardware.devices import ibmq_poughkeepsie
+
+        g = ibmq_poughkeepsie()
+        assert g.num_qubits == 20
+        assert g.num_edges() == 23
+        assert g.is_connected()
+
+    def test_sparser_than_tokyo(self):
+        from repro.hardware.devices import ibmq_poughkeepsie
+
+        assert ibmq_poughkeepsie().num_edges() < ibmq_20_tokyo().num_edges()
+
+    def test_coupling_pair_count_matches_murali(self):
+        """Murali et al. report 221 coupling *pairs*; with 23 edges maybe
+        not all 253 pairs are physically simultaneous — but the edge count
+        and C(23, 2) = 253 bracket the figure's 221 (their count excludes
+        pairs sharing a qubit, which cannot run in parallel anyway)."""
+        from itertools import combinations
+
+        from repro.hardware.devices import ibmq_poughkeepsie
+
+        g = ibmq_poughkeepsie()
+        disjoint_pairs = sum(
+            1
+            for e1, e2 in combinations(sorted(g.edges), 2)
+            if not set(e1) & set(e2)
+        )
+        assert disjoint_pairs == 221
+
+
+class TestSyntheticDevices:
+    def test_grid_structure(self):
+        g = grid_device(2, 3)
+        assert g.num_qubits == 6
+        assert g.num_edges() == 7  # 2*2 horizontal + 3 vertical
+        assert g.has_edge(0, 1) and g.has_edge(0, 3)
+        assert not g.has_edge(2, 3)  # no wraparound
+
+    def test_grid_6x6_is_the_fig12_device(self):
+        g = grid_device(6, 6)
+        assert g.num_qubits == 36
+        assert g.num_edges() == 60
+        assert g.name == "grid_6x6"
+
+    def test_grid_invalid(self):
+        with pytest.raises(ValueError):
+            grid_device(0, 3)
+
+    def test_linear(self):
+        g = linear_device(4)
+        assert g.num_edges() == 3
+        assert g.distance(0, 3) == 3
+
+    def test_linear_too_small(self):
+        with pytest.raises(ValueError):
+            linear_device(1)
+
+    def test_ring(self):
+        g = ring_device(8)
+        assert g.num_edges() == 8
+        assert g.distance(0, 4) == 4
+        assert g.distance(0, 7) == 1
+
+    def test_ring_too_small(self):
+        with pytest.raises(ValueError):
+            ring_device(2)
+
+    def test_fully_connected(self):
+        g = fully_connected_device(5)
+        assert g.num_edges() == 10
+        assert all(
+            g.distance(a, b) == 1 for a in range(5) for b in range(5) if a != b
+        )
+
+    def test_figure6_device_shape(self):
+        g = figure6_device()
+        assert g.num_qubits == 6
+        assert g.num_edges() == 7
+        assert g.has_edge(1, 4)  # the chord
+
+
+class TestRegistry:
+    def test_all_builders_construct(self):
+        for name in DEVICE_BUILDERS:
+            device = get_device(name)
+            assert device.num_qubits >= 4
+
+    def test_get_device_unknown(self):
+        with pytest.raises(KeyError, match="unknown device"):
+            get_device("ibmq_nonexistent")

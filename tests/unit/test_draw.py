@@ -1,0 +1,46 @@
+"""Unit tests for the ASCII circuit drawer."""
+
+from repro.circuits import QuantumCircuit, draw_circuit
+
+
+class TestDraw:
+    def test_one_row_per_qubit(self):
+        qc = QuantumCircuit(3).h(0).cnot(0, 1)
+        text = draw_circuit(qc)
+        lines = [l for l in text.splitlines() if l.strip()]
+        assert len(lines) == 3
+        assert lines[0].startswith("q0")
+
+    def test_gate_labels_present(self):
+        qc = QuantumCircuit(2).h(0).rx(0.5, 1).cphase(0.3, 0, 1)
+        text = draw_circuit(qc)
+        assert "h" in text
+        assert "rx(0.50)" in text
+        assert "cphase(0.30)" in text
+
+    def test_two_qubit_gate_marks_first_qubit(self):
+        qc = QuantumCircuit(2).cnot(0, 1)
+        text = draw_circuit(qc)
+        q0_line = text.splitlines()[0]
+        assert "*" in q0_line
+
+    def test_layers_visible_as_columns(self):
+        qc = QuantumCircuit(1).h(0).h(0).h(0)
+        text = draw_circuit(qc)
+        assert text.splitlines()[0].count("h") == 3
+
+    def test_wrapping_long_circuits(self):
+        qc = QuantumCircuit(2)
+        for _ in range(60):
+            qc.h(0).h(1)
+        text = draw_circuit(qc, max_width=40)
+        lines = [l for l in text.splitlines() if l.strip()]
+        assert len(lines) > 2  # wrapped into banks
+
+    def test_empty_circuit(self):
+        text = draw_circuit(QuantumCircuit(2))
+        assert text == "" or "q0" in text
+
+    def test_method_delegation(self):
+        qc = QuantumCircuit(2).h(0)
+        assert qc.draw() == draw_circuit(qc)

@@ -1,0 +1,158 @@
+"""Unit tests for the gate registry and Instruction value objects."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits.gates import (
+    GATES,
+    IBM_BASIS,
+    QAOA_BASIS,
+    GateSpec,
+    Instruction,
+    gate_spec,
+    is_known_gate,
+)
+
+
+def _is_unitary(m: np.ndarray) -> bool:
+    return np.allclose(m @ m.conj().T, np.eye(m.shape[0]), atol=1e-10)
+
+
+class TestGateSpecs:
+    def test_all_registered_matrices_are_unitary(self):
+        params = {0: (), 1: (0.7,), 2: (0.4, 1.1), 3: (0.3, 0.8, -0.5)}
+        for spec in GATES.values():
+            if not spec.is_unitary:
+                continue
+            m = spec.matrix(params[spec.num_params])
+            assert m.shape == (2 ** spec.num_qubits,) * 2
+            assert _is_unitary(m)
+
+    def test_matrix_dimension_matches_arity(self):
+        assert gate_spec("h").matrix().shape == (2, 2)
+        assert gate_spec("cnot").matrix().shape == (4, 4)
+
+    def test_self_inverse_flags_are_correct(self):
+        for spec in GATES.values():
+            if spec.self_inverse:
+                m = spec.matrix(())
+                assert np.allclose(m @ m, np.eye(m.shape[0]), atol=1e-10)
+
+    def test_cnot_convention_control_is_lsb(self):
+        # |control=1, target=0> is index 1 (little endian); CNOT maps it
+        # to |control=1, target=1> = index 3.
+        m = gate_spec("cnot").matrix()
+        state = np.zeros(4)
+        state[1] = 1.0
+        out = m @ state
+        assert abs(out[3]) == pytest.approx(1.0)
+
+    def test_cphase_is_diagonal_zz_interaction(self):
+        theta = 0.9
+        m = gate_spec("cphase").matrix((theta,))
+        zz = np.diag([1, -1, -1, 1])
+        expected = np.diag(np.exp(-1j * theta / 2 * np.diag(zz)))
+        np.testing.assert_allclose(m, expected, atol=1e-12)
+
+    def test_cphase_commutes_with_itself_on_shared_qubit(self):
+        # The commutation property the whole paper rests on: diagonal
+        # two-qubit phase gates commute even when they overlap.
+        a = gate_spec("cphase").matrix((0.7,))
+        b = gate_spec("cphase").matrix((1.3,))
+        np.testing.assert_allclose(a @ b, b @ a, atol=1e-12)
+
+    def test_matrix_wrong_param_count_raises(self):
+        with pytest.raises(ValueError, match="parameter"):
+            gate_spec("rx").matrix(())
+        with pytest.raises(ValueError, match="parameter"):
+            gate_spec("h").matrix((0.1,))
+
+    def test_non_unitary_gate_matrix_raises(self):
+        with pytest.raises(ValueError, match="no matrix"):
+            gate_spec("measure").matrix(())
+
+    def test_u3_generalises_u2_and_u1(self):
+        phi, lam = 0.4, -0.9
+        np.testing.assert_allclose(
+            gate_spec("u2").matrix((phi, lam)),
+            gate_spec("u3").matrix((math.pi / 2, phi, lam)),
+            atol=1e-12,
+        )
+
+    def test_gate_spec_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown gate"):
+            gate_spec("toffoli")
+
+    def test_is_known_gate(self):
+        assert is_known_gate("cnot")
+        assert not is_known_gate("ccx")
+
+    def test_basis_sets_contain_only_known_gates(self):
+        assert IBM_BASIS <= set(GATES) | {"barrier", "measure"}
+        assert QAOA_BASIS <= set(GATES) | {"barrier", "measure"}
+
+
+class TestInstruction:
+    def test_construction_normalises_types(self):
+        inst = Instruction("rx", (np.int64(2),), (np.float64(0.5),))
+        assert inst.qubits == (2,)
+        assert isinstance(inst.qubits[0], int)
+        assert inst.params == (0.5,)
+
+    def test_wrong_arity_raises(self):
+        with pytest.raises(ValueError, match="acts on 2 qubit"):
+            Instruction("cnot", (0,))
+
+    def test_duplicate_qubits_raise(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Instruction("cnot", (1, 1))
+
+    def test_negative_qubit_raises(self):
+        with pytest.raises(ValueError, match="negative"):
+            Instruction("h", (-1,))
+
+    def test_wrong_params_raise(self):
+        with pytest.raises(ValueError, match="parameter"):
+            Instruction("rx", (0,), ())
+
+    def test_equality_and_hash(self):
+        a = Instruction("cphase", (0, 1), (0.5,))
+        b = Instruction("cphase", (0, 1), (0.5,))
+        c = Instruction("cphase", (1, 0), (0.5,))
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+
+    def test_remap(self):
+        inst = Instruction("cnot", (0, 1))
+        remapped = inst.remap({0: 5, 1: 3})
+        assert remapped.qubits == (5, 3)
+        # missing keys keep their index
+        assert inst.remap({0: 2}).qubits == (2, 1)
+
+    def test_is_two_qubit(self):
+        assert Instruction("cnot", (0, 1)).is_two_qubit
+        assert not Instruction("h", (0,)).is_two_qubit
+        assert not Instruction("measure", (0,)).is_two_qubit
+
+    def test_directive_and_measurement_flags(self):
+        assert Instruction("barrier", (0, 1, 2)).is_directive
+        assert Instruction("measure", (0,)).is_measurement
+        assert not Instruction("h", (0,)).is_directive
+
+    def test_commutes_trivially_with(self):
+        a = Instruction("cphase", (0, 1), (0.3,))
+        b = Instruction("cphase", (2, 3), (0.3,))
+        c = Instruction("cphase", (1, 2), (0.3,))
+        assert a.commutes_trivially_with(b)
+        assert not a.commutes_trivially_with(c)
+
+    def test_str_rendering(self):
+        assert str(Instruction("cnot", (0, 1))) == "cnot 0, 1"
+        assert "rx(0.5)" in str(Instruction("rx", (2,), (0.5,)))
+
+    def test_barrier_accepts_any_arity(self):
+        Instruction("barrier", (0,))
+        Instruction("barrier", tuple(range(10)))

@@ -1,0 +1,90 @@
+"""Unit tests for the workload graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.qaoa.graphs import (
+    ensure_no_isolated_qubits,
+    erdos_renyi_fixed_edges,
+    erdos_renyi_graph,
+    graph_edges,
+    random_regular_graph,
+)
+
+
+class TestErdosRenyi:
+    def test_node_count(self, rng):
+        g = erdos_renyi_graph(12, 0.5, rng)
+        assert g.number_of_nodes() == 12
+
+    def test_non_empty_by_default(self, rng):
+        for _ in range(20):
+            g = erdos_renyi_graph(4, 0.1, rng)
+            assert g.number_of_edges() > 0
+
+    def test_density_scales_with_p(self):
+        rng = np.random.default_rng(0)
+        sparse = np.mean(
+            [erdos_renyi_graph(20, 0.1, rng).number_of_edges() for _ in range(20)]
+        )
+        dense = np.mean(
+            [erdos_renyi_graph(20, 0.6, rng).number_of_edges() for _ in range(20)]
+        )
+        assert dense > 3 * sparse
+
+    def test_invalid_probability(self, rng):
+        with pytest.raises(ValueError, match="outside"):
+            erdos_renyi_graph(5, 1.5, rng)
+
+    def test_too_few_nodes(self, rng):
+        with pytest.raises(ValueError, match="at least 2"):
+            erdos_renyi_graph(1, 0.5, rng)
+
+    def test_reproducible(self):
+        a = erdos_renyi_graph(10, 0.4, np.random.default_rng(5))
+        b = erdos_renyi_graph(10, 0.4, np.random.default_rng(5))
+        assert graph_edges(a) == graph_edges(b)
+
+
+class TestRegular:
+    def test_degree_exact(self, rng):
+        g = random_regular_graph(12, 3, rng)
+        assert all(d == 3 for _, d in g.degree())
+
+    def test_handshake_violation_rejected(self, rng):
+        with pytest.raises(ValueError, match="even"):
+            random_regular_graph(5, 3, rng)
+
+    def test_degree_too_large(self, rng):
+        with pytest.raises(ValueError, match=">= num_nodes"):
+            random_regular_graph(4, 4, rng)
+
+    def test_reproducible(self):
+        a = random_regular_graph(10, 4, np.random.default_rng(5))
+        b = random_regular_graph(10, 4, np.random.default_rng(5))
+        assert graph_edges(a) == graph_edges(b)
+
+
+class TestFixedEdges:
+    def test_exact_edge_count(self, rng):
+        """The Section VI workload: 8 nodes, exactly 8 edges."""
+        g = erdos_renyi_fixed_edges(8, 8, rng)
+        assert g.number_of_nodes() == 8
+        assert g.number_of_edges() == 8
+
+    def test_bounds_checked(self, rng):
+        with pytest.raises(ValueError, match="outside"):
+            erdos_renyi_fixed_edges(4, 7, rng)  # max is 6
+
+
+class TestHelpers:
+    def test_graph_edges_normalised(self, rng):
+        g = erdos_renyi_graph(6, 0.5, rng)
+        for a, b in graph_edges(g):
+            assert a < b
+
+    def test_isolated_detection(self, rng):
+        g = erdos_renyi_fixed_edges(5, 1, rng)
+        assert not ensure_no_isolated_qubits(g)
+        full = random_regular_graph(6, 3, rng)
+        assert ensure_no_isolated_qubits(full)

@@ -1,0 +1,158 @@
+"""Unit tests for the experiment harness."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.harness import (
+    RunRecord,
+    compile_record,
+    make_problem,
+    mean_by,
+    ratio_table,
+    run_sweep,
+    scaled_instances,
+)
+from repro.hardware import linear_device, ring_device, uniform_calibration
+
+
+class TestScaledInstances:
+    def test_default_reduced(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL", raising=False)
+        assert scaled_instances(5, 50) == 5
+
+    def test_full_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FULL", "1")
+        assert scaled_instances(5, 50) == 50
+
+    def test_falsey_env_values(self, monkeypatch):
+        for value in ("", "0", "false"):
+            monkeypatch.setenv("REPRO_FULL", value)
+            assert scaled_instances(5, 50) == 5
+
+
+class TestMakeProblem:
+    def test_er(self, rng):
+        p = make_problem("er", 10, 0.5, rng)
+        assert p.num_nodes == 10
+
+    def test_regular(self, rng):
+        p = make_problem("regular", 10, 3, rng)
+        assert all(p.degree(q) == 3 for q in range(10))
+
+    def test_er_m(self, rng):
+        p = make_problem("er_m", 8, 8, rng)
+        assert len(p.edges) == 8
+
+    def test_unknown_family(self, rng):
+        with pytest.raises(ValueError, match="unknown workload"):
+            make_problem("scale_free", 10, 2, rng)
+
+
+class TestCompileRecord:
+    def test_fields(self, rng):
+        problem = make_problem("regular", 6, 3, rng)
+        record = compile_record(
+            problem,
+            ring_device(8),
+            "qaim",
+            rng,
+            family="regular",
+            param=3,
+            instance=7,
+        )
+        assert record.method == "qaim"
+        assert record.family == "regular"
+        assert record.instance == 7
+        assert record.depth > 0
+        assert record.gate_count >= record.cnot_count
+        assert record.success_probability is None
+
+    def test_success_probability_with_calibration(self, rng):
+        problem = make_problem("regular", 6, 3, rng)
+        cal = uniform_calibration(ring_device(8), cnot_error=0.02)
+        record = compile_record(
+            problem, ring_device(8), "ic", rng, calibration=cal
+        )
+        assert 0.0 < record.success_probability < 1.0
+
+
+class TestRunSweep:
+    def test_record_count(self):
+        records = run_sweep(
+            ring_device(8),
+            methods=("naive", "qaim"),
+            family="er",
+            num_nodes=6,
+            params=(0.3, 0.5),
+            instances=2,
+            seed=1,
+        )
+        assert len(records) == 2 * 2 * 2  # methods x params x instances
+
+    def test_paired_instances_across_methods(self):
+        records = run_sweep(
+            ring_device(8),
+            methods=("naive", "qaim"),
+            family="regular",
+            num_nodes=6,
+            params=(3,),
+            instances=3,
+            seed=2,
+        )
+        # Both methods saw the same problems: cphase count (edges) matches
+        # per instance index.
+        by_key = {}
+        for r in records:
+            by_key.setdefault(r.instance, set()).add(r.method)
+        assert all(v == {"naive", "qaim"} for v in by_key.values())
+
+    def test_seed_reproducibility(self):
+        kwargs = dict(
+            coupling=ring_device(8),
+            methods=("qaim",),
+            family="er",
+            num_nodes=6,
+            params=(0.4,),
+            instances=2,
+            seed=3,
+        )
+        a = run_sweep(**kwargs)
+        b = run_sweep(**kwargs)
+        assert [(r.depth, r.gate_count) for r in a] == [
+            (r.depth, r.gate_count) for r in b
+        ]
+
+
+class TestAggregation:
+    def _records(self):
+        return [
+            RunRecord("er", 0.5, 6, 0, "naive", 10, 20, 8, 2, 0.1),
+            RunRecord("er", 0.5, 6, 1, "naive", 20, 40, 16, 4, 0.3),
+            RunRecord("er", 0.5, 6, 0, "qaim", 5, 10, 4, 1, 0.1),
+            RunRecord("er", 0.5, 6, 1, "qaim", 10, 20, 8, 2, 0.1),
+        ]
+
+    def test_mean_by(self):
+        means = mean_by(self._records(), "depth")
+        assert means[("er", 0.5, "naive")] == pytest.approx(15.0)
+        assert means[("er", 0.5, "qaim")] == pytest.approx(7.5)
+
+    def test_mean_by_skips_none(self):
+        records = self._records()
+        records[0].success_probability = 0.5
+        means = mean_by(records, "success_probability", keys=("method",))
+        assert means == {("naive",): 0.5}
+
+    def test_mean_by_empty_raises(self):
+        with pytest.raises(ValueError, match="no values"):
+            mean_by(self._records(), "success_probability")
+
+    def test_ratio_table(self):
+        ratios = ratio_table(self._records(), "depth", "naive")
+        assert ratios[("er", 0.5)]["qaim"] == pytest.approx(0.5)
+        assert ratios[("er", 0.5)]["naive"] == pytest.approx(1.0)
+
+    def test_ratio_table_missing_baseline(self):
+        records = [r for r in self._records() if r.method != "naive"]
+        with pytest.raises(ValueError, match="baseline"):
+            ratio_table(records, "depth", "naive")

@@ -1,0 +1,114 @@
+"""Unit tests for IP bin-packing — including the Figure 4 worked example."""
+
+import numpy as np
+import pytest
+
+from repro.compiler.ip import fill_single_layer, parallelize
+
+FIG4_PAIRS = [(1, 5), (2, 3), (1, 4), (2, 4)]
+
+
+class TestFigure4Example:
+    def test_two_layers_formed(self):
+        """MOQ = 2, and the greedy fill achieves exactly 2 layers."""
+        result = parallelize(FIG4_PAIRS)
+        assert result.num_layers == 2
+        assert result.rounds == 1
+
+    def test_layer_contents_match_figure4f(self):
+        """Deterministic fill: L1 = {(1,4), (2,3)}, L2 = {(2,4), (1,5)}."""
+        result = parallelize(FIG4_PAIRS)
+        assert set(result.layers[0]) == {(1, 4), (2, 3)}
+        assert set(result.layers[1]) == {(2, 4), (1, 5)}
+
+    def test_ordered_pairs_sequence(self):
+        """Figure 4(d)'s compiler input: (1,4), (2,3), (2,4), (1,5)."""
+        result = parallelize(FIG4_PAIRS)
+        assert result.ordered_pairs == [(1, 4), (2, 3), (2, 4), (1, 5)]
+
+
+class TestGeneralPacking:
+    def test_all_gates_preserved(self):
+        rng = np.random.default_rng(0)
+        pairs = [(0, 1), (1, 2), (2, 3), (3, 4), (0, 4), (1, 3), (0, 2)]
+        result = parallelize(pairs, rng=rng)
+        assert sorted(result.ordered_pairs) == sorted(pairs)
+
+    def test_layers_never_reuse_a_qubit(self):
+        rng = np.random.default_rng(1)
+        pairs = [(a, b) for a in range(8) for b in range(a + 1, 8)]
+        result = parallelize(pairs, rng=rng)
+        result.validate()
+
+    def test_num_layers_at_least_moq(self):
+        pairs = [(0, 1), (0, 2), (0, 3), (0, 4)]  # star: MOQ = 4
+        result = parallelize(pairs)
+        assert result.num_layers == 4
+
+    def test_triangle_needs_second_round(self):
+        """K3 has MOQ 2 but needs 3 layers — Step 4's restart fires."""
+        result = parallelize([(0, 1), (1, 2), (0, 2)])
+        assert result.num_layers == 3
+        assert result.rounds == 2
+
+    def test_duplicate_pairs_supported(self):
+        result = parallelize([(0, 1), (0, 1)])
+        assert result.num_layers == 2
+        assert result.ordered_pairs == [(0, 1), (0, 1)]
+
+    def test_empty_input(self):
+        result = parallelize([])
+        assert result.layers == []
+        assert result.ordered_pairs == []
+
+    def test_random_tiebreak_reproducible(self):
+        pairs = [(0, 1), (2, 3), (4, 5), (6, 7)]
+        a = parallelize(pairs, rng=np.random.default_rng(7))
+        b = parallelize(pairs, rng=np.random.default_rng(7))
+        assert a.layers == b.layers
+
+    def test_perfect_matching_packs_into_one_layer(self):
+        pairs = [(0, 1), (2, 3), (4, 5)]
+        result = parallelize(pairs)
+        assert result.num_layers == 1
+
+    def test_packing_limit_caps_layer_size(self):
+        pairs = [(0, 1), (2, 3), (4, 5), (6, 7)]
+        result = parallelize(pairs, packing_limit=2)
+        assert all(len(layer) <= 2 for layer in result.layers)
+        assert result.num_layers == 2
+
+    def test_packing_limit_one_serialises(self):
+        pairs = [(0, 1), (2, 3), (4, 5)]
+        result = parallelize(pairs, packing_limit=1)
+        assert result.num_layers == 3
+
+    def test_invalid_packing_limit(self):
+        with pytest.raises(ValueError, match="packing_limit"):
+            parallelize([(0, 1)], packing_limit=0)
+
+
+class TestFillSingleLayer:
+    def test_first_fit_respects_order(self):
+        layer, rest = fill_single_layer([(0, 1), (0, 2), (2, 3)])
+        assert layer == [(0, 1), (2, 3)]
+        assert rest == [(0, 2)]
+
+    def test_packing_limit(self):
+        layer, rest = fill_single_layer(
+            [(0, 1), (2, 3), (4, 5)], packing_limit=2
+        )
+        assert layer == [(0, 1), (2, 3)]
+        assert rest == [(4, 5)]
+
+    def test_empty(self):
+        assert fill_single_layer([]) == ([], [])
+
+    def test_invalid_limit(self):
+        with pytest.raises(ValueError):
+            fill_single_layer([(0, 1)], packing_limit=0)
+
+    def test_remaining_preserves_order(self):
+        layer, rest = fill_single_layer([(0, 1), (1, 2), (0, 3), (1, 3)])
+        assert layer == [(0, 1)]
+        assert rest == [(1, 2), (0, 3), (1, 3)]

@@ -1,0 +1,124 @@
+"""Unit tests for circuit-quality metrics."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import QuantumCircuit
+from repro.compiler import compile_with_method
+from repro.compiler.metrics import measure_compiled, success_probability
+from repro.hardware import Calibration, linear_device, uniform_calibration
+from repro.qaoa import MaxCutProblem
+
+
+class TestSuccessProbability:
+    def test_single_cnot(self):
+        cal = uniform_calibration(linear_device(2), cnot_error=0.1)
+        qc = QuantumCircuit(2).cnot(0, 1)
+        assert success_probability(qc, cal) == pytest.approx(0.9)
+
+    def test_product_over_cnots(self):
+        cal = uniform_calibration(linear_device(3), cnot_error=0.1)
+        qc = QuantumCircuit(3).cnot(0, 1).cnot(1, 2).cnot(0, 1)
+        assert success_probability(qc, cal) == pytest.approx(0.9 ** 3)
+
+    def test_per_edge_variation_honoured(self):
+        g = linear_device(3)
+        cal = Calibration(g, {(0, 1): 0.1, (1, 2): 0.2})
+        qc = QuantumCircuit(3).cnot(0, 1).cnot(1, 2)
+        assert success_probability(qc, cal) == pytest.approx(0.9 * 0.8)
+
+    def test_u1_gates_are_free(self):
+        cal = uniform_calibration(
+            linear_device(2), cnot_error=0.0, single_qubit_error=0.5
+        )
+        qc = QuantumCircuit(2).u1(0.3, 0).u1(0.5, 1)
+        assert success_probability(qc, cal) == pytest.approx(1.0)
+
+    def test_u2_u3_use_single_qubit_rate(self):
+        cal = uniform_calibration(
+            linear_device(2), cnot_error=0.0, single_qubit_error=0.01
+        )
+        qc = QuantumCircuit(2).u2(0.1, 0.2, 0).u3(0.1, 0.2, 0.3, 1)
+        assert success_probability(qc, cal) == pytest.approx(0.99 ** 2)
+
+    def test_single_qubit_excludable(self):
+        cal = uniform_calibration(
+            linear_device(2), cnot_error=0.1, single_qubit_error=0.01
+        )
+        qc = QuantumCircuit(2).u3(0.1, 0.2, 0.3, 0).cnot(0, 1)
+        assert success_probability(
+            qc, cal, include_single_qubit=False
+        ) == pytest.approx(0.9)
+
+    def test_readout_optional(self):
+        cal = uniform_calibration(
+            linear_device(2), cnot_error=0.0, readout_error=0.05
+        )
+        qc = QuantumCircuit(2).measure_all()
+        assert success_probability(qc, cal) == pytest.approx(1.0)
+        assert success_probability(
+            qc, cal, include_readout=True
+        ) == pytest.approx(0.95 ** 2)
+
+    def test_high_level_circuit_lowered_first(self):
+        """A CPHASE counts as two CNOTs (Section IV-D's 0.9 -> 0.81)."""
+        cal = uniform_calibration(linear_device(2), cnot_error=0.1)
+        qc = QuantumCircuit(2).cphase(0.3, 0, 1)
+        assert success_probability(qc, cal) == pytest.approx(0.81)
+
+    def test_swap_counts_as_three_cnots(self):
+        cal = uniform_calibration(linear_device(2), cnot_error=0.1)
+        qc = QuantumCircuit(2).swap(0, 1)
+        assert success_probability(qc, cal) == pytest.approx(0.9 ** 3)
+
+    def test_empty_circuit_is_certain(self):
+        cal = uniform_calibration(linear_device(2))
+        assert success_probability(QuantumCircuit(2), cal) == 1.0
+
+
+class TestMeasureCompiled:
+    def _compiled(self, cal=None):
+        problem = MaxCutProblem(3, [(0, 1), (1, 2), (0, 2)])
+        program = problem.to_program([0.5], [0.3])
+        return compile_with_method(
+            program,
+            linear_device(4),
+            "qaim",
+            rng=np.random.default_rng(0),
+        )
+
+    def test_fields_populated(self):
+        compiled = self._compiled()
+        metrics = measure_compiled(compiled)
+        assert metrics.method == "qaim+random"
+        assert metrics.depth > 0
+        assert metrics.gate_count > metrics.cnot_count > 0
+        assert metrics.compile_time > 0
+        assert metrics.success_probability is None
+
+    def test_success_probability_with_calibration(self):
+        compiled = self._compiled()
+        cal = uniform_calibration(linear_device(4), cnot_error=0.02)
+        metrics = measure_compiled(compiled, calibration=cal)
+        assert 0.0 < metrics.success_probability < 1.0
+
+    def test_cnot_count_consistent_with_native(self):
+        compiled = self._compiled()
+        metrics = measure_compiled(compiled)
+        assert metrics.cnot_count == compiled.native().count_ops()["cnot"]
+
+    def test_timing_fields_default_off(self):
+        metrics = measure_compiled(self._compiled())
+        assert metrics.execution_time_ns is None
+        assert metrics.decoherence_factor is None
+
+    def test_timing_fields_populated_when_requested(self):
+        metrics = measure_compiled(self._compiled(), include_timing=True)
+        assert metrics.execution_time_ns > 0
+        assert 0.0 < metrics.decoherence_factor <= 1.0
+
+    def test_tighter_t2_lowers_survival(self):
+        compiled = self._compiled()
+        loose = measure_compiled(compiled, include_timing=True, t2_ns=1e6)
+        tight = measure_compiled(compiled, include_timing=True, t2_ns=1e4)
+        assert tight.decoherence_factor < loose.decoherence_factor

@@ -1,0 +1,131 @@
+"""Unit tests for the noise model and trajectory simulator."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import QuantumCircuit
+from repro.hardware import linear_device, uniform_calibration
+from repro.sim.noise import NoiseModel, NoisySimulator
+from repro.sim.statevector import StatevectorSimulator
+
+
+def _ghz(n):
+    qc = QuantumCircuit(n).h(0)
+    for i in range(n - 1):
+        qc.cnot(i, i + 1)
+    return qc.measure_all()
+
+
+class TestNoiseModel:
+    def test_from_calibration(self):
+        cal = uniform_calibration(
+            linear_device(3),
+            cnot_error=0.05,
+            single_qubit_error=0.001,
+            readout_error=0.02,
+        )
+        model = NoiseModel.from_calibration(cal)
+        assert model.two_qubit_prob(0, 1) == pytest.approx(0.05)
+        assert model.two_qubit_prob(1, 0) == pytest.approx(0.05)
+        assert model.single_qubit_depol[2] == pytest.approx(0.001)
+        assert model.readout_flip[0] == pytest.approx(0.02)
+
+    def test_unknown_edge_is_noiseless(self):
+        model = NoiseModel.ideal(3)
+        assert model.two_qubit_prob(0, 2) == 0.0
+
+    def test_ideal_model(self):
+        model = NoiseModel.ideal(2)
+        assert all(p == 0 for p in model.single_qubit_depol.values())
+
+    def test_scaled(self):
+        cal = uniform_calibration(linear_device(2), cnot_error=0.1)
+        model = NoiseModel.from_calibration(cal).scaled(2.0)
+        assert model.two_qubit_prob(0, 1) == pytest.approx(0.2)
+
+    def test_scaled_clips_to_one(self):
+        cal = uniform_calibration(linear_device(2), cnot_error=0.4)
+        model = NoiseModel.from_calibration(cal).scaled(10.0)
+        assert model.two_qubit_prob(0, 1) < 1.0
+
+
+class TestNoisySimulator:
+    def test_ideal_noise_matches_statevector(self):
+        qc = _ghz(3)
+        noisy = NoisySimulator(NoiseModel.ideal(3), trajectories=4)
+        counts = noisy.sample_counts(qc, 1000, np.random.default_rng(1))
+        assert set(counts) == {"000", "111"}
+        assert abs(counts["000"] - 500) < 100
+
+    def test_noise_degrades_ghz_fidelity(self):
+        cal = uniform_calibration(linear_device(4), cnot_error=0.1)
+        noisy = NoisySimulator(
+            NoiseModel.from_calibration(cal), trajectories=32
+        )
+        counts = noisy.sample_counts(_ghz(4), 2000, np.random.default_rng(2))
+        good = counts.get("0000", 0) + counts.get("1111", 0)
+        assert good < 2000  # errors must appear
+        assert good > 1000  # but the signal survives at 10% error
+
+    def test_readout_error_flips_bits(self):
+        model = NoiseModel(
+            two_qubit_depol={},
+            single_qubit_depol={0: 0.0},
+            readout_flip={0: 1.0},  # always flip
+        )
+        noisy = NoisySimulator(model, trajectories=1)
+        counts = noisy.sample_counts(
+            QuantumCircuit(1).measure(0), 50, np.random.default_rng(0)
+        )
+        assert counts == {"1": 50}
+
+    def test_shot_count_preserved_across_trajectories(self):
+        noisy = NoisySimulator(NoiseModel.ideal(2), trajectories=7)
+        counts = noisy.sample_counts(
+            QuantumCircuit(2).h(0), 100, np.random.default_rng(0)
+        )
+        assert sum(counts.values()) == 100
+
+    def test_more_trajectories_than_shots_is_fine(self):
+        noisy = NoisySimulator(NoiseModel.ideal(1), trajectories=64)
+        counts = noisy.sample_counts(
+            QuantumCircuit(1).h(0), 10, np.random.default_rng(0)
+        )
+        assert sum(counts.values()) == 10
+
+    def test_reproducible_with_seed(self):
+        cal = uniform_calibration(linear_device(3), cnot_error=0.05)
+        noisy = NoisySimulator(NoiseModel.from_calibration(cal), trajectories=8)
+        a = noisy.sample_counts(_ghz(3), 200, np.random.default_rng(5))
+        b = noisy.sample_counts(_ghz(3), 200, np.random.default_rng(5))
+        assert a == b
+
+    def test_invalid_shots(self):
+        noisy = NoisySimulator(NoiseModel.ideal(1))
+        with pytest.raises(ValueError, match="shots"):
+            noisy.sample_indices(QuantumCircuit(1).h(0), 0)
+
+    def test_invalid_trajectories(self):
+        with pytest.raises(ValueError, match="trajectory"):
+            NoisySimulator(NoiseModel.ideal(1), trajectories=0)
+
+    def test_trajectory_state_is_normalised(self):
+        cal = uniform_calibration(linear_device(3), cnot_error=0.5)
+        noisy = NoisySimulator(NoiseModel.from_calibration(cal))
+        state = noisy.run_trajectory(_ghz(3), np.random.default_rng(3))
+        assert np.linalg.norm(state) == pytest.approx(1.0)
+
+    def test_depolarizing_spreads_probability(self):
+        # With certain depolarization after the only gate, outcomes other
+        # than the ideal |1> must appear.
+        model = NoiseModel(
+            two_qubit_depol={},
+            single_qubit_depol={0: 1.0},
+            readout_flip={0: 0.0},
+        )
+        noisy = NoisySimulator(model, trajectories=200)
+        counts = noisy.sample_counts(
+            QuantumCircuit(1).x(0).measure(0), 600, np.random.default_rng(7)
+        )
+        assert counts.get("0", 0) > 0
+        assert counts.get("1", 0) > 0

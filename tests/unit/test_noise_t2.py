@@ -1,0 +1,116 @@
+"""Unit tests for T2 idle-dephasing in the noisy simulator."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import QuantumCircuit
+from repro.circuits.timing import DurationModel
+from repro.hardware import linear_device, uniform_calibration
+from repro.sim.noise import NoiseModel, NoisySimulator
+
+
+def _ramsey_error_fraction(noisy, shots, seed, idle_gates=0):
+    """Ramsey-style probe: H on qubit 0, a variable idle window (created by
+    busy-work on qubit 1 followed by a CZ that forces qubit 0 to wait),
+    then H again.  Ideally qubit 0 always measures 0; a dephasing Z flip
+    during the idle window flips the outcome to 1.  Returns the fraction of
+    shots reading 1 on qubit 0 — the dephasing signal.
+
+    ``idle_gates`` must be even so qubit 1 returns to |0> and the CZ acts
+    as identity on the ideal state.
+    """
+    assert idle_gates % 2 == 0
+    qc = QuantumCircuit(2).h(0)
+    for _ in range(idle_gates):
+        qc.x(1)
+    qc.cz(0, 1)
+    qc.h(0)
+    qc.measure_all()
+    counts = noisy.sample_counts(qc, shots, np.random.default_rng(seed))
+    flipped = sum(c for bits, c in counts.items() if bits[-1] == "1")
+    return flipped / shots
+
+
+class TestT2Model:
+    def test_t2_none_is_previous_behaviour(self):
+        model = NoiseModel.ideal(3)
+        assert model.t2_ns is None
+        noisy = NoisySimulator(model, trajectories=4)
+        assert noisy.durations is None
+        frac = _ramsey_error_fraction(noisy, 500, seed=0, idle_gates=40)
+        assert frac == 0.0
+
+    def test_t2_flips_ramsey_outcomes(self):
+        model = NoiseModel(
+            two_qubit_depol={},
+            single_qubit_depol={},
+            readout_flip={},
+            t2_ns=5_000.0,  # aggressive dephasing
+        )
+        noisy = NoisySimulator(model, trajectories=64)
+        frac = _ramsey_error_fraction(noisy, 2000, seed=1, idle_gates=100)
+        assert frac > 0.1
+
+    def test_longer_idle_decoheres_more(self):
+        def fraction(idle):
+            model = NoiseModel(
+                two_qubit_depol={},
+                single_qubit_depol={},
+                readout_flip={},
+                t2_ns=20_000.0,
+            )
+            noisy = NoisySimulator(model, trajectories=64)
+            return _ramsey_error_fraction(noisy, 3000, seed=2, idle_gates=idle)
+
+        assert fraction(0) <= fraction(40) + 0.02
+        assert fraction(40) < fraction(400) + 0.02
+        assert fraction(400) > 0.05
+
+    def test_huge_t2_is_effectively_noiseless(self):
+        model = NoiseModel(
+            two_qubit_depol={},
+            single_qubit_depol={},
+            readout_flip={},
+            t2_ns=1e15,
+        )
+        noisy = NoisySimulator(model, trajectories=8)
+        frac = _ramsey_error_fraction(noisy, 500, seed=3, idle_gates=20)
+        assert frac == pytest.approx(0.0)
+
+    def test_from_calibration_carries_t2(self):
+        cal = uniform_calibration(linear_device(3), cnot_error=0.01)
+        model = NoiseModel.from_calibration(cal, t2_ns=70_000.0)
+        assert model.t2_ns == 70_000.0
+
+    def test_scaled_tightens_t2(self):
+        model = NoiseModel(
+            two_qubit_depol={}, single_qubit_depol={}, readout_flip={},
+            t2_ns=70_000.0,
+        )
+        assert model.scaled(2.0).t2_ns == pytest.approx(35_000.0)
+
+    def test_custom_duration_model_honoured(self):
+        # With zero-duration gates nothing ever idles: no dephasing at all.
+        model = NoiseModel(
+            two_qubit_depol={}, single_qubit_depol={}, readout_flip={},
+            t2_ns=1.0,  # brutal T2, but no elapsed time
+        )
+        zero = DurationModel(
+            single_qubit=0.0, virtual=0.0, two_qubit=0.0, swap=0.0, measure=0.0
+        )
+        noisy = NoisySimulator(model, trajectories=16, durations=zero)
+        frac = _ramsey_error_fraction(noisy, 500, seed=4, idle_gates=30)
+        assert frac == pytest.approx(0.0)
+
+    def test_dephasing_does_not_affect_computational_basis_state(self):
+        # Z flips are invisible on |0...0>: a circuit that never creates
+        # superposition is immune to pure dephasing.
+        model = NoiseModel(
+            two_qubit_depol={}, single_qubit_depol={}, readout_flip={},
+            t2_ns=100.0,
+        )
+        noisy = NoisySimulator(model, trajectories=16)
+        qc = QuantumCircuit(2).x(0).x(0).x(0)  # odd X count -> |01>
+        qc.measure_all()
+        counts = noisy.sample_counts(qc, 400, np.random.default_rng(5))
+        assert counts == {"01": 400}

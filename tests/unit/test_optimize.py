@@ -1,0 +1,159 @@
+"""Unit tests for the peephole optimiser."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import QuantumCircuit, decompose_to_basis
+from repro.circuits.optimize import (
+    cancel_adjacent_self_inverse,
+    merge_phase_gates,
+    peephole_optimize,
+)
+
+from ..conftest import assert_equal_up_to_global_phase, circuit_unitary
+
+
+class TestCnotCancellation:
+    def test_adjacent_pair_cancels(self):
+        qc = QuantumCircuit(2).cnot(0, 1).cnot(0, 1)
+        out = cancel_adjacent_self_inverse(qc)
+        assert len(out) == 0
+
+    def test_reversed_cnot_does_not_cancel(self):
+        qc = QuantumCircuit(2).cnot(0, 1).cnot(1, 0)
+        out = cancel_adjacent_self_inverse(qc)
+        assert len(out) == 2
+
+    def test_symmetric_gates_cancel_either_order(self):
+        qc = QuantumCircuit(2).cz(0, 1).cz(1, 0)
+        assert len(cancel_adjacent_self_inverse(qc)) == 0
+        qc = QuantumCircuit(2).swap(0, 1).swap(1, 0)
+        assert len(cancel_adjacent_self_inverse(qc)) == 0
+
+    def test_intervening_gate_blocks_cancellation(self):
+        qc = QuantumCircuit(2).cnot(0, 1).h(1).cnot(0, 1)
+        out = cancel_adjacent_self_inverse(qc)
+        assert out.count_ops()["cnot"] == 2
+
+    def test_intervening_gate_on_other_qubit_blocks(self):
+        # u1 on the control between the CNOTs: not adjacent.
+        qc = QuantumCircuit(2).cnot(0, 1).u1(0.3, 0).cnot(0, 1)
+        out = cancel_adjacent_self_inverse(qc)
+        assert out.count_ops()["cnot"] == 2
+
+    def test_spectator_gate_does_not_block(self):
+        qc = QuantumCircuit(3).cnot(0, 1).h(2).cnot(0, 1)
+        out = cancel_adjacent_self_inverse(qc)
+        assert "cnot" not in out.count_ops()
+        assert out.count_ops()["h"] == 1
+
+    def test_cphase_swap_seam_cancels(self):
+        """The systematic win: cphase followed by swap on the same pair
+        lowers to 5 CNOTs with an adjacent equal pair inside."""
+        qc = decompose_to_basis(
+            QuantumCircuit(2).cphase(0.7, 0, 1).swap(0, 1)
+        )
+        out = peephole_optimize(qc)
+        assert out.count_ops()["cnot"] < qc.count_ops()["cnot"]
+        assert_equal_up_to_global_phase(
+            circuit_unitary(qc), circuit_unitary(out)
+        )
+
+
+class TestPhaseMerging:
+    def test_consecutive_u1_merge(self):
+        qc = QuantumCircuit(1).u1(0.3, 0).u1(0.4, 0)
+        out = merge_phase_gates(qc)
+        assert len(out) == 1
+        assert out[0].params[0] == pytest.approx(0.7)
+
+    def test_u1_rz_merge_keeps_first_name(self):
+        qc = QuantumCircuit(1).rz(0.3, 0).u1(0.2, 0)
+        out = merge_phase_gates(qc)
+        assert len(out) == 1
+        assert out[0].name == "rz"
+        assert out[0].params[0] == pytest.approx(0.5)
+
+    def test_cancelling_angles_vanish(self):
+        qc = QuantumCircuit(1).u1(0.5, 0).u1(-0.5, 0)
+        assert len(merge_phase_gates(qc)) == 0
+
+    def test_zero_rotations_dropped(self):
+        qc = QuantumCircuit(1).rx(0.0, 0).u1(0.0, 0).ry(0.0, 0)
+        assert len(merge_phase_gates(qc)) == 0
+
+    def test_two_pi_u1_dropped(self):
+        qc = QuantumCircuit(1).u1(2 * np.pi, 0)
+        assert len(merge_phase_gates(qc)) == 0
+
+    def test_nonzero_rotation_kept(self):
+        qc = QuantumCircuit(1).rx(0.2, 0)
+        assert len(merge_phase_gates(qc)) == 1
+
+    def test_gate_between_blocks_merge(self):
+        qc = QuantumCircuit(1).u1(0.3, 0).h(0).u1(0.4, 0)
+        out = merge_phase_gates(qc)
+        assert out.count_ops()["u1"] == 2
+
+
+class TestPeepholeOptimize:
+    def test_equivalence_on_random_circuits(self, rng):
+        for seed in range(8):
+            local = np.random.default_rng(seed)
+            qc = QuantumCircuit(3)
+            for _ in range(15):
+                kind = local.integers(4)
+                if kind == 0:
+                    qc.cnot(*map(int, local.choice(3, size=2, replace=False)))
+                elif kind == 1:
+                    qc.u1(float(local.normal()), int(local.integers(3)))
+                elif kind == 2:
+                    qc.h(int(local.integers(3)))
+                else:
+                    qc.cphase(
+                        float(local.normal()),
+                        *map(int, local.choice(3, size=2, replace=False)),
+                    )
+            native = decompose_to_basis(qc)
+            out = peephole_optimize(native)
+            assert len(out) <= len(native)
+            assert_equal_up_to_global_phase(
+                circuit_unitary(native), circuit_unitary(out), atol=1e-8
+            )
+
+    def test_fixed_point(self):
+        qc = decompose_to_basis(
+            QuantumCircuit(3).cphase(0.4, 0, 1).cphase(0.3, 0, 1).swap(1, 2)
+        )
+        once = peephole_optimize(qc)
+        twice = peephole_optimize(once)
+        assert once.instructions == twice.instructions
+
+    def test_repeated_cphase_pair_shrinks(self):
+        """Two consecutive CPHASEs on the same pair share a cancelling CNOT
+        pair after lowering — the optimiser must find it."""
+        qc = decompose_to_basis(
+            QuantumCircuit(2).cphase(0.4, 0, 1).cphase(0.3, 0, 1)
+        )
+        out = peephole_optimize(qc)
+        assert out.count_ops()["cnot"] == 2  # down from 4
+
+    def test_measurements_preserved(self):
+        qc = QuantumCircuit(2).cnot(0, 1).cnot(0, 1).measure_all()
+        out = peephole_optimize(qc)
+        assert out.count_ops() == {"measure": 2}
+
+    def test_compiled_circuit_improves_or_stays(self, rng):
+        from repro.compiler import compile_with_method
+        from repro.hardware import linear_device
+        from repro.qaoa import MaxCutProblem
+
+        problem = MaxCutProblem(4, [(0, 1), (1, 2), (2, 3), (0, 3), (0, 2)])
+        program = problem.to_program([0.5], [0.3])
+        compiled = compile_with_method(
+            program, linear_device(5), "naive", rng=rng
+        )
+        native = compiled.native()
+        optimized = peephole_optimize(native)
+        assert optimized.gate_count() <= native.gate_count()
+        assert optimized.depth() <= native.depth()

@@ -1,0 +1,79 @@
+"""Unit tests for the hybrid optimisation loop."""
+
+import numpy as np
+import pytest
+
+from repro.qaoa.analytic import analytic_optimal_parameters
+from repro.qaoa.optimizer import optimize_qaoa, qaoa_expectation
+from repro.qaoa.problems import MaxCutProblem
+
+
+@pytest.fixture
+def ring5():
+    return MaxCutProblem(5, [(i, (i + 1) % 5) for i in range(5)])
+
+
+class TestQaoaExpectation:
+    def test_zero_angles(self, ring5):
+        # gamma = beta = 0 leaves |+...+>: every edge cut half the time.
+        assert qaoa_expectation(ring5, [0.0], [0.0]) == pytest.approx(2.5)
+
+    def test_multi_level(self, ring5):
+        value = qaoa_expectation(ring5, [0.4, 0.2], [0.3, 0.1])
+        assert 0.0 <= value <= ring5.max_cut_value()
+
+
+class TestOptimizeQaoa:
+    def test_p1_analytic_path_matches_simulated_objective(self, ring5):
+        result = optimize_qaoa(ring5, p=1)
+        simulated = qaoa_expectation(ring5, result.gammas, result.betas)
+        assert result.expectation == pytest.approx(simulated, abs=1e-8)
+        assert result.evaluations == 0  # analytic fast path used
+
+    def test_p1_simulated_path_agrees_with_analytic(self, ring5):
+        rng = np.random.default_rng(0)
+        sim = optimize_qaoa(ring5, p=1, rng=rng, use_analytic=False, restarts=4)
+        _, _, analytic_best = analytic_optimal_parameters(ring5)
+        assert sim.expectation == pytest.approx(analytic_best, abs=1e-3)
+        assert sim.evaluations > 0
+
+    def test_p2_at_least_as_good_as_p1(self, ring5):
+        rng = np.random.default_rng(1)
+        p1 = optimize_qaoa(ring5, p=1)
+        p2 = optimize_qaoa(ring5, p=2, rng=rng, restarts=4)
+        assert p2.expectation >= p1.expectation - 1e-4
+
+    def test_approximation_ratio_bounds(self, ring5):
+        result = optimize_qaoa(ring5, p=1)
+        assert 0.5 <= result.approximation_ratio <= 1.0
+
+    def test_parameter_counts_match_p(self, ring5):
+        result = optimize_qaoa(
+            ring5, p=2, rng=np.random.default_rng(2), restarts=1
+        )
+        assert len(result.gammas) == 2
+        assert len(result.betas) == 2
+
+    def test_invalid_p(self, ring5):
+        with pytest.raises(ValueError, match="p must be"):
+            optimize_qaoa(ring5, p=0)
+
+    def test_weighted_problem_skips_analytic(self):
+        problem = MaxCutProblem(3, [(0, 1, 2.0), (1, 2, 1.0)])
+        result = optimize_qaoa(
+            problem, p=1, rng=np.random.default_rng(3), restarts=2
+        )
+        assert result.evaluations > 0
+        assert result.expectation <= problem.max_cut_value() + 1e-9
+
+    def test_reproducible_with_seed(self, ring5):
+        a = optimize_qaoa(
+            ring5, p=1, use_analytic=False, rng=np.random.default_rng(7),
+            restarts=2,
+        )
+        b = optimize_qaoa(
+            ring5, p=1, use_analytic=False, rng=np.random.default_rng(7),
+            restarts=2,
+        )
+        assert a.gammas == b.gammas
+        assert a.betas == b.betas

@@ -1,0 +1,104 @@
+"""Unit tests for trivial/random/GreedyV/GreedyE placements."""
+
+import numpy as np
+import pytest
+
+from repro.compiler.placement import (
+    greedy_e_placement,
+    greedy_v_placement,
+    random_placement,
+    trivial_placement,
+)
+from repro.hardware import ibmq_20_tokyo, linear_device, ring_device
+
+PAIRS = [(0, 1), (0, 2), (0, 3), (1, 2)]  # qubit 0 is heaviest (3 ops)
+
+
+class TestTrivialAndRandom:
+    def test_trivial_identity(self):
+        m = trivial_placement(PAIRS, 4, linear_device(6))
+        assert m.as_dict() == {0: 0, 1: 1, 2: 2, 3: 3}
+
+    def test_random_injective_and_seeded(self):
+        g = ring_device(8)
+        a = random_placement(PAIRS, 4, g, np.random.default_rng(1))
+        b = random_placement(PAIRS, 4, g, np.random.default_rng(1))
+        assert a == b
+        assert len(set(a.as_dict().values())) == 4
+
+    def test_too_many_logical_rejected(self):
+        with pytest.raises(ValueError, match="do not fit"):
+            trivial_placement(PAIRS, 7, linear_device(6))
+
+
+class TestGreedyV:
+    def test_heaviest_logical_on_highest_degree_physical(self):
+        g = ibmq_20_tokyo()
+        m = greedy_v_placement(PAIRS, 4, g)
+        top_degree = max(range(20), key=lambda p: (g.degree(p), -p))
+        assert m.physical(0) == top_degree
+
+    def test_all_placed_injectively(self):
+        g = ibmq_20_tokyo()
+        m = greedy_v_placement(PAIRS, 4, g)
+        assert len(set(m.as_dict().values())) == 4
+
+    def test_weight_order_respected(self):
+        # Qubit 0 (3 ops) gets a physical qubit of degree >= qubit 3's (1 op).
+        g = ibmq_20_tokyo()
+        m = greedy_v_placement(PAIRS, 4, g)
+        assert g.degree(m.physical(0)) >= g.degree(m.physical(3))
+
+    def test_isolated_logical_qubits_still_placed(self):
+        g = linear_device(6)
+        m = greedy_v_placement([(0, 1)], 4, g)  # qubits 2, 3 unused
+        assert len(m.as_dict()) == 4
+
+
+class TestGreedyE:
+    def test_all_placed_injectively(self):
+        g = ibmq_20_tokyo()
+        m = greedy_e_placement(PAIRS, 4, g)
+        assert len(set(m.as_dict().values())) == 4
+        assert sorted(m.as_dict()) == [0, 1, 2, 3]
+
+    def test_first_pair_lands_on_an_edge(self):
+        g = ibmq_20_tokyo()
+        m = greedy_e_placement(PAIRS, 4, g)
+        # The heaviest pair's endpoints should be adjacent.
+        heaviest = max(
+            {(min(a, b), max(a, b)) for a, b in PAIRS},
+            key=lambda e: sum(1 for p in PAIRS if set(p) == set(e)),
+        )
+        # All pairs have weight 1; whichever was placed first is adjacent —
+        # check that at least one program pair sits on a hardware edge.
+        on_edge = [
+            g.has_edge(m.physical(a), m.physical(b)) for a, b in PAIRS
+        ]
+        assert any(on_edge)
+
+    def test_neighbour_of_placed_endpoint_preferred(self):
+        g = linear_device(6)
+        m = greedy_e_placement([(0, 1), (1, 2)], 3, g)
+        # q1 shares pairs with both; at least one partner must be adjacent.
+        adj = [
+            g.has_edge(m.physical(1), m.physical(0)),
+            g.has_edge(m.physical(1), m.physical(2)),
+        ]
+        assert any(adj)
+
+    def test_pair_weights_respected(self):
+        # (0,1) interacts twice, (2,3) once: (0,1) must be adjacent.
+        g = linear_device(8)
+        m = greedy_e_placement([(0, 1), (0, 1), (2, 3)], 4, g)
+        assert g.has_edge(m.physical(0), m.physical(1))
+
+    def test_leftover_qubits_placed(self):
+        g = ring_device(8)
+        m = greedy_e_placement([(0, 1)], 5, g)
+        assert len(m.as_dict()) == 5
+
+    def test_device_nearly_full(self):
+        g = linear_device(4)
+        m = greedy_e_placement([(0, 1), (1, 2), (2, 3), (0, 3)], 4, g)
+        assert len(set(m.as_dict().values())) == 4

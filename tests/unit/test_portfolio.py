@@ -1,0 +1,160 @@
+"""Unit tests for portfolio compilation."""
+
+import numpy as np
+import pytest
+
+from repro.compiler.portfolio import (
+    compile_portfolio,
+    depth_objective,
+    gate_count_objective,
+    reliability_objective,
+)
+from repro.hardware import (
+    ibmq_16_melbourne,
+    melbourne_calibration,
+    ring_device,
+)
+from repro.qaoa import MaxCutProblem
+
+
+@pytest.fixture
+def program():
+    problem = MaxCutProblem(
+        6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (0, 5), (0, 3), (1, 4)]
+    )
+    return problem.to_program([0.6], [0.3])
+
+
+class TestCompilePortfolio:
+    def test_best_has_minimum_score(self, program):
+        result = compile_portfolio(
+            program, ring_device(8), methods=("ip", "ic"), seeds=(0, 1)
+        )
+        assert result.best.score == min(e.score for e in result.entries)
+        assert len(result.entries) == 4
+
+    def test_configuration_grid_is_full(self, program):
+        result = compile_portfolio(
+            program,
+            ring_device(8),
+            methods=("ic",),
+            packing_limits=(1, 2, None),
+            seeds=(0, 1),
+        )
+        assert len(result.entries) == 6
+        configs = {(e.packing_limit, e.seed) for e in result.entries}
+        assert len(configs) == 6
+
+    def test_portfolio_never_worse_than_single_run(self, program):
+        from repro.compiler import compile_with_method
+
+        single = compile_with_method(
+            program, ring_device(8), "ic", rng=np.random.default_rng(0)
+        )
+        result = compile_portfolio(
+            program,
+            ring_device(8),
+            methods=("ip", "ic"),
+            packing_limits=(None, 2),
+            seeds=(0, 1, 2),
+        )
+        assert result.best.score <= depth_objective(single)
+
+    def test_objective_changes_winner_ranking(self, program):
+        by_depth = compile_portfolio(
+            program, ring_device(8), methods=("ip", "ic"), seeds=(0, 1),
+            objective=depth_objective,
+        )
+        by_gates = compile_portfolio(
+            program, ring_device(8), methods=("ip", "ic"), seeds=(0, 1),
+            objective=gate_count_objective,
+        )
+        # The gate-optimal winner cannot have more gates than the
+        # depth-optimal one.
+        assert (
+            by_gates.best.compiled.gate_count()
+            <= by_depth.best.compiled.gate_count()
+        )
+
+    def test_reliability_objective_with_vic(self, program):
+        cal = melbourne_calibration()
+        result = compile_portfolio(
+            program,
+            ibmq_16_melbourne(),
+            methods=("ic", "vic"),
+            seeds=(0,),
+            objective=reliability_objective(cal),
+            calibration=cal,
+        )
+        assert result.best.score < 0  # negated success probability
+
+    def test_scoreboard_sorted(self, program):
+        result = compile_portfolio(
+            program, ring_device(8), methods=("ip", "ic"), seeds=(0, 1, 2)
+        )
+        scores = [row[3] for row in result.scoreboard()]
+        assert scores == sorted(scores)
+
+    def test_empty_grid_rejected(self, program):
+        with pytest.raises(ValueError, match="non-empty"):
+            compile_portfolio(program, ring_device(8), methods=())
+
+    def test_winner_is_valid_circuit(self, program):
+        result = compile_portfolio(
+            program, ring_device(8), methods=("ip", "ic"), seeds=(0, 1)
+        )
+        result.best.compiled.validate()
+
+
+class TestCalibrationDrift:
+    def test_drift_changes_errors_within_bounds(self):
+        cal = melbourne_calibration()
+        drifted = cal.drifted(np.random.default_rng(0), relative_sigma=0.5)
+        assert drifted.cnot_error != cal.cnot_error
+        for e, err in drifted.cnot_error.items():
+            assert 1.0e-3 <= err <= 0.5
+
+    def test_zero_sigma_is_identity_up_to_clipping(self):
+        cal = melbourne_calibration()
+        drifted = cal.drifted(np.random.default_rng(1), relative_sigma=0.0)
+        for e in cal.cnot_error:
+            assert drifted.cnot_error[e] == pytest.approx(
+                max(cal.cnot_error[e], 1e-3)
+            )
+
+    def test_negative_sigma_rejected(self):
+        cal = melbourne_calibration()
+        with pytest.raises(ValueError, match="relative_sigma"):
+            cal.drifted(np.random.default_rng(2), relative_sigma=-0.1)
+
+    def test_stale_calibration_costs_vic_reliability(self):
+        """Compile VIC against yesterday's calibration, evaluate under
+        today's: averaged over drifts, the success probability under the
+        *true* calibration is lower than under the assumed one — the
+        re-compilation motivation of Section VII."""
+        from repro.compiler import compile_with_method, success_probability
+
+        cal = melbourne_calibration()
+        problem = MaxCutProblem(
+            8, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7), (0, 7)]
+        )
+        program = problem.to_program([0.6], [0.3])
+        compiled = compile_with_method(
+            program,
+            ibmq_16_melbourne(),
+            "vic",
+            calibration=cal,
+            rng=np.random.default_rng(3),
+        )
+        assumed = success_probability(compiled.native(), cal)
+        rng = np.random.default_rng(4)
+        actuals = [
+            success_probability(
+                compiled.native(), cal.drifted(rng, relative_sigma=0.6)
+            )
+            for _ in range(20)
+        ]
+        # Drift is log-normal (mean factor > 1), so true error rates are on
+        # average worse than assumed.
+        assert np.median(actuals) < assumed * 1.5
+        assert min(actuals) < assumed  # some days are strictly worse

@@ -1,0 +1,165 @@
+"""Unit tests for MaxCut problems and QAOA programs."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.qaoa.problems import Level, MaxCutProblem, QAOAProgram
+
+
+class TestMaxCutConstruction:
+    def test_basic(self):
+        p = MaxCutProblem(3, [(0, 1), (1, 2)])
+        assert p.num_nodes == 3
+        assert p.pairs() == [(0, 1), (1, 2)]
+
+    def test_weights_accumulate_on_duplicates(self):
+        p = MaxCutProblem(2, [(0, 1), (1, 0)])
+        assert p.edges == [(0, 1, 2.0)]
+
+    def test_explicit_weights(self):
+        p = MaxCutProblem(3, [(0, 1, 2.5), (1, 2)])
+        assert p.edges == [(0, 1, 2.5), (1, 2, 1.0)]
+        assert p.total_weight() == pytest.approx(3.5)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError, match="self-loop"):
+            MaxCutProblem(2, [(1, 1)])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="out of range"):
+            MaxCutProblem(2, [(0, 2)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="no edges"):
+            MaxCutProblem(3, [])
+
+    def test_malformed_edge_rejected(self):
+        with pytest.raises(ValueError, match="must be"):
+            MaxCutProblem(3, [(0, 1, 1.0, 2.0)])
+
+    def test_from_graph_relabels_nodes(self):
+        g = nx.Graph()
+        g.add_edge("b", "a")
+        g.add_edge("b", "c", weight=3.0)
+        p = MaxCutProblem.from_graph(g)
+        assert p.num_nodes == 3
+        assert (0, 1, 1.0) in p.edges  # a-b
+        assert (1, 2, 3.0) in p.edges  # b-c
+
+
+class TestCutValues:
+    def test_single_edge(self):
+        p = MaxCutProblem(2, [(0, 1)])
+        assert p.cut_value("00") == 0
+        assert p.cut_value("01") == 1
+        assert p.cut_value("10") == 1
+        assert p.cut_value("11") == 0
+
+    def test_bit_orientation(self):
+        # Edge (0, 2) on 3 nodes: string q2 q1 q0.
+        p = MaxCutProblem(3, [(0, 2)])
+        assert p.cut_value("100") == 1  # q2=1, q0=0: cut
+        assert p.cut_value("001") == 1
+        assert p.cut_value("101") == 0
+
+    def test_wrong_length_rejected(self):
+        p = MaxCutProblem(2, [(0, 1)])
+        with pytest.raises(ValueError, match="length"):
+            p.cut_value("010")
+
+    def test_cut_values_table_matches_scalar(self):
+        p = MaxCutProblem(4, [(0, 1), (1, 2), (2, 3), (0, 3), (0, 2)])
+        table = p.cut_values()
+        for idx in range(16):
+            bits = format(idx, "04b")
+            assert table[idx] == pytest.approx(p.cut_value(bits))
+
+    def test_cut_values_cached(self):
+        p = MaxCutProblem(3, [(0, 1)])
+        assert p.cut_values() is p.cut_values()
+
+    def test_weighted_cut(self):
+        p = MaxCutProblem(2, [(0, 1, 2.5)])
+        assert p.cut_value("01") == pytest.approx(2.5)
+
+    def test_complement_symmetry(self):
+        p = MaxCutProblem(4, [(0, 1), (1, 2), (0, 3)])
+        table = p.cut_values()
+        n = 4
+        for idx in range(2 ** n):
+            assert table[idx] == table[(2 ** n - 1) ^ idx]
+
+
+class TestMaxCutValue:
+    def test_k4(self):
+        p = MaxCutProblem(4, [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)])
+        assert p.max_cut_value() == 4.0
+
+    def test_c5(self):
+        p = MaxCutProblem(5, [(i, (i + 1) % 5) for i in range(5)])
+        assert p.max_cut_value() == 4.0
+
+    def test_bipartite_cuts_everything(self):
+        p = MaxCutProblem(4, [(0, 2), (0, 3), (1, 2), (1, 3)])
+        assert p.max_cut_value() == 4.0
+
+    def test_too_large_refused(self):
+        edges = [(i, i + 1) for i in range(29)]
+        p = MaxCutProblem(30, edges)
+        with pytest.raises(ValueError, match="infeasible"):
+            p.cut_values()
+
+
+class TestGraphQueries:
+    def test_degree(self):
+        p = MaxCutProblem(4, [(0, 1), (0, 2), (0, 3)])
+        assert p.degree(0) == 3
+        assert p.degree(1) == 1
+
+    def test_common_neighbours(self):
+        # Triangle 0-1-2: edge (0,1) has one common neighbour (2).
+        p = MaxCutProblem(3, [(0, 1), (1, 2), (0, 2)])
+        assert p.common_neighbours(0, 1) == 1
+
+    def test_no_triangles(self):
+        p = MaxCutProblem(4, [(0, 1), (1, 2), (2, 3)])
+        assert p.common_neighbours(1, 2) == 0
+
+
+class TestQAOAProgram:
+    def test_to_program(self):
+        p = MaxCutProblem(3, [(0, 1), (1, 2)])
+        prog = p.to_program([0.5], [0.3])
+        assert prog.p == 1
+        assert prog.num_qubits == 3
+        assert prog.levels == [Level(0.5, 0.3)]
+
+    def test_mismatched_params_rejected(self):
+        p = MaxCutProblem(2, [(0, 1)])
+        with pytest.raises(ValueError, match="differ"):
+            p.to_program([0.5], [0.3, 0.1])
+
+    def test_cphase_angle_is_minus_gamma_times_weight(self):
+        p = MaxCutProblem(2, [(0, 1, 2.0)])
+        prog = p.to_program([0.5], [0.3])
+        assert prog.cphase_gates(0) == [(0, 1, -1.0)]
+
+    def test_mixer_angle_is_two_beta(self):
+        p = MaxCutProblem(2, [(0, 1)])
+        prog = p.to_program([0.5], [0.3])
+        assert prog.mixer_angle(0) == pytest.approx(0.6)
+
+    def test_needs_a_level(self):
+        with pytest.raises(ValueError, match="at least one level"):
+            QAOAProgram(2, [(0, 1, 1.0)], [])
+
+    def test_program_edge_validation(self):
+        with pytest.raises(ValueError, match="out of range"):
+            QAOAProgram(2, [(0, 5, 1.0)], [Level(0.1, 0.1)])
+        with pytest.raises(ValueError, match="self-loop"):
+            QAOAProgram(2, [(1, 1, 1.0)], [Level(0.1, 0.1)])
+
+    def test_pairs(self):
+        prog = QAOAProgram(3, [(0, 1, 1.0), (1, 2, 2.0)], [Level(0.1, 0.2)])
+        assert prog.pairs() == [(0, 1), (1, 2)]

@@ -1,0 +1,81 @@
+"""Unit tests for hardware/program profiling — Figure 3(b)/(c) and 4(b)/(c)."""
+
+from repro.circuits import QuantumCircuit
+from repro.hardware.devices import ibmq_20_tokyo
+from repro.hardware.profiling import (
+    hardware_profile,
+    interaction_pairs,
+    max_operations_per_qubit,
+    program_profile,
+    rank_cphases,
+)
+
+# The Figure 4(a) input CPHASE list.
+FIG4_PAIRS = [(1, 5), (2, 3), (1, 4), (2, 4)]
+
+
+class TestProgramProfile:
+    def test_figure4b_qubit_usage(self):
+        """Figure 4(b): ops per qubit are 1:2, 2:2, 3:1, 4:2, 5:1."""
+        profile = program_profile(FIG4_PAIRS)
+        assert profile == {1: 2, 2: 2, 3: 1, 4: 2, 5: 1}
+
+    def test_empty(self):
+        assert program_profile([]) == {}
+
+    def test_multiplicity_accumulates(self):
+        assert program_profile([(0, 1), (0, 1)]) == {0: 2, 1: 2}
+
+
+class TestMOQ:
+    def test_figure4_moq_is_two(self):
+        """Figure 4(b): MOQ = 2 (qubits 1, 2 and 4 have 2 CPHASEs each)."""
+        assert max_operations_per_qubit(FIG4_PAIRS) == 2
+
+    def test_empty_is_zero(self):
+        assert max_operations_per_qubit([]) == 0
+
+    def test_star_graph(self):
+        star = [(0, i) for i in range(1, 6)]
+        assert max_operations_per_qubit(star) == 5
+
+
+class TestRanking:
+    def test_figure4c_ranks(self):
+        """Figure 4(c): (1,5) and (2,3) rank 3; (1,4) and (2,4) rank 4."""
+        ranked = dict(rank_cphases(FIG4_PAIRS))
+        assert ranked[(1, 5)] == 3
+        assert ranked[(2, 3)] == 3
+        assert ranked[(1, 4)] == 4
+        assert ranked[(2, 4)] == 4
+
+    def test_descending_order(self):
+        ranks = [r for _, r in rank_cphases(FIG4_PAIRS)]
+        assert ranks == sorted(ranks, reverse=True)
+
+    def test_figure4d_sorted_list(self):
+        """Figure 4(d): rank-4 gates precede rank-3 gates."""
+        order = [pair for pair, _ in rank_cphases(FIG4_PAIRS)]
+        assert set(order[:2]) == {(1, 4), (2, 4)}
+        assert set(order[2:]) == {(1, 5), (2, 3)}
+
+
+class TestHardwareProfile:
+    def test_matches_coupling_method(self):
+        g = ibmq_20_tokyo()
+        assert hardware_profile(g) == g.connectivity_profile()
+
+    def test_radius_parameter_forwarded(self):
+        g = ibmq_20_tokyo()
+        assert hardware_profile(g, radius=1)[0] == g.degree(0)
+
+
+class TestInteractionPairs:
+    def test_extracts_cphases_only(self):
+        qc = QuantumCircuit(4).h(0).cphase(0.3, 0, 1).cnot(1, 2)
+        qc.cphase(0.3, 2, 3)
+        assert interaction_pairs(qc) == [(0, 1), (2, 3)]
+
+    def test_preserves_order_and_duplicates(self):
+        qc = QuantumCircuit(2).cphase(0.1, 0, 1).cphase(0.2, 0, 1)
+        assert interaction_pairs(qc) == [(0, 1), (0, 1)]

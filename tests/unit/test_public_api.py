@@ -1,0 +1,73 @@
+"""Public-API consistency checks.
+
+Guards against export drift: every name in each package's ``__all__`` must
+resolve, and the top-level convenience namespace must expose the documented
+entry points.
+"""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.circuits",
+    "repro.hardware",
+    "repro.sim",
+    "repro.compiler",
+    "repro.qaoa",
+    "repro.experiments",
+]
+
+
+class TestExports:
+    @pytest.mark.parametrize("package", PACKAGES)
+    def test_all_names_resolve(self, package):
+        module = importlib.import_module(package)
+        assert hasattr(module, "__all__"), f"{package} lacks __all__"
+        for name in module.__all__:
+            assert hasattr(module, name), f"{package}.{name} missing"
+
+    @pytest.mark.parametrize("package", PACKAGES)
+    def test_no_duplicate_exports(self, package):
+        module = importlib.import_module(package)
+        assert len(module.__all__) == len(set(module.__all__))
+
+    def test_documented_quickstart_names(self):
+        import repro
+
+        for name in (
+            "MaxCutProblem",
+            "optimize_qaoa",
+            "compile_with_method",
+            "ibmq_20_tokyo",
+            "melbourne_calibration",
+            "StatevectorSimulator",
+            "NoisySimulator",
+            "evaluate_arg",
+        ):
+            assert hasattr(repro, name)
+
+    def test_version_string(self):
+        import repro
+
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3
+        assert all(p.isdigit() for p in parts)
+
+    def test_method_presets_cover_paper(self):
+        from repro import METHOD_PRESETS
+
+        assert set(METHOD_PRESETS) == {
+            "naive", "greedy_v", "greedy_e", "qaim", "ip", "ic", "vic",
+        }
+
+    def test_every_public_callable_has_a_docstring(self):
+        import inspect
+
+        for package in PACKAGES:
+            module = importlib.import_module(package)
+            for name in module.__all__:
+                obj = getattr(module, name)
+                if inspect.isfunction(obj) or inspect.isclass(obj):
+                    assert obj.__doc__, f"{package}.{name} lacks a docstring"

@@ -1,0 +1,119 @@
+"""Unit tests for QAIM — including the Figure 3 worked example."""
+
+import numpy as np
+import pytest
+
+from repro.compiler.qaim import QAIMConfig, qaim_placement
+from repro.hardware import ibmq_20_tokyo, linear_device, ring_device
+
+# Figure 3(c)/5 toy cost Hamiltonian (5 qubits, 7 CPHASEs).
+TOY_PAIRS = [(0, 1), (0, 2), (0, 3), (0, 4), (1, 2), (1, 4), (3, 4)]
+
+
+class TestFigure3Example:
+    """Example 1 of the paper, on ibmq_20_tokyo."""
+
+    def test_heaviest_qubit_gets_strongest_physical_qubit(self):
+        # q0 has 4 CPHASEs (heaviest); qubits 7 and 12 tie at strength 18.
+        # Deterministic tie-break picks the lower index, 7 — the same
+        # choice the paper's example makes "randomly".
+        m = qaim_placement(TOY_PAIRS, 5, ibmq_20_tokyo())
+        assert m.physical(0) == 7
+
+    def test_q1_lands_on_qubit_12(self):
+        # Figure 3(e)(ii): among q0's six physical neighbours (all at
+        # distance 1), qubit 12 has the highest connectivity strength.
+        m = qaim_placement(TOY_PAIRS, 5, ibmq_20_tokyo())
+        assert m.physical(1) == 12
+
+    def test_full_placement_is_deterministic_and_injective(self):
+        m = qaim_placement(TOY_PAIRS, 5, ibmq_20_tokyo())
+        placed = m.as_dict()
+        assert sorted(placed) == [0, 1, 2, 3, 4]
+        assert len(set(placed.values())) == 5
+
+    def test_logical_neighbours_end_up_close(self):
+        g = ibmq_20_tokyo()
+        m = qaim_placement(TOY_PAIRS, 5, g)
+        distances = [
+            g.distance(m.physical(a), m.physical(b)) for a, b in TOY_PAIRS
+        ]
+        # QAIM keeps interacting qubits tight: average distance near 1.
+        assert max(distances) <= 2
+        assert float(np.mean(distances)) < 1.5
+
+    def test_random_tiebreak_picks_7_or_12(self):
+        outcomes = set()
+        for seed in range(10):
+            m = qaim_placement(
+                TOY_PAIRS, 5, ibmq_20_tokyo(), rng=np.random.default_rng(seed)
+            )
+            outcomes.add(m.physical(0))
+        assert outcomes <= {7, 12}
+        assert len(outcomes) == 2  # both ties actually occur
+
+
+class TestGeneralBehaviour:
+    def test_too_many_logical_rejected(self):
+        with pytest.raises(ValueError, match="do not fit"):
+            qaim_placement([(0, 1)], 7, linear_device(6))
+
+    def test_isolated_logical_qubits_placed_by_strength(self):
+        m = qaim_placement([(0, 1)], 4, ring_device(8))
+        assert len(m.as_dict()) == 4
+
+    def test_placement_order_is_by_activity(self):
+        # Star graph: the hub is placed first, on the strongest qubit.
+        star = [(0, i) for i in range(1, 5)]
+        g = ibmq_20_tokyo()
+        m = qaim_placement(star, 5, g)
+        strengths = g.connectivity_profile()
+        hub_strength = strengths[m.physical(0)]
+        assert hub_strength == max(strengths.values())
+
+    def test_neighbour_candidates_preferred_over_global(self):
+        # On a line, QAIM should place a chain contiguously.
+        chain = [(0, 1), (1, 2), (2, 3)]
+        g = linear_device(8)
+        m = qaim_placement(chain, 4, g)
+        for a, b in chain:
+            assert g.distance(m.physical(a), m.physical(b)) <= 2
+
+    def test_fallback_when_no_free_neighbours(self):
+        # Fill a tiny device so the neighbour pool empties: still succeeds.
+        pairs = [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4)]
+        m = qaim_placement(pairs, 5, ring_device(5))
+        assert len(set(m.as_dict().values())) == 5
+
+    def test_radius_config(self):
+        m1 = qaim_placement(
+            TOY_PAIRS, 5, ibmq_20_tokyo(), config=QAIMConfig(radius=1)
+        )
+        m3 = qaim_placement(
+            TOY_PAIRS, 5, ibmq_20_tokyo(), config=QAIMConfig(radius=3)
+        )
+        assert len(m1.as_dict()) == len(m3.as_dict()) == 5
+
+    def test_invalid_radius(self):
+        with pytest.raises(ValueError, match="radius"):
+            QAIMConfig(radius=0)
+
+    def test_weighted_config_runs(self):
+        pairs = [(0, 1), (0, 1), (1, 2)]  # (0,1) interacts twice
+        m = qaim_placement(
+            pairs, 3, ibmq_20_tokyo(), config=QAIMConfig(weighted=True)
+        )
+        g = ibmq_20_tokyo()
+        # The doubly-interacting pair should not be farther than the single.
+        assert g.distance(m.physical(0), m.physical(1)) <= g.distance(
+            m.physical(1), m.physical(2)
+        )
+
+    def test_reproducible_with_seed(self):
+        a = qaim_placement(
+            TOY_PAIRS, 5, ibmq_20_tokyo(), rng=np.random.default_rng(4)
+        )
+        b = qaim_placement(
+            TOY_PAIRS, 5, ibmq_20_tokyo(), rng=np.random.default_rng(4)
+        )
+        assert a == b

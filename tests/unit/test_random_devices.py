@@ -1,0 +1,87 @@
+"""Unit tests for random device generators."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.random import (
+    random_connected_device,
+    random_degree_bounded_device,
+)
+
+
+class TestRandomConnected:
+    def test_always_connected(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            device = random_connected_device(
+                int(rng.integers(2, 15)), int(rng.integers(0, 10)), rng
+            )
+            assert device.is_connected()
+
+    def test_tree_when_no_extra_edges(self):
+        device = random_connected_device(8, 0, np.random.default_rng(1))
+        assert device.num_edges() == 7
+
+    def test_extra_edges_added(self):
+        device = random_connected_device(8, 5, np.random.default_rng(2))
+        assert device.num_edges() == 12
+
+    def test_capped_at_complete_graph(self):
+        device = random_connected_device(4, 100, np.random.default_rng(3))
+        assert device.num_edges() == 6
+
+    def test_reproducible(self):
+        a = random_connected_device(10, 4, np.random.default_rng(4))
+        b = random_connected_device(10, 4, np.random.default_rng(4))
+        assert a.edges == b.edges
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least 2"):
+            random_connected_device(1)
+        with pytest.raises(ValueError, match="extra_edges"):
+            random_connected_device(4, -1)
+
+    def test_name_default(self):
+        device = random_connected_device(5, 1, np.random.default_rng(5))
+        assert device.name.startswith("random_5q")
+
+
+class TestDegreeBounded:
+    def test_degree_bound_respected(self):
+        rng = np.random.default_rng(6)
+        for _ in range(15):
+            device = random_degree_bounded_device(
+                int(rng.integers(3, 20)), max_degree=3, rng=rng
+            )
+            assert device.is_connected()
+            assert all(
+                device.degree(q) <= 3 for q in range(device.num_qubits)
+            )
+
+    def test_degree_two_gives_path_like(self):
+        device = random_degree_bounded_device(
+            6, max_degree=2, rng=np.random.default_rng(7)
+        )
+        assert device.is_connected()
+        assert max(device.degree(q) for q in range(6)) <= 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_degree"):
+            random_degree_bounded_device(4, max_degree=1)
+
+    def test_compiles_qaoa(self):
+        """Random topologies must work end to end."""
+        from repro.compiler import compile_with_method
+        from repro.qaoa import MaxCutProblem
+
+        device = random_degree_bounded_device(
+            10, max_degree=3, rng=np.random.default_rng(8)
+        )
+        problem = MaxCutProblem(
+            6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (0, 5)]
+        )
+        program = problem.to_program([0.5], [0.3])
+        compiled = compile_with_method(
+            program, device, "ic", rng=np.random.default_rng(9)
+        )
+        compiled.validate()

@@ -1,0 +1,48 @@
+"""Unit tests for text-table reporting."""
+
+from repro.experiments.reporting import banner, format_ratio_table, format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [10, 0.123]])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, rule, 2 rows
+        assert all(len(l) == len(lines[0]) for l in lines)
+
+    def test_float_formatting(self):
+        text = format_table(["x"], [[0.123456]])
+        assert "0.123" in text
+        assert "0.123456" not in text
+
+    def test_custom_float_format(self):
+        text = format_table(["x"], [[0.123456]], float_fmt="{:.5f}")
+        assert "0.12346" in text
+
+    def test_non_float_cells_pass_through(self):
+        text = format_table(["name", "n"], [["qaim", 42]])
+        assert "qaim" in text
+        assert "42" in text
+
+
+class TestFormatRatioTable:
+    def test_rows_and_columns(self):
+        ratios = {
+            ("er", 0.1): {"naive": 1.0, "qaim": 0.8},
+            ("er", 0.5): {"naive": 1.0, "qaim": 0.95},
+        }
+        text = format_ratio_table(ratios, ["naive", "qaim"])
+        assert "er/0.1" in text
+        assert "0.800" in text
+
+    def test_missing_method_is_nan(self):
+        ratios = {("er", 0.1): {"naive": 1.0}}
+        text = format_ratio_table(ratios, ["naive", "qaim"])
+        assert "nan" in text
+
+
+class TestBanner:
+    def test_contains_title(self):
+        text = banner("Figure 7")
+        assert "Figure 7" in text
+        assert "=" * 10 in text

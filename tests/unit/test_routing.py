@@ -1,0 +1,88 @@
+"""Unit tests for SWAP routing."""
+
+import numpy as np
+import pytest
+
+from repro.compiler.mapping import Mapping
+from repro.compiler.routing import route_pair
+from repro.hardware import CouplingGraph, linear_device, ring_device
+
+
+class TestAdjacentPairs:
+    def test_no_swaps_when_adjacent(self):
+        g = linear_device(4)
+        m = Mapping.trivial(4, 4)
+        result = route_pair(g, m, 0, 1)
+        assert result.num_swaps == 0
+        assert result.physical_pair == (0, 1)
+        assert m.as_dict() == {0: 0, 1: 1, 2: 2, 3: 3}
+
+
+class TestDistantPairs:
+    def test_distance_k_needs_k_minus_1_swaps_on_a_line(self):
+        for k in range(2, 6):
+            g = linear_device(k + 1)
+            m = Mapping.trivial(k + 1, k + 1)
+            result = route_pair(g, m, 0, k)
+            assert result.num_swaps == k - 1
+
+    def test_endpoints_adjacent_after_routing(self):
+        g = ring_device(8)
+        m = Mapping.trivial(8, 8)
+        result = route_pair(g, m, 0, 4)
+        pa, pb = m.physical(0), m.physical(4)
+        assert g.has_edge(pa, pb)
+        assert result.physical_pair == (pa, pb) or result.physical_pair == (pb, pa) or g.has_edge(*result.physical_pair)
+
+    def test_swaps_are_on_coupled_edges(self):
+        g = ring_device(10)
+        m = Mapping.trivial(10, 10)
+        result = route_pair(g, m, 0, 5)
+        for swap in result.swaps:
+            assert swap.name == "swap"
+            assert g.has_edge(*swap.qubits)
+
+    def test_mapping_stays_injective(self):
+        g = linear_device(6)
+        m = Mapping.trivial(6, 6)
+        route_pair(g, m, 0, 5)
+        values = list(m.as_dict().values())
+        assert len(set(values)) == 6
+
+    def test_both_ends_move_inward(self):
+        # Distance-4 pair on a line: swaps alternate from both ends.
+        g = linear_device(5)
+        m = Mapping.trivial(5, 5)
+        route_pair(g, m, 0, 4)
+        # Neither endpoint should have travelled the whole path.
+        assert m.physical(0) != 0 or m.physical(4) != 4
+        assert abs(m.physical(0) - m.physical(4)) == 1
+
+
+class TestWeightedRouting:
+    def test_distance_matrix_steers_path(self):
+        # Square 0-1-2-3-0 with a horrible 0-3 edge: routing 0 to 2 must
+        # go through 1, never through 3.
+        g = CouplingGraph(4, [(0, 1), (1, 2), (2, 3), (0, 3)])
+        weights = {(0, 1): 1.0, (1, 2): 1.0, (2, 3): 1.0, (0, 3): 50.0}
+        dist = g.weighted_distance_matrix(weights)
+        m = Mapping.trivial(4, 4)
+        result = route_pair(g, m, 0, 2, dist=dist)
+        assert result.num_swaps == 1
+        swap_edge = tuple(sorted(result.swaps[0].qubits))
+        assert swap_edge in {(0, 1), (1, 2)}
+
+    def test_hop_routing_may_use_either_side(self):
+        g = CouplingGraph(4, [(0, 1), (1, 2), (2, 3), (0, 3)])
+        m = Mapping.trivial(4, 4)
+        result = route_pair(g, m, 0, 2)
+        assert result.num_swaps == 1
+
+
+class TestThroughEmptyQubits:
+    def test_routing_through_unoccupied_physical_qubits(self):
+        g = linear_device(5)
+        m = Mapping({0: 0, 1: 4}, 5)  # middle of the line is empty
+        result = route_pair(g, m, 0, 1)
+        assert result.num_swaps == 3
+        assert g.has_edge(m.physical(0), m.physical(1))

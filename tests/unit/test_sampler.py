@@ -1,0 +1,91 @@
+"""Unit tests for bitstring-count utilities."""
+
+import pytest
+
+from repro.sim.sampler import (
+    bitstring_to_index,
+    counts_to_probabilities,
+    expectation_from_counts,
+    index_to_bitstring,
+    marginal_counts,
+    merge_counts,
+    most_frequent,
+    total_shots,
+)
+
+
+class TestConversions:
+    def test_round_trip(self):
+        for i in range(16):
+            assert bitstring_to_index(index_to_bitstring(i, 4)) == i
+
+    def test_orientation(self):
+        # qubit 0 is the rightmost character
+        assert index_to_bitstring(1, 3) == "001"
+        assert bitstring_to_index("100") == 4
+
+
+class TestHistograms:
+    def test_total_shots(self):
+        assert total_shots({"00": 3, "11": 7}) == 10
+
+    def test_probabilities(self):
+        probs = counts_to_probabilities({"0": 1, "1": 3})
+        assert probs == {"0": 0.25, "1": 0.75}
+
+    def test_probabilities_empty_rejected(self):
+        with pytest.raises(ValueError):
+            counts_to_probabilities({})
+
+    def test_merge(self):
+        merged = merge_counts({"0": 1}, {"0": 2, "1": 5})
+        assert merged == {"0": 3, "1": 5}
+
+    def test_merge_empty(self):
+        assert merge_counts() == {}
+
+
+class TestExpectation:
+    def test_mean_of_values(self):
+        counts = {"00": 2, "11": 2}
+        value = expectation_from_counts(counts, lambda b: b.count("1"))
+        assert value == pytest.approx(1.0)
+
+    def test_weighted_mean(self):
+        counts = {"0": 3, "1": 1}
+        value = expectation_from_counts(counts, lambda b: int(b))
+        assert value == pytest.approx(0.25)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            expectation_from_counts({}, lambda b: 0)
+
+
+class TestMostFrequent:
+    def test_modal_bitstring(self):
+        assert most_frequent({"01": 5, "10": 9}) == "10"
+
+    def test_tie_breaks_lexicographically(self):
+        assert most_frequent({"11": 5, "00": 5}) == "00"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            most_frequent({})
+
+
+class TestMarginals:
+    def test_keep_single_qubit(self):
+        counts = {"01": 4, "11": 6}  # qubit0 = 1 always
+        assert marginal_counts(counts, [0]) == {"1": 10}
+
+    def test_keep_subset_order(self):
+        counts = {"110": 3}  # q2=1 q1=1 q0=0
+        assert marginal_counts(counts, [0, 2]) == {"10": 3}
+
+    def test_out_of_range_qubit(self):
+        with pytest.raises(ValueError):
+            marginal_counts({"01": 1}, [5])
+
+    def test_merging_of_collapsed_strings(self):
+        counts = {"00": 1, "10": 2}  # marginal on qubit 0 merges both
+        assert marginal_counts(counts, [0]) == {"0": 3}

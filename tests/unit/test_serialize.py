@@ -1,0 +1,109 @@
+"""Unit tests for compiled-result JSON serialisation."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.circuits import QuantumCircuit
+from repro.compiler import (
+    CompiledQAOA,
+    ConventionalBackend,
+    Mapping,
+    compile_with_method,
+)
+from repro.compiler.serialize import from_json, to_json
+from repro.hardware import ibmq_16_melbourne, melbourne_calibration, ring_device
+from repro.qaoa import MaxCutProblem
+
+
+@pytest.fixture
+def compiled_qaoa(rng):
+    problem = MaxCutProblem(5, [(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)])
+    program = problem.to_program([0.5, -0.2], [0.3, 0.1])
+    return compile_with_method(program, ring_device(6), "ic", rng=rng)
+
+
+class TestQAOARoundTrip:
+    def test_round_trip_identity(self, compiled_qaoa):
+        restored = from_json(to_json(compiled_qaoa))
+        assert isinstance(restored, CompiledQAOA)
+        assert restored.circuit.instructions == compiled_qaoa.circuit.instructions
+        assert restored.initial_mapping == compiled_qaoa.initial_mapping
+        assert restored.final_mapping == compiled_qaoa.final_mapping
+        assert restored.swap_count == compiled_qaoa.swap_count
+        assert restored.method == compiled_qaoa.method
+        assert restored.coupling.edges == compiled_qaoa.coupling.edges
+
+    def test_program_restored(self, compiled_qaoa):
+        restored = from_json(to_json(compiled_qaoa))
+        assert restored.program.num_qubits == 5
+        assert restored.program.p == 2
+        assert restored.program.edges == compiled_qaoa.program.edges
+
+    def test_metrics_recomputable_after_restore(self, compiled_qaoa):
+        restored = from_json(to_json(compiled_qaoa))
+        assert restored.depth() == compiled_qaoa.depth()
+        assert restored.gate_count() == compiled_qaoa.gate_count()
+
+    def test_linear_terms_survive(self, rng):
+        from repro.qaoa import IsingProblem
+
+        problem = IsingProblem(3, {(0, 1): 1.0, (1, 2): -0.5}, {0: 0.7})
+        program = problem.to_program([0.5], [0.3])
+        compiled = compile_with_method(
+            program, ring_device(4), "ip", rng=rng
+        )
+        restored = from_json(to_json(compiled))
+        assert restored.program.linear == {0: 0.7}
+
+    def test_payload_is_valid_json_with_qasm(self, compiled_qaoa):
+        payload = json.loads(to_json(compiled_qaoa))
+        assert payload["kind"] == "qaoa"
+        assert payload["qasm"].startswith("OPENQASM 2.0;")
+
+
+class TestCircuitRoundTrip:
+    def test_raw_backend_result(self):
+        device = ring_device(5)
+        backend = ConventionalBackend(device)
+        compiled = backend.compile(
+            QuantumCircuit(5).cphase(0.4, 0, 2).cnot(1, 3),
+            Mapping.trivial(5, 5),
+        )
+        restored = from_json(to_json(compiled))
+        assert not isinstance(restored, CompiledQAOA)
+        assert restored.circuit.instructions == compiled.circuit.instructions
+        assert restored.swap_count == compiled.swap_count
+
+
+class TestValidation:
+    def test_version_check(self, compiled_qaoa):
+        payload = json.loads(to_json(compiled_qaoa))
+        payload["format_version"] = 99
+        with pytest.raises(ValueError, match="version"):
+            from_json(json.dumps(payload))
+
+    def test_tampered_circuit_fails_validation(self, compiled_qaoa):
+        payload = json.loads(to_json(compiled_qaoa))
+        # Inject a coupling-violating gate into the QASM.
+        payload["qasm"] = payload["qasm"].replace(
+            "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[6];\ncreg c[6];",
+            "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[6];\ncreg c[6];\ncx q[0],q[3];",
+        )
+        with pytest.raises(AssertionError, match="violates"):
+            from_json(json.dumps(payload))
+
+    def test_vic_result_round_trips(self, rng):
+        problem = MaxCutProblem(6, [(0, 1), (1, 2), (2, 3), (4, 5), (0, 5)])
+        program = problem.to_program([0.4], [0.2])
+        compiled = compile_with_method(
+            program,
+            ibmq_16_melbourne(),
+            "vic",
+            calibration=melbourne_calibration(),
+            rng=rng,
+        )
+        restored = from_json(to_json(compiled))
+        assert restored.method == "qaim+vic"
+        assert restored.depth() == compiled.depth()

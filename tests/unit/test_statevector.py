@@ -1,0 +1,154 @@
+"""Unit tests for the dense statevector simulator."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import QuantumCircuit
+from repro.circuits.gates import gate_spec
+from repro.sim.statevector import StatevectorSimulator, apply_gate, zero_state
+
+
+def _kron_apply(matrix, qubits, num_qubits, state_flat):
+    """Reference implementation: build the full 2^n x 2^n operator."""
+    dim = 2 ** num_qubits
+    full = np.zeros((dim, dim), dtype=complex)
+    k = len(qubits)
+    for i in range(dim):
+        for j in range(dim):
+            # matrix element <i|U|j> factorises over gate and spectator bits
+            ok = True
+            for q in range(num_qubits):
+                if q in qubits:
+                    continue
+                if (i >> q) & 1 != (j >> q) & 1:
+                    ok = False
+                    break
+            if not ok:
+                continue
+            row = sum(((i >> q) & 1) << t for t, q in enumerate(qubits))
+            col = sum(((j >> q) & 1) << t for t, q in enumerate(qubits))
+            full[i, j] = matrix[row, col]
+    return full @ state_flat
+
+
+class TestApplyGate:
+    @pytest.mark.parametrize("qubit", [0, 1, 2])
+    def test_single_qubit_matches_kron(self, qubit, rng):
+        n = 3
+        state = rng.normal(size=2 ** n) + 1j * rng.normal(size=2 ** n)
+        state /= np.linalg.norm(state)
+        m = gate_spec("u3").matrix((0.3, 0.7, -0.2))
+        ours = apply_gate(state.reshape((2,) * n), m, (qubit,)).reshape(-1)
+        ref = _kron_apply(m, (qubit,), n, state)
+        np.testing.assert_allclose(ours, ref, atol=1e-12)
+
+    @pytest.mark.parametrize("qubits", [(0, 1), (1, 0), (0, 2), (2, 1)])
+    def test_two_qubit_matches_kron(self, qubits, rng):
+        n = 3
+        state = rng.normal(size=2 ** n) + 1j * rng.normal(size=2 ** n)
+        state /= np.linalg.norm(state)
+        m = gate_spec("cnot").matrix()
+        ours = apply_gate(state.reshape((2,) * n), m, qubits).reshape(-1)
+        ref = _kron_apply(m, qubits, n, state)
+        np.testing.assert_allclose(ours, ref, atol=1e-12)
+
+    def test_norm_preserved(self, rng):
+        state = zero_state(4)
+        for _ in range(20):
+            q = int(rng.integers(4))
+            state = apply_gate(state, gate_spec("h").matrix(), (q,))
+        assert np.linalg.norm(state) == pytest.approx(1.0)
+
+
+class TestRun:
+    def test_zero_state_default(self):
+        sim = StatevectorSimulator()
+        out = sim.run(QuantumCircuit(2))
+        np.testing.assert_allclose(out, [1, 0, 0, 0])
+
+    def test_bell_state(self):
+        sim = StatevectorSimulator()
+        qc = QuantumCircuit(2).h(0).cnot(0, 1)
+        out = sim.run(qc)
+        expected = np.zeros(4, dtype=complex)
+        expected[0] = expected[3] = 1 / np.sqrt(2)
+        np.testing.assert_allclose(out, expected, atol=1e-12)
+
+    def test_x_flips_correct_qubit(self):
+        sim = StatevectorSimulator()
+        out = sim.run(QuantumCircuit(3).x(1))
+        # |010> little endian = index 2
+        assert abs(out[2]) == pytest.approx(1.0)
+
+    def test_measure_and_barrier_ignored(self):
+        sim = StatevectorSimulator()
+        a = sim.run(QuantumCircuit(2).h(0))
+        b = sim.run(QuantumCircuit(2).h(0).barrier().measure_all())
+        np.testing.assert_allclose(a, b)
+
+    def test_initial_state_override(self):
+        sim = StatevectorSimulator()
+        init = np.zeros(4, dtype=complex)
+        init[3] = 1.0
+        out = sim.run(QuantumCircuit(2), initial_state=init)
+        np.testing.assert_allclose(out, init)
+
+    def test_size_guard(self):
+        sim = StatevectorSimulator(max_qubits=3)
+        with pytest.raises(ValueError, match="exceeds"):
+            sim.run(QuantumCircuit(4))
+
+
+class TestProbabilitiesAndSampling:
+    def test_probabilities_normalised(self):
+        sim = StatevectorSimulator()
+        qc = QuantumCircuit(3).h(0).h(1).h(2)
+        probs = sim.probabilities(qc)
+        assert probs.sum() == pytest.approx(1.0)
+        np.testing.assert_allclose(probs, np.full(8, 1 / 8), atol=1e-12)
+
+    def test_sampling_reproducible(self):
+        sim = StatevectorSimulator()
+        qc = QuantumCircuit(2).h(0).cnot(0, 1)
+        a = sim.sample_counts(qc, 100, np.random.default_rng(3))
+        b = sim.sample_counts(qc, 100, np.random.default_rng(3))
+        assert a == b
+
+    def test_bell_samples_only_correlated(self):
+        sim = StatevectorSimulator()
+        qc = QuantumCircuit(2).h(0).cnot(0, 1)
+        counts = sim.sample_counts(qc, 500, np.random.default_rng(0))
+        assert set(counts) <= {"00", "11"}
+        assert sum(counts.values()) == 500
+
+    def test_bitstring_orientation(self):
+        # Flip only qubit 0 -> string "01" (qubit 0 is the rightmost bit).
+        sim = StatevectorSimulator()
+        counts = sim.sample_counts(
+            QuantumCircuit(2).x(0), 10, np.random.default_rng(0)
+        )
+        assert counts == {"01": 10}
+
+    def test_invalid_shots(self):
+        sim = StatevectorSimulator()
+        with pytest.raises(ValueError, match="shots"):
+            sim.sample_counts(QuantumCircuit(1).h(0), 0)
+
+
+class TestExpectation:
+    def test_diagonal_expectation_uniform(self):
+        sim = StatevectorSimulator()
+        qc = QuantumCircuit(2).h(0).h(1)
+        values = np.array([0.0, 1.0, 2.0, 3.0])
+        assert sim.expectation_diagonal(qc, values) == pytest.approx(1.5)
+
+    def test_diagonal_expectation_basis_state(self):
+        sim = StatevectorSimulator()
+        qc = QuantumCircuit(2).x(1)  # state |10> = index 2
+        values = np.array([5.0, 6.0, 7.0, 8.0])
+        assert sim.expectation_diagonal(qc, values) == pytest.approx(7.0)
+
+    def test_wrong_length_rejected(self):
+        sim = StatevectorSimulator()
+        with pytest.raises(ValueError, match="entries"):
+            sim.expectation_diagonal(QuantumCircuit(2), np.zeros(3))

@@ -1,0 +1,137 @@
+"""Unit tests for the gate-duration model and execution-time estimate."""
+
+import math
+
+import pytest
+
+from repro.circuits import QuantumCircuit
+from repro.circuits.gates import Instruction
+from repro.circuits.timing import (
+    DurationModel,
+    decoherence_factor,
+    execution_time,
+    schedule,
+)
+
+
+class TestDurationModel:
+    def test_defaults(self):
+        model = DurationModel()
+        assert model.duration(Instruction("u3", (0,), (0.1, 0.2, 0.3))) == 35.0
+        assert model.duration(Instruction("cnot", (0, 1))) == 300.0
+        assert model.duration(Instruction("measure", (0,))) == 3500.0
+
+    def test_virtual_gates_are_free(self):
+        model = DurationModel()
+        for name, params in [("u1", (0.5,)), ("rz", (0.5,)), ("z", ())]:
+            assert model.duration(Instruction(name, (0,), params)) == 0.0
+
+    def test_swap_defaults_to_three_cnots(self):
+        model = DurationModel()
+        assert model.duration(Instruction("swap", (0, 1))) == 900.0
+
+    def test_swap_override(self):
+        model = DurationModel(swap=450.0)
+        assert model.duration(Instruction("swap", (0, 1))) == 450.0
+
+    def test_barrier_is_free(self):
+        model = DurationModel()
+        assert model.duration(Instruction("barrier", (0, 1))) == 0.0
+
+
+class TestSchedule:
+    def test_serial_chain(self):
+        qc = QuantumCircuit(1).h(0).h(0)
+        gates = schedule(qc, DurationModel(single_qubit=10))
+        assert gates[0].start == 0.0 and gates[0].end == 10.0
+        assert gates[1].start == 10.0 and gates[1].end == 20.0
+
+    def test_parallel_gates_overlap(self):
+        qc = QuantumCircuit(2).h(0).h(1)
+        gates = schedule(qc, DurationModel(single_qubit=10))
+        assert gates[0].start == gates[1].start == 0.0
+
+    def test_two_qubit_gate_waits_for_both(self):
+        model = DurationModel(single_qubit=10, two_qubit=100)
+        qc = QuantumCircuit(2).h(0).cnot(0, 1)
+        gates = schedule(qc, model)
+        assert gates[1].start == 10.0
+        assert gates[1].end == 110.0
+
+    def test_mixed_durations_compact_schedule(self):
+        # A virtual u1 takes no time, so the subsequent gate starts at the
+        # same instant.
+        model = DurationModel(single_qubit=10)
+        qc = QuantumCircuit(1).u1(0.3, 0).h(0)
+        gates = schedule(qc, model)
+        assert gates[1].start == 0.0
+
+    def test_barrier_synchronises(self):
+        model = DurationModel(single_qubit=10)
+        qc = QuantumCircuit(2).h(0).barrier().h(1)
+        gates = schedule(qc, model)
+        # h(1) must wait for the barrier, which waits for h(0).
+        assert gates[1].start == 10.0
+
+
+class TestExecutionTime:
+    def test_empty_circuit(self):
+        assert execution_time(QuantumCircuit(2)) == 0.0
+
+    def test_makespan(self):
+        model = DurationModel(single_qubit=10, two_qubit=100, measure=1000)
+        qc = QuantumCircuit(2).h(0).cnot(0, 1).measure_all()
+        assert execution_time(qc, model) == 10 + 100 + 1000
+
+    def test_depth_reduction_reduces_time(self):
+        """The paper's motivation made quantitative: the re-ordered Fig-1
+        circuit executes faster than the serialised one."""
+        def qaoa(order):
+            qc = QuantumCircuit(4)
+            for q in range(4):
+                qc.h(q)
+            for a, b in order:
+                qc.cphase(0.5, a, b)
+            for q in range(4):
+                qc.rx(0.6, q)
+            return qc
+
+        bad = [(0, 1), (1, 2), (0, 2), (2, 3), (1, 3), (0, 3)]
+        good = [(0, 1), (2, 3), (0, 2), (1, 3), (0, 3), (1, 2)]
+        assert execution_time(qaoa(good)) < execution_time(qaoa(bad))
+
+
+class TestDecoherenceFactor:
+    def test_empty_circuit_survives(self):
+        assert decoherence_factor(QuantumCircuit(2)) == 1.0
+
+    def test_bounded(self):
+        qc = QuantumCircuit(2).h(0).cnot(0, 1).measure_all()
+        factor = decoherence_factor(qc)
+        assert 0.0 < factor < 1.0
+
+    def test_longer_circuits_decohere_more(self):
+        short = QuantumCircuit(2).cnot(0, 1)
+        long = QuantumCircuit(2)
+        for _ in range(10):
+            long.cnot(0, 1)
+        assert decoherence_factor(long) < decoherence_factor(short)
+
+    def test_larger_t2_helps(self):
+        qc = QuantumCircuit(2).cnot(0, 1).cnot(0, 1)
+        assert decoherence_factor(qc, t2_ns=1e6) > decoherence_factor(
+            qc, t2_ns=1e4
+        )
+
+    def test_invalid_t2(self):
+        with pytest.raises(ValueError, match="positive"):
+            decoherence_factor(QuantumCircuit(1).h(0), t2_ns=0.0)
+
+    def test_exposure_is_per_active_qubit(self):
+        # Idle qubits (never touched) contribute nothing.
+        model = DurationModel(single_qubit=100.0)
+        small = QuantumCircuit(2).h(0)
+        big_register = QuantumCircuit(10).h(0)
+        assert decoherence_factor(small, model=model) == pytest.approx(
+            decoherence_factor(big_register, model=model)
+        )

@@ -1,0 +1,85 @@
+"""Unit tests for QAOA parameter transfer across similar instances."""
+
+import numpy as np
+import pytest
+
+from repro.qaoa.graphs import random_regular_graph
+from repro.qaoa.problems import MaxCutProblem
+from repro.qaoa.transfer import (
+    TransferredParameters,
+    learn_parameters,
+    transfer_quality,
+)
+
+
+def _regular_family(degree, nodes, count, seed):
+    rng = np.random.default_rng(seed)
+    return [
+        MaxCutProblem.from_graph(random_regular_graph(nodes, degree, rng))
+        for _ in range(count)
+    ]
+
+
+class TestLearnParameters:
+    def test_basic_shape(self):
+        donors = _regular_family(3, 10, 3, seed=0)
+        params = learn_parameters(donors, p=1, rng=np.random.default_rng(1))
+        assert params.p == 1
+        assert len(params.donor_ratios) == 3
+        assert all(0.5 <= r <= 1.0 for r in params.donor_ratios)
+
+    def test_empty_donors_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            learn_parameters([])
+
+    def test_canonicalisation_collapses_equivalent_optima(self):
+        # Donors from the same family should aggregate to angles that are
+        # themselves good for the family (median of scattered equivalent
+        # optima would not be).
+        donors = _regular_family(3, 12, 4, seed=2)
+        params = learn_parameters(donors, p=1, rng=np.random.default_rng(3))
+        for donor in donors:
+            q = transfer_quality(donor, params, rng=np.random.default_rng(4))
+            assert q > 0.9
+
+    def test_single_donor_is_its_own_optimum(self):
+        donors = _regular_family(3, 10, 1, seed=5)
+        params = learn_parameters(donors, p=1, rng=np.random.default_rng(6))
+        q = transfer_quality(donors[0], params, rng=np.random.default_rng(7))
+        assert q == pytest.approx(1.0, abs=1e-6)
+
+
+class TestTransferQuality:
+    def test_transfer_within_family_is_cheap(self):
+        """The Wecker et al. premise: angles from similar instances nearly
+        match per-instance optimisation."""
+        donors = _regular_family(3, 10, 4, seed=8)
+        recipients = _regular_family(3, 12, 3, seed=9)
+        params = learn_parameters(donors, p=1, rng=np.random.default_rng(10))
+        qualities = [
+            transfer_quality(r, params, rng=np.random.default_rng(11))
+            for r in recipients
+        ]
+        assert np.mean(qualities) > 0.92
+
+    def test_cross_family_transfer_is_worse_or_equal(self):
+        sparse_donors = _regular_family(3, 10, 3, seed=12)
+        dense_recipient = _regular_family(8, 10, 1, seed=13)[0]
+        matched_recipient = _regular_family(3, 10, 1, seed=14)[0]
+        params = learn_parameters(
+            sparse_donors, p=1, rng=np.random.default_rng(15)
+        )
+        q_matched = transfer_quality(
+            matched_recipient, params, rng=np.random.default_rng(16)
+        )
+        q_cross = transfer_quality(
+            dense_recipient, params, rng=np.random.default_rng(17)
+        )
+        assert q_matched >= q_cross - 0.05
+
+    def test_quality_bounded_by_one(self):
+        donors = _regular_family(4, 10, 3, seed=18)
+        params = learn_parameters(donors, p=1, rng=np.random.default_rng(19))
+        recipient = _regular_family(4, 12, 1, seed=20)[0]
+        q = transfer_quality(recipient, params, rng=np.random.default_rng(21))
+        assert q <= 1.0 + 1e-9

@@ -1,0 +1,90 @@
+"""Unit tests for Variation-aware IC — the Figure 6 scenario."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import QuantumCircuit
+from repro.compiler.mapping import Mapping
+from repro.compiler.vic import VariationAwareCompiler, vic_compiler
+from repro.hardware import Calibration, linear_device
+from repro.hardware.devices import figure6_calibration, figure6_device
+
+
+class TestFigure6Scenario:
+    """Figure 6(e): with identity mapping, Op1 = CPHASE(q0, q1) should be
+    chosen over Op2 = CPHASE(q0, q5) because its coupling is more reliable
+    (weighted distance 1.11 vs 1.22), although both are 1 hop away."""
+
+    def test_vic_prioritises_reliable_gate(self):
+        cal = figure6_calibration()
+        compiler = VariationAwareCompiler(cal)
+        mapping = Mapping.trivial(6, 6)
+        out = QuantumCircuit(6)
+        result = compiler.compile_block(
+            [(0, 5, 0.3), (0, 1, 0.3)], mapping, out
+        )
+        # Gates share q0, so they land in separate layers; the reliable one
+        # must come first.
+        assert result.layers[0] == [(0, 1)]
+        assert result.layers[1] == [(0, 5)]
+
+    def test_weighted_distance_table_matches_figure6d(self):
+        cal = figure6_calibration()
+        dist = cal.vic_distance_matrix()
+        assert dist[0, 1] == pytest.approx(1.11, abs=0.01)
+        assert dist[0, 5] == pytest.approx(1.22, abs=0.01)
+        assert dist[2, 5] == pytest.approx(3.45, abs=0.01)
+
+    def test_ic_sees_a_tie_where_vic_does_not(self):
+        g = figure6_device()
+        assert g.distance(0, 1) == g.distance(0, 5) == 1
+        cal = figure6_calibration()
+        dist = cal.vic_distance_matrix()
+        assert dist[0, 1] < dist[0, 5]
+
+
+class TestVariationAwareRouting:
+    def test_swaps_avoid_unreliable_paths(self):
+        # Square 0-1-2-3-0; edge (0,3) is terrible.  Routing q0 to q2 must
+        # go via qubit 1.
+        from repro.hardware import CouplingGraph
+
+        g = CouplingGraph(4, [(0, 1), (1, 2), (2, 3), (0, 3)])
+        cal = Calibration(
+            g,
+            {(0, 1): 0.01, (1, 2): 0.01, (2, 3): 0.01, (0, 3): 0.45},
+        )
+        compiler = VariationAwareCompiler(cal)
+        mapping = Mapping.trivial(4, 4)
+        out = QuantumCircuit(4)
+        compiler.compile_block([(0, 2, 0.3)], mapping, out)
+        swap_edges = {
+            tuple(sorted(i.qubits)) for i in out if i.name == "swap"
+        }
+        assert (0, 3) not in swap_edges
+
+
+class TestConstruction:
+    def test_factory_equivalent_to_class(self):
+        cal = figure6_calibration()
+        a = vic_compiler(cal)
+        b = VariationAwareCompiler(cal)
+        np.testing.assert_allclose(a.distance_matrix, b.distance_matrix)
+
+    def test_calibration_attached(self):
+        cal = figure6_calibration()
+        assert VariationAwareCompiler(cal).calibration is cal
+
+    def test_coupling_taken_from_calibration(self):
+        cal = figure6_calibration()
+        assert VariationAwareCompiler(cal).coupling.name == "figure6_6q"
+
+    def test_packing_limit_forwarded(self):
+        cal = figure6_calibration()
+        compiler = VariationAwareCompiler(cal, packing_limit=1)
+        mapping = Mapping.trivial(6, 6)
+        out = QuantumCircuit(6)
+        result = compiler.compile_block(
+            [(0, 1, 0.1), (2, 3, 0.1)], mapping, out
+        )
+        assert all(len(layer) == 1 for layer in result.layers)
