@@ -8,9 +8,12 @@ Subcommands::
         --device ibmq_20_tokyo --method ic       # compile one instance
     python -m repro experiment fig9              # reproduce one figure
     python -m repro arg --nodes 10 --shots 4096  # ARG across methods
+    python -m repro batch jobs.jsonl -o out.jsonl --workers 4  # batch service
+    python -m repro cache stats --dir .cache     # disk-cache maintenance
 
 Every command takes ``--seed`` for reproducibility; ``compile`` can dump the
-result as OpenQASM 2.0 with ``--qasm out.qasm``.
+result as OpenQASM 2.0 with ``--qasm out.qasm`` or as machine-readable JSON
+with ``--json``.
 """
 
 from __future__ import annotations
@@ -59,6 +62,12 @@ def build_parser() -> argparse.ArgumentParser:
     compile_p.add_argument(
         "--draw", action="store_true", help="ASCII-draw the compiled circuit"
     )
+    compile_p.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the result as a machine-readable JSON document "
+        "(serialised circuit + metrics) instead of the text summary",
+    )
 
     experiment = sub.add_parser(
         "experiment", help="reproduce a paper figure/table"
@@ -96,6 +105,58 @@ def build_parser() -> argparse.ArgumentParser:
     arg_p.add_argument("--shots", type=int, default=4096)
     arg_p.add_argument("--seed", type=int, default=0)
     arg_p.add_argument("--trajectories", type=int, default=24)
+
+    batch = sub.add_parser(
+        "batch",
+        help="run a JSONL job file through the batch compilation engine",
+    )
+    batch.add_argument("jobs", help="JSONL job file (- for stdin)")
+    batch.add_argument(
+        "-o", "--out", default=None, help="write JSONL results here"
+    )
+    batch.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="process-pool size (0 = serial in-process)",
+    )
+    batch.add_argument(
+        "--timeout", type=float, default=None, help="per-job seconds"
+    )
+    batch.add_argument(
+        "--retries", type=int, default=1, help="retries per transient failure"
+    )
+    batch.add_argument(
+        "--cache-dir", default=None, help="disk-tier cache directory"
+    )
+    batch.add_argument(
+        "--cache-entries", type=int, default=1024, help="memory-tier entries"
+    )
+    batch.add_argument(
+        "--cache-bytes",
+        type=int,
+        default=64 * 1024 * 1024,
+        help="memory-tier byte budget",
+    )
+    batch.add_argument(
+        "--no-cache", action="store_true", help="disable result caching"
+    )
+    batch.add_argument(
+        "--include-payload",
+        action="store_true",
+        help="embed the serialised circuit in each result line",
+    )
+    batch.add_argument("--seed", type=int, default=0, help="retry-jitter seed")
+
+    cache_p = sub.add_parser(
+        "cache", help="inspect or maintain a disk-tier result cache"
+    )
+    cache_p.add_argument(
+        "action", choices=["stats", "prune", "clear"],
+        help="stats: show size; prune: drop stale-format entries; "
+        "clear: delete every entry",
+    )
+    cache_p.add_argument("--dir", required=True, help="cache directory")
 
     return parser
 
@@ -147,7 +208,11 @@ def _cmd_compile(args, out) -> int:
     from .hardware.devices import get_device, melbourne_calibration
 
     rng = np.random.default_rng(args.seed)
-    device = get_device(args.device)
+    try:
+        device = get_device(args.device)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
     problem = make_problem(args.family, args.nodes, args.param, rng)
     program = problem.to_program([0.7] * args.p, [0.35] * args.p)
     calibration = None
@@ -157,15 +222,37 @@ def _cmd_compile(args, out) -> int:
             if device.name == "ibmq_16_melbourne"
             else random_calibration(device, rng=rng)
         )
-    compiled = compile_with_method(
-        program,
-        device,
-        args.method,
-        calibration=calibration,
-        packing_limit=args.packing_limit,
-        rng=rng,
-    )
+    try:
+        compiled = compile_with_method(
+            program,
+            device,
+            args.method,
+            calibration=calibration,
+            packing_limit=args.packing_limit,
+            rng=rng,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     metrics = measure_compiled(compiled, calibration=calibration)
+    if args.json:
+        import dataclasses as _dataclasses
+        import json as _json
+
+        from .compiler.serialize import to_json
+
+        document = {
+            "problem": {
+                "family": args.family,
+                "nodes": args.nodes,
+                "param": args.param,
+                "seed": args.seed,
+            },
+            "metrics": _dataclasses.asdict(metrics),
+            "result": _json.loads(to_json(compiled)),
+        }
+        print(_json.dumps(document, indent=2), file=out)
+        return 0
     print(
         f"{problem} via {compiled.method} on {device.name}:", file=out
     )
@@ -314,6 +401,93 @@ def _cmd_arg(args, out) -> int:
     return 0
 
 
+def _cmd_batch(args, out) -> int:
+    import json
+
+    from .compiler.serialize import FORMAT_VERSION
+    from .service import BatchEngine, ResultCache, load_jobs_jsonl
+
+    if args.jobs == "-":
+        lines = sys.stdin.readlines()
+    else:
+        try:
+            with open(args.jobs) as fh:
+                lines = fh.readlines()
+        except OSError as exc:
+            print(f"error: cannot read job file: {exc}", file=sys.stderr)
+            return 2
+    try:
+        jobs = load_jobs_jsonl(lines)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not jobs:
+        print("error: job file contains no jobs", file=sys.stderr)
+        return 2
+
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(
+            max_entries=args.cache_entries,
+            max_bytes=args.cache_bytes,
+            directory=args.cache_dir,
+            expected_version=FORMAT_VERSION,
+        )
+    engine = BatchEngine(
+        workers=args.workers,
+        timeout=args.timeout,
+        retries=args.retries,
+        cache=cache,
+        seed=args.seed,
+    )
+    report = engine.run(jobs)
+
+    records = (
+        r.to_record(include_payload=args.include_payload)
+        for r in report.results
+    )
+    if args.out:
+        with open(args.out, "w") as fh:
+            for record in records:
+                fh.write(json.dumps(record) + "\n")
+        print(f"results written to {args.out}", file=out)
+    else:
+        for record in records:
+            print(json.dumps(record), file=out)
+    print(report.render(), file=out)
+    return 0 if not report.failed else 1
+
+
+def _cmd_cache(args, out) -> int:
+    from .compiler.serialize import FORMAT_VERSION
+    from .experiments.reporting import format_table
+    from .service import ResultCache
+
+    cache = ResultCache(
+        directory=args.dir, expected_version=FORMAT_VERSION
+    )
+    if args.action == "stats":
+        rows = [
+            ["directory", args.dir],
+            ["entries", cache.disk_entries()],
+            ["bytes", cache.disk_bytes()],
+            ["format version", FORMAT_VERSION],
+        ]
+        print(format_table(["cache", "value"], rows), file=out)
+    elif args.action == "prune":
+        pruned = cache.prune_stale()
+        print(
+            f"pruned {pruned} stale entr{'y' if pruned == 1 else 'ies'} "
+            f"({cache.disk_entries()} remain)",
+            file=out,
+        )
+    else:
+        before = cache.disk_entries()
+        cache.clear(disk=True)
+        print(f"cleared {before} entries from {args.dir}", file=out)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None, out=None) -> int:
     """CLI entry point; returns a process exit code."""
     out = out if out is not None else sys.stdout
@@ -330,4 +504,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         return _cmd_analyze(args, out)
     if args.command == "arg":
         return _cmd_arg(args, out)
+    if args.command == "batch":
+        return _cmd_batch(args, out)
+    if args.command == "cache":
+        return _cmd_cache(args, out)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -13,6 +13,12 @@ objective, and returns the winner plus the full scoreboard.  Because every
 flow is milliseconds-fast, a portfolio of dozens of configurations is still
 far cheaper than one run of the planner-style compilers the paper compares
 against.
+
+The candidate grid is submitted through the service layer's
+:class:`~repro.service.engine.BatchEngine`, so a portfolio gets result
+caching and process-pool parallelism for free: pass ``workers`` to fan the
+grid out, and/or a shared :class:`~repro.service.cache.ResultCache` so
+repeated portfolios over the same program only compile new configurations.
 """
 
 from __future__ import annotations
@@ -20,12 +26,10 @@ from __future__ import annotations
 import dataclasses
 from typing import Callable, List, Optional, Sequence, Tuple
 
-import numpy as np
-
 from ..hardware.calibration import Calibration
 from ..hardware.coupling import CouplingGraph
 from ..qaoa.problems import QAOAProgram
-from .flow import CompiledQAOA, compile_with_method
+from .flow import CompiledQAOA
 from .metrics import success_probability
 
 __all__ = [
@@ -100,8 +104,16 @@ def compile_portfolio(
     objective: Callable[[CompiledQAOA], float] = depth_objective,
     calibration: Optional[Calibration] = None,
     router: str = "layered",
+    workers: int = 0,
+    cache=None,
+    engine=None,
 ) -> PortfolioResult:
     """Compile every (method, packing_limit, seed) combination; keep the best.
+
+    The grid is executed through the service layer's batch engine.  Each
+    candidate compiles with ``np.random.default_rng(seed)``, exactly as the
+    pre-service direct loop did, so a fixed-seed portfolio is reproducible
+    regardless of ``workers`` or cache state.
 
     Args:
         program: The QAOA program.
@@ -116,33 +128,62 @@ def compile_portfolio(
         calibration: Needed when ``"vic"`` is among the methods or the
             objective is reliability-based.
         router: Backend router for every candidate.
+        workers: Batch-engine process-pool size (0 = serial in-process).
+        cache: Optional :class:`~repro.service.cache.ResultCache` shared
+            across portfolio calls.
+        engine: A pre-configured
+            :class:`~repro.service.engine.BatchEngine` to submit through
+            (overrides ``workers``/``cache``).
 
     Returns:
         A :class:`PortfolioResult`; ``result.best.compiled`` is the winner.
+
+    Raises:
+        RuntimeError: When any candidate configuration fails to compile —
+            a portfolio's scoreboard must be complete to be comparable.
     """
     if not methods or not seeds or not packing_limits:
         raise ValueError("methods, packing_limits and seeds must be non-empty")
+    from ..service.engine import BatchEngine
+    from ..service.job import CompileJob
+
+    grid = [
+        (method, limit, seed)
+        for method in methods
+        for limit in packing_limits
+        for seed in seeds
+    ]
+    jobs = [
+        CompileJob(
+            program=program,
+            device=coupling,
+            method=method,
+            packing_limit=limit,
+            router=router,
+            seed=seed,
+            calibration=calibration,
+        )
+        for method, limit, seed in grid
+    ]
+    if engine is None:
+        engine = BatchEngine(workers=workers, cache=cache)
+    report = engine.run(jobs)
     entries: List[PortfolioEntry] = []
-    for method in methods:
-        for limit in packing_limits:
-            for seed in seeds:
-                compiled = compile_with_method(
-                    program,
-                    coupling,
-                    method,
-                    calibration=calibration,
-                    packing_limit=limit,
-                    rng=np.random.default_rng(seed),
-                    router=router,
-                )
-                entries.append(
-                    PortfolioEntry(
-                        method=method,
-                        packing_limit=limit,
-                        seed=seed,
-                        score=float(objective(compiled)),
-                        compiled=compiled,
-                    )
-                )
+    for (method, limit, seed), result in zip(grid, report.results):
+        if not result.ok:
+            raise RuntimeError(
+                f"portfolio candidate {method}/limit={limit}/seed={seed} "
+                f"failed ({result.error_kind}): {result.error}"
+            )
+        compiled = result.compiled()
+        entries.append(
+            PortfolioEntry(
+                method=method,
+                packing_limit=limit,
+                seed=seed,
+                score=float(objective(compiled)),
+                compiled=compiled,
+            )
+        )
     best = min(entries, key=lambda e: e.score)
     return PortfolioResult(best=best, entries=entries)

@@ -23,9 +23,14 @@ from ..qaoa.problems import Level, QAOAProgram
 from .backend import CompiledCircuit
 from .flow import CompiledQAOA
 
-__all__ = ["to_json", "from_json"]
+__all__ = ["to_json", "from_json", "FORMAT_VERSION"]
 
-_FORMAT_VERSION = 1
+#: Version stamped into every payload; :func:`from_json` rejects any other.
+#: Bump when the payload layout changes so stale caches invalidate cleanly.
+FORMAT_VERSION = 1
+
+# Backwards-compatible alias (pre-service-layer name).
+_FORMAT_VERSION = FORMAT_VERSION
 
 
 def _coupling_payload(coupling: CouplingGraph) -> dict:
@@ -75,11 +80,22 @@ def to_json(compiled: Union[CompiledQAOA, CompiledCircuit]) -> str:
 def from_json(text: str) -> Union[CompiledQAOA, CompiledCircuit]:
     """Restore a compiled result produced by :func:`to_json`."""
     payload = json.loads(text)
-    version = payload.get("format_version")
-    if version != _FORMAT_VERSION:
+    if not isinstance(payload, dict):
         raise ValueError(
-            f"unsupported serialisation version {version!r} "
-            f"(expected {_FORMAT_VERSION})"
+            f"compiled-result payload must be a JSON object, "
+            f"got {type(payload).__name__}"
+        )
+    version = payload.get("format_version")
+    if version is None:
+        raise ValueError(
+            "payload carries no 'format_version' field — it was not "
+            "produced by repro.compiler.serialize.to_json"
+        )
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported serialisation format version {version!r} "
+            f"(this build reads version {FORMAT_VERSION}); recompile the "
+            f"circuit or prune the stale cache entry"
         )
     coupling = _coupling_from(payload["coupling"])
     circuit = qasm_loads(payload["qasm"])

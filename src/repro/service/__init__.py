@@ -1,0 +1,52 @@
+"""Compilation service layer: batch engine, result cache, telemetry.
+
+The compiler packages under :mod:`repro.compiler` answer "compile this one
+program"; this package is the serving layer that makes that cheap at scale
+(the ROADMAP's production-traffic north star, and the paper's Section V-H
+advice to recompile with many configurations and keep per-workload
+winners):
+
+* :mod:`repro.service.job` — the :class:`CompileJob` unit of work and its
+  canonical content hash (stable under commuting-term reorderings);
+* :mod:`repro.service.cache` — content-addressed LRU result cache with
+  entry/byte budgets and an optional disk tier;
+* :mod:`repro.service.engine` — process-pool batch execution with per-job
+  timeout, jittered retry, and structured per-job failure;
+* :mod:`repro.service.telemetry` — counters and p50/p95/p99 latency
+  histograms for observing all of the above.
+"""
+
+from .cache import CacheStats, ResultCache
+from .engine import BatchEngine, BatchReport, run_batch
+from .job import (
+    HASH_VERSION,
+    CompileJob,
+    JobResult,
+    decode_envelope,
+    encode_envelope,
+    execute_job,
+    job_from_dict,
+    job_to_dict,
+    load_jobs_jsonl,
+)
+from .telemetry import Histogram, Telemetry, percentile
+
+__all__ = [
+    "HASH_VERSION",
+    "CompileJob",
+    "JobResult",
+    "execute_job",
+    "job_from_dict",
+    "job_to_dict",
+    "load_jobs_jsonl",
+    "encode_envelope",
+    "decode_envelope",
+    "ResultCache",
+    "CacheStats",
+    "BatchEngine",
+    "BatchReport",
+    "run_batch",
+    "Histogram",
+    "Telemetry",
+    "percentile",
+]

@@ -1,0 +1,256 @@
+"""Content-addressed result cache: in-memory LRU plus an optional disk tier.
+
+Keys are :meth:`CompileJob.content_hash` digests; values are opaque payload
+strings (the metric envelopes of :mod:`repro.service.job`, which embed the
+:mod:`repro.compiler.serialize` JSON document).  The cache never interprets
+a payload beyond one check: when ``expected_version`` is set, a payload's
+top-level ``"format_version"`` must match, and disk entries written by an
+older serialisation format are deleted instead of served (format-version
+invalidation — a stale cache degrades to a cold cache, never to wrong
+results).
+
+The memory tier is a straight LRU over an :class:`~collections.OrderedDict`
+with two eviction budgets — entry count and total payload bytes — so a
+long-running service bounds both object churn and resident size.  The disk
+tier (one ``<key>.json`` file per entry under ``directory``) is
+write-through and unbounded; ``repro cache`` manages it from the CLI.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import threading
+from collections import OrderedDict
+from typing import Dict, Optional
+
+__all__ = ["CacheStats", "ResultCache"]
+
+
+class CacheStats:
+    """Mutable hit/miss/eviction counters for one cache instance."""
+
+    __slots__ = (
+        "hits",
+        "memory_hits",
+        "disk_hits",
+        "misses",
+        "evictions",
+        "invalidations",
+        "puts",
+    )
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.memory_hits = 0
+        self.disk_hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+        self.puts = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups (0.0 when nothing was looked up)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def snapshot(self) -> Dict[str, float]:
+        return {
+            "hits": self.hits,
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "puts": self.puts,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class ResultCache:
+    """LRU payload cache with entry/byte budgets and a disk tier.
+
+    Args:
+        max_entries: Memory-tier entry budget (``None`` = unbounded).
+        max_bytes: Memory-tier byte budget over UTF-8 payload sizes
+            (``None`` = unbounded).  A payload larger than the whole budget
+            is never memory-resident (it still reaches the disk tier).
+        directory: Disk-tier directory (created on first write); ``None``
+            disables the tier.
+        expected_version: When set, payloads must carry this top-level
+            ``"format_version"``; mismatching disk entries are deleted.
+    """
+
+    def __init__(
+        self,
+        max_entries: Optional[int] = 1024,
+        max_bytes: Optional[int] = 64 * 1024 * 1024,
+        directory: Optional[str] = None,
+        expected_version: Optional[int] = None,
+    ) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be positive or None")
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError("max_bytes must be positive or None")
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self.directory = (
+            pathlib.Path(directory) if directory is not None else None
+        )
+        self.expected_version = expected_version
+        self.stats = CacheStats()
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[str, str]" = OrderedDict()
+        self._bytes = 0
+
+    # ------------------------------------------------------------------
+    # core operations
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> Optional[str]:
+        """Look up a payload; promotes memory hits, faults in disk hits."""
+        with self._lock:
+            payload = self._entries.get(key)
+            if payload is not None:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                self.stats.memory_hits += 1
+                return payload
+        payload = self._disk_get(key)
+        with self._lock:
+            if payload is None:
+                self.stats.misses += 1
+                return None
+            self.stats.hits += 1
+            self.stats.disk_hits += 1
+            self._memory_put(key, payload)
+            return payload
+
+    def put(self, key: str, payload: str) -> None:
+        """Insert write-through (memory budgets enforced, disk mirrored)."""
+        if self._check_version(payload) is False:
+            raise ValueError(
+                f"payload for {key[:12]} does not carry format_version "
+                f"{self.expected_version}"
+            )
+        with self._lock:
+            self.stats.puts += 1
+            self._memory_put(key, payload)
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            path = self._path(key)
+            tmp = path.with_suffix(".tmp")
+            tmp.write_text(payload)
+            os.replace(tmp, path)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            if key in self._entries:
+                return True
+        return self.directory is not None and self._path(key).exists()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def current_bytes(self) -> int:
+        """Bytes resident in the memory tier."""
+        with self._lock:
+            return self._bytes
+
+    def clear(self, disk: bool = False) -> None:
+        """Drop the memory tier (and the disk tier when ``disk=True``)."""
+        with self._lock:
+            self._entries.clear()
+            self._bytes = 0
+        if disk and self.directory is not None and self.directory.exists():
+            for path in self.directory.glob("*.json"):
+                path.unlink()
+
+    # ------------------------------------------------------------------
+    # disk-tier maintenance (used by ``repro cache``)
+    # ------------------------------------------------------------------
+    def disk_entries(self) -> int:
+        if self.directory is None or not self.directory.exists():
+            return 0
+        return sum(1 for _ in self.directory.glob("*.json"))
+
+    def disk_bytes(self) -> int:
+        if self.directory is None or not self.directory.exists():
+            return 0
+        return sum(
+            p.stat().st_size for p in self.directory.glob("*.json")
+        )
+
+    def prune_stale(self) -> int:
+        """Delete disk entries whose format version is stale; return count."""
+        if self.directory is None or not self.directory.exists():
+            return 0
+        pruned = 0
+        for path in self.directory.glob("*.json"):
+            try:
+                ok = self._check_version(path.read_text())
+            except OSError:
+                ok = False
+            if ok is False:
+                path.unlink(missing_ok=True)
+                pruned += 1
+        self.stats.invalidations += pruned
+        return pruned
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _memory_put(self, key: str, payload: str) -> None:
+        size = len(payload.encode("utf-8"))
+        if self.max_bytes is not None and size > self.max_bytes:
+            return  # larger than the whole budget — disk-tier only
+        if key in self._entries:
+            self._bytes -= len(self._entries[key].encode("utf-8"))
+            self._entries.move_to_end(key)
+        self._entries[key] = payload
+        self._bytes += size
+        while self._entries and (
+            (self.max_entries is not None and len(self._entries) > self.max_entries)
+            or (self.max_bytes is not None and self._bytes > self.max_bytes)
+        ):
+            evicted_key, evicted = self._entries.popitem(last=False)
+            if evicted_key == key:
+                self._bytes -= len(evicted.encode("utf-8"))
+                break
+            self._bytes -= len(evicted.encode("utf-8"))
+            self.stats.evictions += 1
+
+    def _path(self, key: str) -> pathlib.Path:
+        assert self.directory is not None
+        return self.directory / f"{key}.json"
+
+    def _disk_get(self, key: str) -> Optional[str]:
+        if self.directory is None:
+            return None
+        path = self._path(key)
+        try:
+            payload = path.read_text()
+        except (FileNotFoundError, OSError):
+            return None
+        if self._check_version(payload) is False:
+            path.unlink(missing_ok=True)
+            with self._lock:
+                self.stats.invalidations += 1
+            return None
+        return payload
+
+    def _check_version(self, payload: str) -> Optional[bool]:
+        """``None`` when unchecked, else whether the version matches."""
+        if self.expected_version is None:
+            return None
+        try:
+            version = json.loads(payload).get("format_version")
+        except (json.JSONDecodeError, AttributeError):
+            return False
+        return version == self.expected_version

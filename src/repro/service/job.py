@@ -1,0 +1,513 @@
+"""The compilation-service job model.
+
+A :class:`CompileJob` is the unit of work the service layer schedules: one
+QAOA program, one target device, one flow configuration.  Jobs are plain
+data — picklable across process boundaries and serialisable to JSON lines —
+so the batch engine can fan them out and the cache can address their results
+by content.
+
+**Content addressing.**  :meth:`CompileJob.content_hash` digests a canonical
+form of the job.  Because a QAOA cost layer is a product of mutually
+commuting CPHASE terms, two jobs whose edge lists differ only in term order
+(or in the endpoint order within a term) describe the same compilation
+problem; the canonical form sorts normalised ``(min, max, weight)`` triples
+so they hash identically.  Everything that *does* change the output —
+device, method, packing limit, router, seed, calibration, level parameters —
+feeds the digest, so distinct configurations never collide.
+
+A :class:`JobResult` carries the outcome: the cache key, the serialised
+compiled circuit (the :mod:`repro.compiler.serialize` JSON format wrapped in
+a small metrics envelope), headline metrics, and structured error
+information when the job failed.  Failed jobs are data, not exceptions —
+a batch always yields one result per job.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..hardware.calibration import Calibration, random_calibration
+from ..hardware.coupling import CouplingGraph
+from ..qaoa.problems import Level, QAOAProgram
+
+__all__ = [
+    "HASH_VERSION",
+    "CompileJob",
+    "JobResult",
+    "execute_job",
+    "job_from_dict",
+    "job_to_dict",
+    "load_jobs_jsonl",
+    "encode_envelope",
+    "decode_envelope",
+]
+
+#: Bumped whenever the canonical form changes, so stale hashes cannot alias.
+HASH_VERSION = 1
+
+DeviceSpec = Union[str, CouplingGraph]
+CalibrationSpec = Union[None, str, Dict, Calibration]
+
+
+@dataclasses.dataclass
+class CompileJob:
+    """One compilation request.
+
+    Attributes:
+        program: The QAOA program to compile.
+        device: Library device name (resolved via
+            :func:`repro.hardware.devices.get_device`) or an inline
+            :class:`CouplingGraph`.
+        method: One of :data:`repro.compiler.flow.METHOD_PRESETS`.
+        packing_limit: Layer-packing cap (None = unlimited).
+        router: Backend router (``"layered"`` or ``"sabre"``).
+        seed: Seed for the flow's stochastic tie-breaks.
+        calibration: ``None``, ``"auto"`` (device calibration when the
+            target is melbourne, else a random calibration seeded by
+            ``seed``), ``{"seed": n}`` for an explicit random calibration,
+            or a concrete :class:`Calibration`.
+        job_id: Free-form correlation label; excluded from the content hash.
+    """
+
+    program: QAOAProgram
+    device: DeviceSpec
+    method: str = "ic"
+    packing_limit: Optional[int] = None
+    router: str = "layered"
+    seed: int = 0
+    calibration: CalibrationSpec = None
+    job_id: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    # content addressing
+    # ------------------------------------------------------------------
+    def canonical(self) -> dict:
+        """The hash pre-image: order-independent program terms plus every
+        output-affecting knob."""
+        program = self.program
+        edges = sorted(
+            (min(a, b), max(a, b), float(w)) for a, b, w in program.edges
+        )
+        return {
+            "hash_version": HASH_VERSION,
+            "program": {
+                "num_qubits": program.num_qubits,
+                "edges": [[a, b, repr(w)] for a, b, w in edges],
+                "levels": [
+                    [repr(lv.gamma), repr(lv.beta)] for lv in program.levels
+                ],
+                "linear": [
+                    [q, repr(h)] for q, h in sorted(program.linear.items())
+                ],
+            },
+            "device": _device_canonical(self.device),
+            "method": self.method,
+            "packing_limit": self.packing_limit,
+            "router": self.router,
+            "seed": self.seed,
+            "calibration": _calibration_canonical(self.calibration),
+        }
+
+    def content_hash(self) -> str:
+        """Hex SHA-256 of the canonical form (the cache key)."""
+        text = json.dumps(
+            self.canonical(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+    # ------------------------------------------------------------------
+    # resolution
+    # ------------------------------------------------------------------
+    def resolve_device(self) -> CouplingGraph:
+        """The concrete coupling graph this job targets."""
+        if isinstance(self.device, CouplingGraph):
+            return self.device
+        from ..hardware.devices import get_device
+
+        return get_device(self.device)
+
+    def resolve_calibration(
+        self, device: Optional[CouplingGraph] = None
+    ) -> Optional[Calibration]:
+        """The concrete calibration (sampling random ones as specified)."""
+        spec = self.calibration
+        if spec is None or isinstance(spec, Calibration):
+            return spec
+        device = device if device is not None else self.resolve_device()
+        if spec == "auto":
+            if device.name == "ibmq_16_melbourne":
+                from ..hardware.devices import melbourne_calibration
+
+                return melbourne_calibration()
+            return random_calibration(
+                device, rng=np.random.default_rng(self.seed)
+            )
+        if isinstance(spec, dict):
+            if "cnot_error" in spec:
+                return _calibration_from_payload(spec, device)
+            if "seed" in spec:
+                return random_calibration(
+                    device, rng=np.random.default_rng(int(spec["seed"]))
+                )
+        raise ValueError(f"unsupported calibration spec {spec!r}")
+
+
+@dataclasses.dataclass
+class JobResult:
+    """Outcome of one job (success, cache hit, or structured failure).
+
+    Attributes:
+        job: The originating job.
+        key: Content hash (the cache key).
+        ok: Whether a compiled circuit was produced.
+        cached: Whether the result came from the cache.
+        attempts: Executions performed (0 for a cache hit).
+        latency: Seconds from scheduling to completion of this job.
+        metrics: Headline numbers (depth, gates, cnots, swaps,
+            compile_time, success_probability when calibrated).
+        payload: Envelope string (see :func:`encode_envelope`) holding the
+            serialised compiled circuit; ``None`` on failure.
+        error: Human-readable failure description.
+        error_kind: Machine-readable category (``"timeout"``,
+            ``"exception"``, ``"invalid"``, ``"pool"``).
+    """
+
+    job: CompileJob
+    key: str
+    ok: bool
+    cached: bool = False
+    attempts: int = 0
+    latency: float = 0.0
+    metrics: Optional[dict] = None
+    payload: Optional[str] = None
+    error: Optional[str] = None
+    error_kind: Optional[str] = None
+
+    def compiled(self):
+        """Deserialise the compiled circuit (raises on failed jobs)."""
+        if not self.ok or self.payload is None:
+            raise ValueError(
+                f"job {self.job.job_id or self.key[:12]} has no compiled "
+                f"result ({self.error_kind}: {self.error})"
+            )
+        from ..compiler.serialize import from_json
+
+        _, compiled_json = decode_envelope(self.payload)
+        return from_json(compiled_json)
+
+    def to_record(self, include_payload: bool = False) -> dict:
+        """JSONL-friendly dict (one line of ``repro batch`` output)."""
+        record = {
+            "id": self.job.job_id,
+            "key": self.key,
+            "device": _device_label(self.job.device),
+            "method": self.job.method,
+            "packing_limit": self.job.packing_limit,
+            "seed": self.job.seed,
+            "ok": self.ok,
+            "cached": self.cached,
+            "attempts": self.attempts,
+            "latency_ms": round(self.latency * 1e3, 3),
+            "metrics": self.metrics,
+            "error": self.error,
+            "error_kind": self.error_kind,
+        }
+        if include_payload:
+            record["payload"] = self.payload
+        return record
+
+
+# ----------------------------------------------------------------------
+# execution (runs in worker processes — keep module-level and picklable)
+# ----------------------------------------------------------------------
+def execute_job(job: CompileJob) -> JobResult:
+    """Compile one job synchronously; never raises for job-level faults."""
+    import time
+
+    from ..compiler.flow import compile_with_method
+    from ..compiler.metrics import measure_compiled
+    from ..compiler.serialize import to_json
+
+    key = job.content_hash()
+    start = time.perf_counter()
+    try:
+        device = job.resolve_device()
+        calibration = job.resolve_calibration(device)
+        compiled = compile_with_method(
+            job.program,
+            device,
+            job.method,
+            calibration=calibration,
+            packing_limit=job.packing_limit,
+            rng=np.random.default_rng(job.seed),
+            router=job.router,
+        )
+        measured = measure_compiled(compiled, calibration=calibration)
+        metrics = {
+            "depth": measured.depth,
+            "gate_count": measured.gate_count,
+            "cnot_count": measured.cnot_count,
+            "swap_count": measured.swap_count,
+            "compile_time": measured.compile_time,
+            "success_probability": measured.success_probability,
+        }
+        payload = encode_envelope(to_json(compiled), metrics)
+    except (KeyError, ValueError) as exc:
+        return JobResult(
+            job=job,
+            key=key,
+            ok=False,
+            attempts=1,
+            latency=time.perf_counter() - start,
+            error=str(exc),
+            error_kind="invalid",
+        )
+    except Exception as exc:  # noqa: BLE001 — jobs degrade, batches survive
+        return JobResult(
+            job=job,
+            key=key,
+            ok=False,
+            attempts=1,
+            latency=time.perf_counter() - start,
+            error=f"{type(exc).__name__}: {exc}",
+            error_kind="exception",
+        )
+    return JobResult(
+        job=job,
+        key=key,
+        ok=True,
+        attempts=1,
+        latency=time.perf_counter() - start,
+        metrics=metrics,
+        payload=payload,
+    )
+
+
+# ----------------------------------------------------------------------
+# result envelope (what the cache stores)
+# ----------------------------------------------------------------------
+def encode_envelope(compiled_json: str, metrics: dict) -> str:
+    """Wrap a serialised compiled circuit with its metrics.
+
+    The envelope repeats the serialisation format version at the top level
+    so a disk cache can invalidate stale entries without parsing the whole
+    compiled document.
+    """
+    from ..compiler.serialize import FORMAT_VERSION
+
+    return json.dumps(
+        {
+            "format_version": FORMAT_VERSION,
+            "metrics": metrics,
+            "compiled": json.loads(compiled_json),
+        },
+        separators=(",", ":"),
+    )
+
+
+def decode_envelope(text: str) -> "tuple[dict, str]":
+    """Return ``(metrics, compiled_json)`` from an envelope string."""
+    from ..compiler.serialize import FORMAT_VERSION
+
+    payload = json.loads(text)
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"stale result envelope: format version {version!r} "
+            f"(current {FORMAT_VERSION})"
+        )
+    return payload["metrics"], json.dumps(payload["compiled"])
+
+
+# ----------------------------------------------------------------------
+# JSONL job files
+# ----------------------------------------------------------------------
+def job_to_dict(job: CompileJob) -> dict:
+    """Serialise a job for a JSONL job file."""
+    program = job.program
+    spec = {
+        "id": job.job_id,
+        "device": _device_payload(job.device),
+        "method": job.method,
+        "packing_limit": job.packing_limit,
+        "router": job.router,
+        "seed": job.seed,
+        "program": {
+            "num_qubits": program.num_qubits,
+            "edges": [[a, b, w] for a, b, w in program.edges],
+            "gammas": [lv.gamma for lv in program.levels],
+            "betas": [lv.beta for lv in program.levels],
+            "linear": {str(q): h for q, h in program.linear.items()},
+        },
+    }
+    calibration = job.calibration
+    if isinstance(calibration, Calibration):
+        spec["calibration"] = _calibration_payload(calibration)
+    elif calibration is not None:
+        spec["calibration"] = calibration
+    return spec
+
+
+def job_from_dict(spec: dict) -> CompileJob:
+    """Build a job from one JSONL line.
+
+    Two program forms are accepted:
+
+    * explicit — ``"program": {"num_qubits", "edges", "gammas", "betas"}``;
+    * generated — ``"problem": {"family", "nodes", "param", "seed"}``
+      sampled through :func:`repro.experiments.harness.make_problem` (with
+      optional ``"gammas"``/``"betas"``, defaulting to 0.7/0.35 at p=1) so
+      job files can describe workload grids without embedding edge lists.
+    """
+    if "program" in spec:
+        prog = spec["program"]
+        gammas = prog.get("gammas", [0.7])
+        betas = prog.get("betas", [0.35])
+        if len(gammas) != len(betas):
+            raise ValueError("gammas and betas must have equal length")
+        program = QAOAProgram(
+            num_qubits=int(prog["num_qubits"]),
+            edges=[
+                (int(e[0]), int(e[1]), float(e[2]) if len(e) > 2 else 1.0)
+                for e in prog["edges"]
+            ],
+            levels=[Level(float(g), float(b)) for g, b in zip(gammas, betas)],
+            linear={
+                int(q): float(h)
+                for q, h in prog.get("linear", {}).items()
+            },
+        )
+    elif "problem" in spec:
+        from ..experiments.harness import make_problem
+
+        prob = spec["problem"]
+        problem = make_problem(
+            prob["family"],
+            int(prob["nodes"]),
+            float(prob["param"]),
+            np.random.default_rng(int(prob.get("seed", 0))),
+        )
+        gammas = prob.get("gammas", [0.7])
+        betas = prob.get("betas", [0.35])
+        program = problem.to_program(gammas, betas)
+    else:
+        raise ValueError("job spec needs a 'program' or 'problem' entry")
+
+    device = spec.get("device", "ibmq_20_tokyo")
+    if isinstance(device, dict):
+        device = CouplingGraph(
+            int(device["num_qubits"]),
+            [tuple(e) for e in device["edges"]],
+            name=device.get("name", "inline"),
+        )
+    return CompileJob(
+        program=program,
+        device=device,
+        method=spec.get("method", "ic"),
+        packing_limit=spec.get("packing_limit"),
+        router=spec.get("router", "layered"),
+        seed=int(spec.get("seed", 0)),
+        calibration=spec.get("calibration"),
+        job_id=spec.get("id"),
+    )
+
+
+def load_jobs_jsonl(lines: Sequence[str]) -> List[CompileJob]:
+    """Parse a JSONL job file (blank lines and ``#`` comments skipped)."""
+    jobs = []
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            jobs.append(job_from_dict(json.loads(line)))
+        except (ValueError, KeyError, TypeError) as exc:
+            raise ValueError(f"bad job on line {lineno}: {exc}") from exc
+    return jobs
+
+
+# ----------------------------------------------------------------------
+# canonical helpers
+# ----------------------------------------------------------------------
+def _device_canonical(device: DeviceSpec):
+    if isinstance(device, CouplingGraph):
+        return {
+            "name": device.name,
+            "num_qubits": device.num_qubits,
+            "edges": sorted([min(a, b), max(a, b)] for a, b in device.edges),
+        }
+    return {"name": str(device)}
+
+
+def _device_label(device: DeviceSpec) -> str:
+    return device.name if isinstance(device, CouplingGraph) else str(device)
+
+
+def _device_payload(device: DeviceSpec):
+    if isinstance(device, CouplingGraph):
+        return {
+            "name": device.name,
+            "num_qubits": device.num_qubits,
+            "edges": sorted(list(e) for e in device.edges),
+        }
+    return str(device)
+
+
+def _calibration_canonical(spec: CalibrationSpec):
+    if spec is None or isinstance(spec, str):
+        return spec
+    if isinstance(spec, Calibration):
+        payload = _calibration_payload(spec)
+        payload.pop("timestamp", None)
+        return payload
+    if isinstance(spec, dict):
+        return {k: spec[k] for k in sorted(spec) if k != "timestamp"}
+    raise ValueError(f"unsupported calibration spec {spec!r}")
+
+
+def _calibration_payload(calibration: Calibration) -> dict:
+    return {
+        "coupling": calibration.coupling.name,
+        "cnot_error": {
+            f"{a}-{b}": err
+            for (a, b), err in sorted(calibration.cnot_error.items())
+        },
+        "single_qubit_error": {
+            str(q): err
+            for q, err in sorted(calibration.single_qubit_error.items())
+        },
+        "readout_error": {
+            str(q): err
+            for q, err in sorted(calibration.readout_error.items())
+        },
+        "timestamp": calibration.timestamp,
+    }
+
+
+def _calibration_from_payload(
+    payload: dict, device: CouplingGraph
+) -> Calibration:
+    def _edge(key: str):
+        a, b = key.split("-")
+        return (int(a), int(b))
+
+    return Calibration(
+        coupling=device,
+        cnot_error={
+            _edge(k): float(v) for k, v in payload["cnot_error"].items()
+        },
+        single_qubit_error={
+            int(q): float(v)
+            for q, v in payload.get("single_qubit_error", {}).items()
+        },
+        readout_error={
+            int(q): float(v)
+            for q, v in payload.get("readout_error", {}).items()
+        },
+        timestamp=payload.get("timestamp", ""),
+    )

@@ -1,0 +1,108 @@
+"""Property tests for the service job content hash.
+
+The cache key must be *semantically* content-addressed: any reordering of
+the commuting CPHASE terms (edge-list permutation, endpoint swaps within a
+term) describes the same compilation problem and must hash identically,
+while anything output-affecting (seed, method, packing limit, weights)
+must produce a distinct key.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.qaoa.problems import Level, QAOAProgram
+from repro.service import CompileJob
+
+
+@st.composite
+def programs(draw):
+    n = draw(st.integers(3, 10))
+    edge_pool = [(a, b) for a in range(n) for b in range(a + 1, n)]
+    chosen = draw(
+        st.lists(
+            st.sampled_from(edge_pool), min_size=1, max_size=12, unique=True
+        )
+    )
+    weights = [
+        draw(st.floats(0.1, 4.0, allow_nan=False)) for _ in chosen
+    ]
+    p = draw(st.integers(1, 2))
+    levels = [
+        Level(
+            draw(st.floats(-3.0, 3.0, allow_nan=False)),
+            draw(st.floats(-1.5, 1.5, allow_nan=False)),
+        )
+        for _ in range(p)
+    ]
+    edges = [(a, b, w) for (a, b), w in zip(chosen, weights)]
+    return QAOAProgram(num_qubits=n, edges=edges, levels=levels)
+
+
+def _job(program, **kwargs):
+    defaults = dict(program=program, device="ibmq_20_tokyo")
+    defaults.update(kwargs)
+    return CompileJob(**defaults)
+
+
+class TestHashInvariance:
+    @given(programs(), st.randoms(use_true_random=False))
+    @settings(max_examples=60, deadline=None)
+    def test_edge_permutation_invariant(self, program, rand):
+        shuffled_edges = list(program.edges)
+        rand.shuffle(shuffled_edges)
+        shuffled = QAOAProgram(
+            num_qubits=program.num_qubits,
+            edges=shuffled_edges,
+            levels=program.levels,
+            linear=program.linear,
+        )
+        assert _job(program).content_hash() == _job(shuffled).content_hash()
+
+    @given(programs(), st.randoms(use_true_random=False))
+    @settings(max_examples=60, deadline=None)
+    def test_endpoint_swap_invariant(self, program, rand):
+        flipped_edges = [
+            (b, a, w) if rand.random() < 0.5 else (a, b, w)
+            for a, b, w in program.edges
+        ]
+        flipped = QAOAProgram(
+            num_qubits=program.num_qubits,
+            edges=flipped_edges,
+            levels=program.levels,
+            linear=program.linear,
+        )
+        assert _job(program).content_hash() == _job(flipped).content_hash()
+
+
+class TestHashDistinctness:
+    @given(programs(), st.integers(0, 100), st.integers(0, 100))
+    @settings(max_examples=60, deadline=None)
+    def test_seed_distinct(self, program, seed_a, seed_b):
+        hash_a = _job(program, seed=seed_a).content_hash()
+        hash_b = _job(program, seed=seed_b).content_hash()
+        assert (hash_a == hash_b) == (seed_a == seed_b)
+
+    @given(programs())
+    @settings(max_examples=40, deadline=None)
+    def test_method_and_limit_distinct(self, program):
+        base = _job(program, method="ic", packing_limit=None)
+        assert (
+            base.content_hash()
+            != _job(program, method="ip").content_hash()
+        )
+        assert (
+            base.content_hash()
+            != _job(program, method="ic", packing_limit=4).content_hash()
+        )
+
+    @given(programs(), st.floats(0.01, 0.5, allow_nan=False))
+    @settings(max_examples=40, deadline=None)
+    def test_weight_perturbation_distinct(self, program, delta):
+        a, b, w = program.edges[0]
+        perturbed = QAOAProgram(
+            num_qubits=program.num_qubits,
+            edges=[(a, b, w + delta)] + list(program.edges[1:]),
+            levels=program.levels,
+            linear=program.linear,
+        )
+        assert _job(program).content_hash() != _job(perturbed).content_hash()

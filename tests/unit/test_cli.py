@@ -137,3 +137,188 @@ class TestArg:
         assert code == 0
         assert "ARG" in text
         assert "QAIM" in text and "VIC" in text
+
+
+class TestCompileJson:
+    def test_json_document_shape(self):
+        import json
+
+        code, text = _run(["compile", "--nodes", "6", "--json"])
+        assert code == 0
+        document = json.loads(text)
+        assert document["metrics"]["depth"] > 0
+        assert document["result"]["format_version"] == 1
+        assert document["result"]["qasm"].startswith("OPENQASM")
+
+    def test_json_result_deserialises(self):
+        import json
+
+        from repro.compiler.serialize import from_json
+
+        code, text = _run(["compile", "--nodes", "6", "--json"])
+        assert code == 0
+        document = json.loads(text)
+        compiled = from_json(json.dumps(document["result"]))
+        assert compiled.depth() == document["metrics"]["depth"]
+
+    def test_unknown_device_exits_cleanly(self, capsys):
+        code, _ = _run(["compile", "--device", "nonexistent"])
+        assert code == 2
+        captured = capsys.readouterr()
+        assert "unknown device" in captured.err
+        assert "Traceback" not in captured.err
+
+
+def _write_jobs(path, count=4):
+    import json
+
+    lines = ["# test jobs"]
+    for i in range(count):
+        lines.append(
+            json.dumps(
+                {
+                    "id": f"job-{i}",
+                    "problem": {
+                        "family": "er",
+                        "nodes": 8,
+                        "param": 0.5,
+                        "seed": i,
+                    },
+                    "device": "ibmq_20_tokyo",
+                    "method": "ic" if i % 2 else "ip",
+                    "seed": 0,
+                }
+            )
+        )
+    path.write_text("\n".join(lines) + "\n")
+
+
+class TestBatch:
+    def test_batch_runs_and_reports(self, tmp_path):
+        import json
+
+        jobs_file = tmp_path / "jobs.jsonl"
+        out_file = tmp_path / "results.jsonl"
+        _write_jobs(jobs_file)
+        code, text = _run(
+            ["batch", str(jobs_file), "-o", str(out_file)]
+        )
+        assert code == 0
+        assert "cache hit rate" in text
+        assert "latency p95" in text
+        records = [
+            json.loads(line)
+            for line in out_file.read_text().splitlines()
+        ]
+        assert len(records) == 4
+        assert all(r["ok"] for r in records)
+        assert all(r["metrics"]["depth"] > 0 for r in records)
+
+    def test_batch_disk_cache_warm_rerun(self, tmp_path):
+        import json
+
+        jobs_file = tmp_path / "jobs.jsonl"
+        cache_dir = tmp_path / "cache"
+        _write_jobs(jobs_file)
+        code, _ = _run(
+            ["batch", str(jobs_file), "--cache-dir", str(cache_dir)]
+        )
+        assert code == 0
+        out_file = tmp_path / "warm.jsonl"
+        code, text = _run(
+            ["batch", str(jobs_file), "--cache-dir", str(cache_dir),
+             "-o", str(out_file)]
+        )
+        assert code == 0
+        records = [
+            json.loads(line)
+            for line in out_file.read_text().splitlines()
+        ]
+        assert all(r["cached"] for r in records)
+        assert "100.0%" in text
+
+    def test_batch_failed_job_sets_exit_code(self, tmp_path):
+        import json
+
+        jobs_file = tmp_path / "jobs.jsonl"
+        jobs_file.write_text(
+            json.dumps(
+                {
+                    "program": {"num_qubits": 3, "edges": [[0, 1]]},
+                    "device": "no_such_device",
+                }
+            )
+            + "\n"
+        )
+        code, text = _run(["batch", str(jobs_file)])
+        assert code == 1
+        assert '"ok": false' in text
+
+    def test_batch_missing_file(self, capsys):
+        code, _ = _run(["batch", "/nonexistent/jobs.jsonl"])
+        assert code == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_batch_empty_file(self, tmp_path, capsys):
+        jobs_file = tmp_path / "empty.jsonl"
+        jobs_file.write_text("# nothing here\n")
+        code, _ = _run(["batch", str(jobs_file)])
+        assert code == 2
+        assert "no jobs" in capsys.readouterr().err
+
+    def test_batch_malformed_job(self, tmp_path, capsys):
+        jobs_file = tmp_path / "bad.jsonl"
+        jobs_file.write_text('{"device": "ring_8"}\n')
+        code, _ = _run(["batch", str(jobs_file)])
+        assert code == 2
+        assert "line 1" in capsys.readouterr().err
+
+    def test_example_job_file_loads(self):
+        import pathlib
+
+        from repro.service import load_jobs_jsonl
+
+        example = (
+            pathlib.Path(__file__).resolve().parents[2]
+            / "examples"
+            / "batch_jobs.jsonl"
+        )
+        jobs = load_jobs_jsonl(example.read_text().splitlines())
+        assert len(jobs) == 10
+
+
+class TestCacheCommand:
+    def _populate(self, tmp_path):
+        jobs_file = tmp_path / "jobs.jsonl"
+        _write_jobs(jobs_file, count=2)
+        cache_dir = tmp_path / "cache"
+        code, _ = _run(
+            ["batch", str(jobs_file), "--cache-dir", str(cache_dir)]
+        )
+        assert code == 0
+        return cache_dir
+
+    def test_stats(self, tmp_path):
+        cache_dir = self._populate(tmp_path)
+        code, text = _run(["cache", "stats", "--dir", str(cache_dir)])
+        assert code == 0
+        assert "entries" in text
+        assert " 2" in text
+
+    def test_prune_removes_stale_only(self, tmp_path):
+        import json
+
+        cache_dir = self._populate(tmp_path)
+        stale = cache_dir / "deadbeef.json"
+        stale.write_text(json.dumps({"format_version": 0}))
+        code, text = _run(["cache", "prune", "--dir", str(cache_dir)])
+        assert code == 0
+        assert "pruned 1" in text
+        assert not stale.exists()
+
+    def test_clear(self, tmp_path):
+        cache_dir = self._populate(tmp_path)
+        code, text = _run(["cache", "clear", "--dir", str(cache_dir)])
+        assert code == 0
+        assert "cleared 2" in text
+        assert list(cache_dir.glob("*.json")) == []

@@ -106,6 +106,86 @@ class TestCompilePortfolio:
         result.best.compiled.validate()
 
 
+class TestEngineRewiring:
+    """The grid runs through the service batch engine; outcomes must match
+    the pre-service direct compile loop exactly (fixed seeds)."""
+
+    GRID = dict(methods=("ip", "ic"), packing_limits=(None, 2), seeds=(0, 1))
+
+    def _direct_entries(self, program):
+        from repro.compiler import compile_with_method
+
+        entries = []
+        for method in self.GRID["methods"]:
+            for limit in self.GRID["packing_limits"]:
+                for seed in self.GRID["seeds"]:
+                    compiled = compile_with_method(
+                        program,
+                        ring_device(8),
+                        method,
+                        packing_limit=limit,
+                        rng=np.random.default_rng(seed),
+                    )
+                    entries.append((method, limit, seed, compiled))
+        return entries
+
+    def test_winner_identical_to_direct_loop(self, program):
+        result = compile_portfolio(program, ring_device(8), **self.GRID)
+        direct = self._direct_entries(program)
+        scored = [
+            (depth_objective(c), i) for i, (_, _, _, c) in enumerate(direct)
+        ]
+        _, best_i = min(scored)
+        method, limit, seed, compiled = direct[best_i]
+        assert (result.best.method, result.best.packing_limit,
+                result.best.seed) == (method, limit, seed)
+        assert (
+            result.best.compiled.circuit.instructions
+            == compiled.circuit.instructions
+        )
+        assert result.best.compiled.initial_mapping == compiled.initial_mapping
+        assert result.best.compiled.final_mapping == compiled.final_mapping
+
+    def test_full_scoreboard_identical_to_direct_loop(self, program):
+        result = compile_portfolio(program, ring_device(8), **self.GRID)
+        direct = self._direct_entries(program)
+        assert len(result.entries) == len(direct)
+        for entry, (method, limit, seed, compiled) in zip(
+            result.entries, direct
+        ):
+            assert (entry.method, entry.packing_limit, entry.seed) == (
+                method, limit, seed,
+            )
+            assert entry.score == depth_objective(compiled)
+
+    def test_shared_cache_reuses_results(self, program):
+        from repro.service import ResultCache
+
+        cache = ResultCache()
+        first = compile_portfolio(
+            program, ring_device(8), cache=cache, **self.GRID
+        )
+        lookups_after_first = cache.stats.lookups
+        assert cache.stats.hits == 0
+        second = compile_portfolio(
+            program, ring_device(8), cache=cache, **self.GRID
+        )
+        assert cache.stats.hits == cache.stats.lookups - lookups_after_first
+        assert second.best.score == first.best.score
+        assert (
+            second.best.compiled.circuit.instructions
+            == first.best.compiled.circuit.instructions
+        )
+
+    def test_failing_candidate_raises(self, program):
+        # VIC without calibration cannot compile — the portfolio must not
+        # silently drop the candidate.
+        with pytest.raises(RuntimeError, match="vic"):
+            compile_portfolio(
+                program, ring_device(8), methods=("ic", "vic"), seeds=(0,)
+            )
+
+
 class TestCalibrationDrift:
     def test_drift_changes_errors_within_bounds(self):
         cal = melbourne_calibration()

@@ -17,6 +17,7 @@ PACKAGES = [
     "repro.compiler",
     "repro.qaoa",
     "repro.experiments",
+    "repro.service",
 ]
 
 

@@ -81,8 +81,48 @@ class TestValidation:
     def test_version_check(self, compiled_qaoa):
         payload = json.loads(to_json(compiled_qaoa))
         payload["format_version"] = 99
-        with pytest.raises(ValueError, match="version"):
+        with pytest.raises(ValueError, match="version 99"):
             from_json(json.dumps(payload))
+
+    def test_stale_version_error_is_descriptive(self, compiled_qaoa):
+        from repro.compiler.serialize import FORMAT_VERSION
+
+        payload = json.loads(to_json(compiled_qaoa))
+        payload["format_version"] = FORMAT_VERSION + 1
+        with pytest.raises(ValueError) as excinfo:
+            from_json(json.dumps(payload))
+        message = str(excinfo.value)
+        assert str(FORMAT_VERSION) in message
+        assert "recompile" in message
+
+    def test_missing_version_rejected(self, compiled_qaoa):
+        payload = json.loads(to_json(compiled_qaoa))
+        del payload["format_version"]
+        with pytest.raises(ValueError, match="format_version"):
+            from_json(json.dumps(payload))
+
+    def test_non_object_payload_rejected(self):
+        with pytest.raises(ValueError, match="JSON object"):
+            from_json(json.dumps([1, 2, 3]))
+
+    def test_round_trip_unaffected_by_stale_rejection(self, compiled_qaoa):
+        # A stale payload raises; the same document with the correct
+        # version still round-trips — rejection is purely the version gate.
+        good = to_json(compiled_qaoa)
+        stale = json.loads(good)
+        stale["format_version"] = 0
+        with pytest.raises(ValueError):
+            from_json(json.dumps(stale))
+        restored = from_json(good)
+        assert (
+            restored.circuit.instructions == compiled_qaoa.circuit.instructions
+        )
+
+    def test_format_version_exported(self):
+        from repro.compiler.serialize import FORMAT_VERSION, _FORMAT_VERSION
+
+        assert FORMAT_VERSION == _FORMAT_VERSION
+        assert isinstance(FORMAT_VERSION, int)
 
     def test_tampered_circuit_fails_validation(self, compiled_qaoa):
         payload = json.loads(to_json(compiled_qaoa))

@@ -1,0 +1,134 @@
+"""Unit tests for the content-addressed result cache."""
+
+import json
+
+import pytest
+
+from repro.service import ResultCache
+
+
+def _payload(tag: str, size: int = 0, version: int = 1) -> str:
+    body = {"format_version": version, "tag": tag, "pad": "x" * size}
+    return json.dumps(body)
+
+
+class TestMemoryLru:
+    def test_get_miss_then_hit(self):
+        cache = ResultCache()
+        assert cache.get("k") is None
+        cache.put("k", _payload("a"))
+        assert json.loads(cache.get("k"))["tag"] == "a"
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_entry_budget_evicts_lru(self):
+        cache = ResultCache(max_entries=2, max_bytes=None)
+        cache.put("a", _payload("a"))
+        cache.put("b", _payload("b"))
+        cache.get("a")  # promote a over b
+        cache.put("c", _payload("c"))
+        assert "a" in cache
+        assert "b" not in cache
+        assert "c" in cache
+        assert cache.stats.evictions == 1
+
+    def test_byte_budget_evicts(self):
+        one = _payload("a", size=400)
+        budget = 2 * len(one.encode()) + 10
+        cache = ResultCache(max_entries=None, max_bytes=budget)
+        cache.put("a", _payload("a", size=400))
+        cache.put("b", _payload("b", size=400))
+        assert len(cache) == 2
+        cache.put("c", _payload("c", size=400))
+        assert len(cache) == 2
+        assert "a" not in cache
+        assert cache.current_bytes <= budget
+
+    def test_oversized_payload_skips_memory(self):
+        cache = ResultCache(max_entries=None, max_bytes=64)
+        cache.put("big", _payload("big", size=1000))
+        assert len(cache) == 0
+
+    def test_overwrite_updates_bytes(self):
+        cache = ResultCache()
+        cache.put("k", _payload("a", size=100))
+        before = cache.current_bytes
+        cache.put("k", _payload("a", size=10))
+        assert cache.current_bytes < before
+        assert len(cache) == 1
+
+    def test_invalid_budgets_rejected(self):
+        with pytest.raises(ValueError):
+            ResultCache(max_entries=0)
+        with pytest.raises(ValueError):
+            ResultCache(max_bytes=0)
+
+    def test_clear(self):
+        cache = ResultCache()
+        cache.put("k", _payload("a"))
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.current_bytes == 0
+
+
+class TestDiskTier:
+    def test_persists_across_instances(self, tmp_path):
+        d = str(tmp_path / "cache")
+        ResultCache(directory=d).put("k", _payload("a"))
+        fresh = ResultCache(directory=d)
+        assert json.loads(fresh.get("k"))["tag"] == "a"
+        assert fresh.stats.disk_hits == 1
+
+    def test_disk_hit_faults_into_memory(self, tmp_path):
+        d = str(tmp_path / "cache")
+        ResultCache(directory=d).put("k", _payload("a"))
+        fresh = ResultCache(directory=d)
+        fresh.get("k")
+        fresh.get("k")
+        assert fresh.stats.memory_hits == 1
+        assert fresh.stats.disk_hits == 1
+
+    def test_version_invalidation_deletes_stale_file(self, tmp_path):
+        d = tmp_path / "cache"
+        d.mkdir()
+        (d / "stale.json").write_text(_payload("old", version=99))
+        cache = ResultCache(directory=str(d), expected_version=1)
+        assert cache.get("stale") is None
+        assert not (d / "stale.json").exists()
+        assert cache.stats.invalidations == 1
+
+    def test_corrupt_file_treated_as_stale(self, tmp_path):
+        d = tmp_path / "cache"
+        d.mkdir()
+        (d / "junk.json").write_text("{not json")
+        cache = ResultCache(directory=str(d), expected_version=1)
+        assert cache.get("junk") is None
+        assert not (d / "junk.json").exists()
+
+    def test_put_rejects_wrong_version(self, tmp_path):
+        cache = ResultCache(
+            directory=str(tmp_path / "cache"), expected_version=1
+        )
+        with pytest.raises(ValueError, match="format_version"):
+            cache.put("k", _payload("bad", version=2))
+
+    def test_prune_stale(self, tmp_path):
+        d = tmp_path / "cache"
+        d.mkdir()
+        (d / "good.json").write_text(_payload("good", version=1))
+        (d / "old1.json").write_text(_payload("old", version=0))
+        (d / "old2.json").write_text("garbage")
+        cache = ResultCache(directory=str(d), expected_version=1)
+        assert cache.prune_stale() == 2
+        assert cache.disk_entries() == 1
+
+    def test_clear_disk(self, tmp_path):
+        d = str(tmp_path / "cache")
+        cache = ResultCache(directory=d)
+        cache.put("k", _payload("a"))
+        cache.clear(disk=True)
+        assert cache.disk_entries() == 0
+
+    def test_stats_snapshot_keys(self):
+        snap = ResultCache().stats.snapshot()
+        assert {"hits", "misses", "evictions", "hit_rate"} <= set(snap)

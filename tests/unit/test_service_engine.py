@@ -1,0 +1,211 @@
+"""Unit tests for the batch engine: caching, retries, timeouts, pooling."""
+
+import time
+
+import pytest
+
+from repro.compiler.serialize import FORMAT_VERSION
+from repro.qaoa import MaxCutProblem
+from repro.service import (
+    BatchEngine,
+    CompileJob,
+    JobResult,
+    ResultCache,
+    execute_job,
+    run_batch,
+)
+
+
+def _program(n=5):
+    edges = [(i, (i + 1) % n) for i in range(n)]
+    return MaxCutProblem(n, edges).to_program([0.7], [0.35])
+
+
+def _jobs(count=3, **kwargs):
+    program = _program()
+    defaults = dict(program=program, device="ibmq_20_tokyo", method="ic")
+    defaults.update(kwargs)
+    return [CompileJob(seed=i, **defaults) for i in range(count)]
+
+
+# Module-level so they pickle into worker processes.
+def _sleepy_execute(job):
+    time.sleep(2.0)
+    return execute_job(job)
+
+
+def _crashy_execute(job):
+    raise RuntimeError("worker exploded")
+
+
+class _FlakyExecute:
+    """Fails the first ``failures`` calls, then delegates (serial only)."""
+
+    def __init__(self, failures):
+        self.failures = failures
+        self.calls = 0
+
+    def __call__(self, job):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise RuntimeError("transient fault")
+        return execute_job(job)
+
+
+class TestSerial:
+    def test_results_in_input_order(self):
+        jobs = _jobs(4)
+        report = run_batch(jobs)
+        assert [r.job.seed for r in report.results] == [0, 1, 2, 3]
+        assert all(r.ok for r in report.results)
+
+    def test_failed_job_does_not_kill_batch(self):
+        jobs = _jobs(2)
+        bad = CompileJob(program=_program(), device="no_such_device")
+        report = run_batch([jobs[0], bad, jobs[1]])
+        assert [r.ok for r in report.results] == [True, False, True]
+        failed = report.results[1]
+        assert failed.error_kind == "invalid"
+        assert "no_such_device" in failed.error
+
+    def test_invalid_jobs_never_retry(self):
+        bad = CompileJob(program=_program(), device="no_such_device")
+        report = run_batch([bad], retries=3)
+        assert report.results[0].attempts == 1
+
+    def test_retry_recovers_from_transient_fault(self):
+        flaky = _FlakyExecute(failures=1)
+        engine = BatchEngine(
+            retries=2, retry_base_delay=0.001, execute_fn=flaky
+        )
+        report = engine.run(_jobs(1))
+        result = report.results[0]
+        assert result.ok
+        assert result.attempts == 2
+        assert report.telemetry.counter("jobs.retries") == 1
+
+    def test_retries_exhausted_yields_structured_error(self):
+        flaky = _FlakyExecute(failures=10)
+        engine = BatchEngine(
+            retries=2, retry_base_delay=0.001, execute_fn=flaky
+        )
+        report = engine.run(_jobs(1))
+        result = report.results[0]
+        assert not result.ok
+        assert result.error_kind == "exception"
+        assert result.attempts == 3
+        assert "transient fault" in result.error
+
+    def test_cache_warm_second_run_is_all_hits(self):
+        cache = ResultCache(expected_version=FORMAT_VERSION)
+        jobs = _jobs(3)
+        cold = run_batch(jobs, cache=cache)
+        assert all(not r.cached for r in cold.results)
+        warm = run_batch(jobs, cache=cache)
+        assert all(r.cached for r in warm.results)
+        assert warm.summary()["cached"] == 3
+        assert warm.telemetry.counter("jobs.cached") == 3
+
+    def test_cached_result_matches_computed(self):
+        cache = ResultCache()
+        jobs = _jobs(1)
+        cold = run_batch(jobs, cache=cache)
+        warm = run_batch(jobs, cache=cache)
+        assert warm.results[0].metrics == cold.results[0].metrics
+        assert (
+            warm.results[0].compiled().circuit.instructions
+            == cold.results[0].compiled().circuit.instructions
+        )
+
+    def test_duplicate_jobs_hit_cache_within_batch(self):
+        cache = ResultCache()
+        job = _jobs(1)[0]
+        report = run_batch([job, job], cache=cache)
+        assert [r.cached for r in report.results] == [False, True]
+
+    def test_summary_counts(self):
+        jobs = _jobs(2)
+        bad = CompileJob(program=_program(), device="no_such_device")
+        report = run_batch(jobs + [bad])
+        summary = report.summary()
+        assert summary["jobs"] == 3
+        assert summary["ok"] == 2
+        assert summary["failed"] == 1
+        assert summary["latency_p95_ms"] >= summary["latency_p50_ms"]
+
+    def test_render_mentions_throughput_and_hit_rate(self):
+        report = run_batch(_jobs(1), cache=ResultCache())
+        text = report.render()
+        assert "jobs/s" in text
+        assert "cache hit rate" in text
+
+    def test_engine_validates_config(self):
+        with pytest.raises(ValueError):
+            BatchEngine(workers=-1)
+        with pytest.raises(ValueError):
+            BatchEngine(retries=-1)
+        with pytest.raises(ValueError):
+            BatchEngine(timeout=0)
+
+
+class TestPooled:
+    def test_pooled_matches_serial(self):
+        jobs = _jobs(4)
+        serial = run_batch(jobs)
+        pooled = run_batch(jobs, workers=2)
+        assert [r.ok for r in pooled.results] == [True] * 4
+        for a, b in zip(serial.results, pooled.results):
+            assert a.key == b.key
+            assert a.metrics["depth"] == b.metrics["depth"]
+            assert a.metrics["gate_count"] == b.metrics["gate_count"]
+
+    def test_pooled_failure_degrades_gracefully(self):
+        jobs = _jobs(1)
+        bad = CompileJob(program=_program(), device="no_such_device")
+        report = run_batch([jobs[0], bad], workers=2)
+        assert [r.ok for r in report.results] == [True, False]
+        assert report.results[1].error_kind == "invalid"
+
+    def test_pooled_worker_exception_is_structured(self):
+        engine = BatchEngine(
+            workers=1, retries=0, execute_fn=_crashy_execute
+        )
+        report = engine.run(_jobs(1))
+        result = report.results[0]
+        assert not result.ok
+        assert result.error_kind == "exception"
+        assert "worker exploded" in result.error
+
+    def test_timeout_produces_timeout_error(self):
+        engine = BatchEngine(
+            workers=1, timeout=0.3, retries=0, execute_fn=_sleepy_execute
+        )
+        start = time.monotonic()
+        report = engine.run(_jobs(1))
+        result = report.results[0]
+        assert not result.ok
+        assert result.error_kind == "timeout"
+        assert report.telemetry.counter("jobs.timeouts") == 1
+        # The engine must not wait for the abandoned 2 s worker.
+        assert time.monotonic() - start < 1.9
+
+    def test_timeout_retries_are_bounded(self):
+        engine = BatchEngine(
+            workers=1,
+            timeout=0.2,
+            retries=1,
+            retry_base_delay=0.01,
+            execute_fn=_sleepy_execute,
+        )
+        report = engine.run(_jobs(1))
+        result = report.results[0]
+        assert not result.ok
+        assert result.attempts == 2
+        assert report.telemetry.counter("jobs.timeouts") == 2
+
+    def test_pooled_cache_populated(self):
+        cache = ResultCache()
+        jobs = _jobs(2)
+        run_batch(jobs, workers=2, cache=cache)
+        warm = run_batch(jobs, cache=cache)
+        assert all(r.cached for r in warm.results)

@@ -1,0 +1,117 @@
+"""Unit tests for service telemetry: counters, histograms, percentiles."""
+
+import pytest
+
+from repro.service import Histogram, Telemetry, percentile
+
+
+class TestPercentile:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+    def test_single_value(self):
+        assert percentile([7.0], 50) == 7.0
+        assert percentile([7.0], 99) == 7.0
+
+    def test_known_values(self):
+        values = [float(v) for v in range(1, 101)]  # 1..100
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 100.0
+        assert percentile(values, 50) == pytest.approx(50.5)
+        assert percentile(values, 95) == pytest.approx(95.05)
+        assert percentile(values, 99) == pytest.approx(99.01)
+
+    def test_matches_numpy_linear(self):
+        import numpy as np
+
+        values = [3.0, 1.0, 4.0, 1.5, 9.0, 2.6]
+        for q in (10, 50, 77, 95, 99):
+            assert percentile(values, q) == pytest.approx(
+                float(np.percentile(values, q))
+            )
+
+    def test_order_independent(self):
+        assert percentile([5.0, 1.0, 3.0], 50) == percentile(
+            [1.0, 3.0, 5.0], 50
+        )
+
+
+class TestHistogram:
+    def test_summary_tracks_extremes_and_mean(self):
+        hist = Histogram()
+        for v in (10.0, 20.0, 30.0):
+            hist.record(v)
+        summary = hist.summary()
+        assert summary["count"] == 3
+        assert summary["mean"] == pytest.approx(20.0)
+        assert summary["min"] == 10.0
+        assert summary["max"] == 30.0
+        assert summary["p50"] == pytest.approx(20.0)
+
+    def test_empty_summary_is_zeros(self):
+        summary = Histogram().summary()
+        assert summary["count"] == 0
+        assert summary["p99"] == 0.0
+
+    def test_reservoir_bounds_memory(self):
+        hist = Histogram(reservoir_size=100)
+        for v in range(10_000):
+            hist.record(float(v))
+        assert hist.count == 10_000
+        assert len(hist._values) == 100
+        # Reservoir sampling keeps the quantiles representative.
+        assert 3000 < hist.quantile(50) < 7000
+
+    def test_exact_percentiles_under_reservoir_size(self):
+        hist = Histogram()
+        for v in range(1, 101):
+            hist.record(float(v))
+        assert hist.quantile(95) == pytest.approx(95.05)
+        assert hist.quantile(99) == pytest.approx(99.01)
+
+    def test_invalid_reservoir_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram(reservoir_size=0)
+
+
+class TestTelemetry:
+    def test_counters_accumulate(self):
+        t = Telemetry()
+        t.incr("jobs.ok")
+        t.incr("jobs.ok", by=2)
+        assert t.counter("jobs.ok") == 3
+        assert t.counter("missing") == 0
+
+    def test_snapshot_shape(self):
+        t = Telemetry()
+        t.incr("a")
+        t.observe("lat", 5.0)
+        snap = t.snapshot()
+        assert snap["counters"] == {"a": 1}
+        assert snap["histograms"]["lat"]["count"] == 1
+        assert {"p50", "p95", "p99"} <= set(snap["histograms"]["lat"])
+
+    def test_snapshot_is_json_safe(self):
+        import json
+
+        t = Telemetry()
+        t.incr("a")
+        t.observe("lat", 1.25)
+        json.dumps(t.snapshot())
+
+    def test_render_includes_names(self):
+        t = Telemetry()
+        t.incr("jobs.ok")
+        t.observe("job_latency_ms", 3.0)
+        text = t.render()
+        assert "jobs.ok" in text
+        assert "job_latency_ms" in text
+        assert "p95" in text
+
+    def test_render_empty(self):
+        assert "no telemetry" in Telemetry().render()
