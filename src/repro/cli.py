@@ -9,6 +9,7 @@ Subcommands::
     python -m repro experiment fig9              # reproduce one figure
     python -m repro arg --nodes 10 --shots 4096  # ARG across methods
     python -m repro batch jobs.jsonl -o out.jsonl --workers 4  # batch service
+    python -m repro chaos --nodes 8 --seed 0     # calibration-fault sweep
     python -m repro cache stats --dir .cache     # disk-cache maintenance
 
 Every command takes ``--seed`` for reproducibility; ``compile`` can dump the
@@ -147,6 +148,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="embed the serialised circuit in each result line",
     )
     batch.add_argument("--seed", type=int, default=0, help="retry-jitter seed")
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="calibration-fault chaos sweep across methods and devices",
+    )
+    chaos.add_argument(
+        "--methods",
+        default="qaim,ip,ic,vic",
+        help="comma-separated compilation methods",
+    )
+    chaos.add_argument(
+        "--devices",
+        default="ibmq_20_tokyo,ibmq_16_melbourne",
+        help="comma-separated device names",
+    )
+    chaos.add_argument(
+        "--scenarios",
+        default=None,
+        help="comma-separated scenario names (default: the full ladder); "
+        "known: baseline, drift, dropout, poison, dead-coupler, blackout",
+    )
+    chaos.add_argument("--nodes", type=int, default=8)
+    chaos.add_argument("--edge-prob", type=float, default=0.5)
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument(
+        "--json",
+        action="store_true",
+        help="emit per-cell outcomes as a JSON document",
+    )
 
     cache_p = sub.add_parser(
         "cache", help="inspect or maintain a disk-tier result cache"
@@ -458,6 +488,61 @@ def _cmd_batch(args, out) -> int:
     return 0 if not report.failed else 1
 
 
+def _cmd_chaos(args, out) -> int:
+    from .experiments.chaos import default_scenarios, run_chaos
+
+    scenarios = default_scenarios()
+    if args.scenarios:
+        wanted = [name.strip() for name in args.scenarios.split(",") if name.strip()]
+        known = {s.name: s for s in scenarios}
+        unknown = [name for name in wanted if name not in known]
+        if unknown:
+            print(
+                f"error: unknown scenario(s) {', '.join(unknown)}; "
+                f"known: {', '.join(known)}",
+                file=sys.stderr,
+            )
+            return 2
+        scenarios = [known[name] for name in wanted]
+    methods = [m.strip() for m in args.methods.split(",") if m.strip()]
+    devices = [d.strip() for d in args.devices.split(",") if d.strip()]
+    try:
+        report = run_chaos(
+            methods=methods,
+            devices=devices,
+            scenarios=scenarios,
+            nodes=args.nodes,
+            edge_prob=args.edge_prob,
+            seed=args.seed,
+        )
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        import dataclasses as _dataclasses
+        import json as _json
+
+        document = {
+            "seed": report.seed,
+            "nodes": report.nodes,
+            "outcomes": [
+                _dataclasses.asdict(o) for o in report.outcomes
+            ],
+            "contract_violations": [
+                {"cell": f"{o.device}/{o.scenario}/{o.method}", "why": why}
+                for o, why in report.contract_violations()
+            ],
+            "monotone_violations": [
+                list(v) for v in report.monotone_violations()
+            ],
+        }
+        print(_json.dumps(document, indent=2), file=out)
+    else:
+        print(report.render(), file=out)
+    bad = report.contract_violations()
+    return 0 if not bad else 1
+
+
 def _cmd_cache(args, out) -> int:
     from .compiler.serialize import FORMAT_VERSION
     from .experiments.reporting import format_table
@@ -506,6 +591,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         return _cmd_arg(args, out)
     if args.command == "batch":
         return _cmd_batch(args, out)
+    if args.command == "chaos":
+        return _cmd_chaos(args, out)
     if args.command == "cache":
         return _cmd_cache(args, out)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import dataclasses
 import time
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -91,6 +91,10 @@ class CompiledQAOA:
         compile_time: Wall-clock seconds for the whole flow (placement
             included), the paper's compilation-time metric.
         method: Flow description, e.g. ``"qaim+ic"``.
+        warnings: Degradation provenance: every repair or fallback taken
+            on the way to this circuit (e.g. a VIC→IC distance fallback,
+            calibration repairs applied upstream).  Empty for a clean
+            compilation.
     """
 
     circuit: QuantumCircuit
@@ -101,6 +105,7 @@ class CompiledQAOA:
     swap_count: int
     compile_time: float
     method: str
+    warnings: List[str] = dataclasses.field(default_factory=list)
 
     @property
     def num_logical(self) -> int:
@@ -220,12 +225,13 @@ def compile_qaoa(
         )
     initial = mapping.as_dict()
 
+    flow_warnings: List[str] = []
     if ordering in ("random", "ip"):
         compiled = _compile_monolithic(
             program, coupling, mapping, ordering, packing_limit, rng, router
         )
     else:
-        compiled = _compile_incremental(
+        compiled, flow_warnings = _compile_incremental(
             program, coupling, mapping, ordering, calibration,
             packing_limit, rng, router,
         )
@@ -245,6 +251,7 @@ def compile_qaoa(
         swap_count=swap_count,
         compile_time=elapsed,
         method=f"{placement}+{ordering}",
+        warnings=flow_warnings,
     )
     result.validate()
     return result
@@ -296,10 +303,17 @@ def _compile_incremental(
     rng: np.random.Generator,
     router: str = "layered",
 ):
-    """IC/VIC orderings: layer-at-a-time compilation with stitching."""
-    distance_matrix = (
-        calibration.vic_distance_matrix() if ordering == "vic" else None
-    )
+    """IC/VIC orderings: layer-at-a-time compilation with stitching.
+
+    Returns ``(compiled_triple, warnings)``; the warnings record a VIC→IC
+    distance fallback when the calibration is unusable.
+    """
+    warnings: List[str] = []
+    distance_matrix = None
+    if ordering == "vic":
+        from .vic import resolve_vic_distances
+
+        distance_matrix, warnings = resolve_vic_distances(calibration)
     compiler = IncrementalCompiler(
         coupling,
         distance_matrix=distance_matrix,
@@ -307,7 +321,7 @@ def _compile_incremental(
         rng=rng,
         backend=_make_router(router, coupling, distance_matrix),
     )
-    return run_incremental_flow(program, mapping, compiler)
+    return run_incremental_flow(program, mapping, compiler), warnings
 
 
 def run_incremental_flow(

@@ -67,6 +67,7 @@ def to_json(compiled: Union[CompiledQAOA, CompiledCircuit]) -> str:
         "compile_time": compiled.compile_time,
     }
     if isinstance(compiled, CompiledQAOA):
+        payload["warnings"] = list(compiled.warnings)
         program = compiled.program
         payload["program"] = {
             "num_qubits": program.num_qubits,
@@ -121,7 +122,11 @@ def from_json(text: str) -> Union[CompiledQAOA, CompiledCircuit]:
             levels=[Level(g, b) for g, b in prog["levels"]],
             linear={int(k): v for k, v in prog.get("linear", {}).items()},
         )
-        result = CompiledQAOA(program=program, **common)
+        result = CompiledQAOA(
+            program=program,
+            warnings=[str(w) for w in payload.get("warnings", [])],
+            **common,
+        )
     else:
         result = CompiledCircuit(**common)
     result.validate()

@@ -15,23 +15,75 @@ of Figure 6(d).  Consequently:
 Gates that cannot run reliably under the current mapping are pushed to later
 layers, by which time the drifting mapping may have moved them onto better
 couplings.
+
+**Degradation.**  Calibration feeds are not always usable — a repaired feed
+may still yield a distance table with non-finite entries for physically
+reachable qubit pairs (e.g. hand-built calibrations with pathological
+weights).  :func:`resolve_vic_distances` detects this and falls back to
+plain hop distances (IC behaviour) with a recorded warning instead of
+producing unroutable circuits; :class:`VariationAwareCompiler` exposes the
+warnings it accumulated as ``.warnings``.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from ..hardware.calibration import Calibration
+from ..hardware.faults import CalibrationError
 from .ic import IncrementalCompiler
 
-__all__ = ["VariationAwareCompiler", "vic_compiler"]
+__all__ = [
+    "VariationAwareCompiler",
+    "vic_compiler",
+    "resolve_vic_distances",
+]
+
+
+def resolve_vic_distances(
+    calibration: Calibration,
+) -> Tuple[Optional[np.ndarray], List[str]]:
+    """Reliability-weighted distances, or ``(None, warnings)`` on fallback.
+
+    A usable VIC distance table must be finite wherever the hop-distance
+    table is finite: a non-finite entry for a reachable pair would make
+    layer formation and routing undefined.  Any failure to build such a
+    table (exceptions from the calibration, NaN/inf weights) degrades to
+    hop distances — the compiler then behaves exactly like IC, which is
+    the correct semantics for "no reliable variation data".
+    """
+    warnings: List[str] = []
+    coupling = calibration.coupling
+    try:
+        dist = calibration.vic_distance_matrix()
+    except (CalibrationError, ValueError, KeyError, ZeroDivisionError,
+            FloatingPointError, OverflowError) as exc:
+        warnings.append(
+            f"VIC distance table unavailable ({exc}); "
+            f"falling back to hop distances"
+        )
+        return None, warnings
+    hop = coupling.distance_matrix()
+    reachable = np.isfinite(hop)
+    if not np.all(np.isfinite(dist[reachable])):
+        bad = int(np.count_nonzero(~np.isfinite(dist[reachable])))
+        warnings.append(
+            f"VIC distance table has {bad} non-finite entries for "
+            f"reachable qubit pairs; falling back to hop distances"
+        )
+        return None, warnings
+    return dist, warnings
 
 
 class VariationAwareCompiler(IncrementalCompiler):
     """An :class:`~repro.compiler.ic.IncrementalCompiler` whose distances
     come from calibration data.
+
+    When the calibration cannot produce a usable distance table, the
+    compiler degrades to plain hop distances (IC semantics) and records
+    why in ``self.warnings`` instead of raising.
 
     Args:
         calibration: Device calibration; must match the coupling graph the
@@ -46,13 +98,15 @@ class VariationAwareCompiler(IncrementalCompiler):
         packing_limit: Optional[int] = None,
         rng: Optional[np.random.Generator] = None,
     ) -> None:
+        distance_matrix, warnings = resolve_vic_distances(calibration)
         super().__init__(
             coupling=calibration.coupling,
-            distance_matrix=calibration.vic_distance_matrix(),
+            distance_matrix=distance_matrix,
             packing_limit=packing_limit,
             rng=rng,
         )
         self.calibration = calibration
+        self.warnings = warnings
 
 
 def vic_compiler(

@@ -1,6 +1,13 @@
 """Experiment harness regenerating every figure and table of the paper."""
 
 from . import figures
+from .chaos import (
+    ChaosOutcome,
+    ChaosReport,
+    ChaosScenario,
+    default_scenarios,
+    run_chaos,
+)
 from .harness import (
     DEFAULT_BETA,
     DEFAULT_GAMMA,
@@ -16,6 +23,11 @@ from .reporting import banner, format_ratio_table, format_table
 
 __all__ = [
     "figures",
+    "ChaosOutcome",
+    "ChaosReport",
+    "ChaosScenario",
+    "default_scenarios",
+    "run_chaos",
     "RunRecord",
     "make_problem",
     "compile_record",

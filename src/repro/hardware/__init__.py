@@ -16,6 +16,17 @@ from .devices import (
     melbourne_calibration,
     ring_device,
 )
+from .faults import (
+    CalibrationDefect,
+    CalibrationError,
+    CalibrationReport,
+    CalibrationValidator,
+    FaultInjector,
+    RawCalibration,
+    RepairPolicy,
+    RepairResult,
+    repair_calibration,
+)
 from .random import random_connected_device, random_degree_bounded_device
 from .profiling import (
     hardware_profile,
@@ -44,6 +55,15 @@ __all__ = [
     "figure6_calibration",
     "get_device",
     "DEVICE_BUILDERS",
+    "CalibrationDefect",
+    "CalibrationError",
+    "CalibrationReport",
+    "CalibrationValidator",
+    "FaultInjector",
+    "RawCalibration",
+    "RepairPolicy",
+    "RepairResult",
+    "repair_calibration",
     "random_connected_device",
     "random_degree_bounded_device",
     "hardware_profile",

@@ -17,6 +17,7 @@ compiler uses:
 from __future__ import annotations
 
 import dataclasses
+import math
 from typing import Dict, Optional
 
 import numpy as np
@@ -60,9 +61,16 @@ class Calibration:
                     f"calibration for non-existent coupling {edge} on "
                     f"{self.coupling.name}"
                 )
+            err = float(err)
+            if not math.isfinite(err):
+                raise ValueError(
+                    f"CNOT error {err} on {edge} is not finite; NaN/inf "
+                    f"entries poison VIC edge weights — repair the feed "
+                    f"first (see repro.hardware.faults.repair_calibration)"
+                )
             if not 0.0 <= err < 1.0:
                 raise ValueError(f"CNOT error {err} on {edge} outside [0, 1)")
-            normalised[edge] = float(err)
+            normalised[edge] = err
         missing = self.coupling.edges - set(normalised)
         if missing:
             raise ValueError(
@@ -72,6 +80,10 @@ class Calibration:
         for q, err in {**self.single_qubit_error, **self.readout_error}.items():
             if not 0 <= q < self.coupling.num_qubits:
                 raise ValueError(f"qubit {q} out of range in calibration")
+            if not math.isfinite(float(err)):
+                raise ValueError(
+                    f"error rate {err} on qubit {q} is not finite"
+                )
             if not 0.0 <= err < 1.0:
                 raise ValueError(f"error rate {err} on qubit {q} outside [0, 1)")
 

@@ -1,0 +1,739 @@
+"""Calibration fault model: defect classification, repair, fault injection.
+
+Real calibration feeds are messy.  The paper's variation-aware machinery
+(Section IV-D) and the success-probability metric both assume a clean
+per-edge error table like Figure 10(a), but a production feed can carry
+NaN entries for couplers whose calibration run failed, values outside
+``[0, 1)``, whole edges missing, effectively-dead couplers with error
+rates far above the device average, and stale timestamps.  This module is
+the quarantine layer between such a feed and the compiler:
+
+* :class:`RawCalibration` — an *unvalidated* calibration snapshot, the
+  dirty wire format.  :class:`~repro.hardware.calibration.Calibration`
+  refuses bad data at construction; ``RawCalibration`` accepts anything so
+  defects can be inspected and repaired instead of crashing the service.
+* :class:`CalibrationValidator` — classifies every defect into a
+  structured :class:`CalibrationReport` (kinds: ``non_finite``,
+  ``out_of_range``, ``missing_edge``, ``unknown_edge``, ``dead_coupler``,
+  ``bad_qubit_rate``, ``stale_timestamp``).
+* :func:`repair_calibration` — repair policies: median / neighbour-median
+  imputation for unusable entries, topology pruning of dead couplers
+  (never disconnecting the device), sanitisation of per-qubit rates.
+  Returns a valid :class:`Calibration` on a possibly-pruned coupling plus
+  a ``warnings`` list recording every repair taken, or raises a clear
+  :class:`CalibrationError` when the feed is beyond repair.
+* :class:`FaultInjector` — a seeded chaos source that degrades a clean
+  calibration (dead qubits, dead edges, Gaussian drift, entry dropout,
+  NaN poisoning, uniform error inflation) for resilience testing.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import datetime
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .calibration import Calibration
+from .coupling import CouplingGraph, Edge
+
+__all__ = [
+    "CalibrationError",
+    "CalibrationDefect",
+    "CalibrationReport",
+    "CalibrationValidator",
+    "RawCalibration",
+    "RepairPolicy",
+    "RepairResult",
+    "repair_calibration",
+    "FaultInjector",
+    "DEFECT_KINDS",
+]
+
+#: Every defect kind a validator can report.
+DEFECT_KINDS = (
+    "non_finite",
+    "out_of_range",
+    "missing_edge",
+    "unknown_edge",
+    "dead_coupler",
+    "bad_qubit_rate",
+    "stale_timestamp",
+)
+
+
+class CalibrationError(ValueError):
+    """A calibration feed is unusable and could not be repaired."""
+
+
+def _norm_edge(a: int, b: int) -> Edge:
+    return (min(a, b), max(a, b))
+
+
+def _is_healthy(err: float, dead_threshold: float) -> bool:
+    return math.isfinite(err) and 0.0 <= err < dead_threshold
+
+
+@dataclasses.dataclass(frozen=True)
+class CalibrationDefect:
+    """One classified problem in a calibration feed.
+
+    Attributes:
+        kind: One of :data:`DEFECT_KINDS`.
+        edge: The offending coupling, when the defect is edge-scoped.
+        qubit: The offending qubit, when the defect is qubit-scoped.
+        value: The raw offending value, when there is one.
+        detail: Human-readable description.
+    """
+
+    kind: str
+    edge: Optional[Edge] = None
+    qubit: Optional[int] = None
+    value: Optional[float] = None
+    detail: str = ""
+
+    def __str__(self) -> str:
+        where = ""
+        if self.edge is not None:
+            where = f" on edge {self.edge}"
+        elif self.qubit is not None:
+            where = f" on qubit {self.qubit}"
+        return f"{self.kind}{where}: {self.detail}"
+
+
+@dataclasses.dataclass
+class CalibrationReport:
+    """Structured output of :meth:`CalibrationValidator.validate`.
+
+    Attributes:
+        device: Name of the coupling graph the feed targets.
+        num_entries: CNOT entries present in the feed.
+        num_edges: Couplings the device actually has.
+        defects: Every classified defect.
+    """
+
+    device: str
+    num_entries: int
+    num_edges: int
+    defects: List[CalibrationDefect] = dataclasses.field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        """Whether the feed can be used without any repair."""
+        return not self.defects
+
+    def by_kind(self) -> Dict[str, List[CalibrationDefect]]:
+        """Defects grouped by kind (only kinds that occurred)."""
+        grouped: Dict[str, List[CalibrationDefect]] = {}
+        for defect in self.defects:
+            grouped.setdefault(defect.kind, []).append(defect)
+        return grouped
+
+    def counts(self) -> Dict[str, int]:
+        """``{kind: occurrences}`` for every kind that occurred."""
+        return {k: len(v) for k, v in self.by_kind().items()}
+
+    def summary(self) -> str:
+        """One-line digest, e.g. ``"3 defects (non_finite=2, dead_coupler=1)"``."""
+        if self.clean:
+            return f"clean ({self.num_entries}/{self.num_edges} entries)"
+        parts = ", ".join(
+            f"{k}={n}" for k, n in sorted(self.counts().items())
+        )
+        n = len(self.defects)
+        return f"{n} defect{'s' if n != 1 else ''} ({parts})"
+
+
+@dataclasses.dataclass
+class RawCalibration:
+    """An unvalidated calibration snapshot — the dirty feed.
+
+    Unlike :class:`Calibration`, construction performs **no** checks:
+    NaN error rates, missing or unknown edges and out-of-range values are
+    all representable, so validators and repair policies can work on the
+    data instead of dying on it.
+    """
+
+    coupling: CouplingGraph
+    cnot_error: Dict[Edge, float]
+    single_qubit_error: Dict[int, float] = dataclasses.field(
+        default_factory=dict
+    )
+    readout_error: Dict[int, float] = dataclasses.field(default_factory=dict)
+    timestamp: str = ""
+
+    @classmethod
+    def from_calibration(cls, calibration: Calibration) -> "RawCalibration":
+        """Copy a validated calibration into the raw representation."""
+        return cls(
+            coupling=calibration.coupling,
+            cnot_error=dict(calibration.cnot_error),
+            single_qubit_error=dict(calibration.single_qubit_error),
+            readout_error=dict(calibration.readout_error),
+            timestamp=calibration.timestamp,
+        )
+
+    def normalised_cnot_error(self) -> Dict[Edge, float]:
+        """CNOT entries with ``(min, max)`` edge keys (last writer wins)."""
+        return {
+            _norm_edge(a, b): err for (a, b), err in self.cnot_error.items()
+        }
+
+
+_TIMESTAMP_FORMATS = ("%m/%d/%Y", "%Y-%m-%d", "%Y-%m-%dT%H:%M:%S")
+
+
+def _parse_timestamp(text: str) -> Optional[datetime.datetime]:
+    for fmt in _TIMESTAMP_FORMATS:
+        try:
+            return datetime.datetime.strptime(text, fmt)
+        except ValueError:
+            continue
+    try:
+        return datetime.datetime.fromisoformat(text)
+    except ValueError:
+        return None
+
+
+class CalibrationValidator:
+    """Classify the defects of a calibration feed.
+
+    Args:
+        dead_threshold: CNOT error rate at or above which a coupler is
+            considered dead (Section IV-D treats such couplings as ones
+            routing should avoid; a 0.5 error rate means a coin flip).
+        max_age_days: When set, a parseable timestamp older than this is
+            flagged ``stale_timestamp``.  Unparseable timestamps are never
+            flagged — the field is free-form provenance.
+        now: Reference time for staleness (defaults to the current time;
+            injectable for deterministic tests).
+    """
+
+    def __init__(
+        self,
+        dead_threshold: float = 0.5,
+        max_age_days: Optional[float] = None,
+        now: Optional[datetime.datetime] = None,
+    ) -> None:
+        if not 0.0 < dead_threshold <= 1.0:
+            raise ValueError("dead_threshold must be in (0, 1]")
+        if max_age_days is not None and max_age_days <= 0:
+            raise ValueError("max_age_days must be positive or None")
+        self.dead_threshold = float(dead_threshold)
+        self.max_age_days = max_age_days
+        self.now = now
+
+    def validate(
+        self, raw: Union[RawCalibration, Calibration]
+    ) -> CalibrationReport:
+        """Classify every defect in ``raw`` (validated feeds allowed too)."""
+        if isinstance(raw, Calibration):
+            raw = RawCalibration.from_calibration(raw)
+        coupling = raw.coupling
+        entries = raw.normalised_cnot_error()
+        report = CalibrationReport(
+            device=coupling.name,
+            num_entries=len(entries),
+            num_edges=coupling.num_edges(),
+        )
+        for edge in sorted(entries):
+            err = entries[edge]
+            if not coupling.has_edge(*edge):
+                report.defects.append(
+                    CalibrationDefect(
+                        kind="unknown_edge",
+                        edge=edge,
+                        value=err,
+                        detail=f"no coupling {edge} on {coupling.name}",
+                    )
+                )
+                continue
+            try:
+                err = float(err)
+            except (TypeError, ValueError):
+                report.defects.append(
+                    CalibrationDefect(
+                        kind="non_finite",
+                        edge=edge,
+                        detail=f"non-numeric error rate {err!r}",
+                    )
+                )
+                continue
+            if not math.isfinite(err):
+                report.defects.append(
+                    CalibrationDefect(
+                        kind="non_finite",
+                        edge=edge,
+                        value=err,
+                        detail=f"error rate {err} is not finite",
+                    )
+                )
+            elif not 0.0 <= err < 1.0:
+                report.defects.append(
+                    CalibrationDefect(
+                        kind="out_of_range",
+                        edge=edge,
+                        value=err,
+                        detail=f"error rate {err} outside [0, 1)",
+                    )
+                )
+            elif err >= self.dead_threshold:
+                report.defects.append(
+                    CalibrationDefect(
+                        kind="dead_coupler",
+                        edge=edge,
+                        value=err,
+                        detail=(
+                            f"error rate {err:.3g} at or above dead "
+                            f"threshold {self.dead_threshold:.3g}"
+                        ),
+                    )
+                )
+        for edge in sorted(coupling.edges - set(entries)):
+            report.defects.append(
+                CalibrationDefect(
+                    kind="missing_edge",
+                    edge=edge,
+                    detail=f"no CNOT entry for coupling {edge}",
+                )
+            )
+        for label, rates in (
+            ("single-qubit", raw.single_qubit_error),
+            ("readout", raw.readout_error),
+        ):
+            for q, err in sorted(rates.items()):
+                bad_qubit = not 0 <= q < coupling.num_qubits
+                try:
+                    bad_value = not (
+                        math.isfinite(float(err)) and 0.0 <= float(err) < 1.0
+                    )
+                except (TypeError, ValueError):
+                    bad_value = True
+                if bad_qubit or bad_value:
+                    report.defects.append(
+                        CalibrationDefect(
+                            kind="bad_qubit_rate",
+                            qubit=q,
+                            value=err if not bad_qubit else None,
+                            detail=f"unusable {label} rate {err!r} on qubit {q}",
+                        )
+                    )
+        if self.max_age_days is not None and raw.timestamp:
+            stamp = _parse_timestamp(raw.timestamp)
+            now = self.now if self.now is not None else datetime.datetime.now()
+            if stamp is not None:
+                age = (now - stamp).total_seconds() / 86400.0
+                if age > self.max_age_days:
+                    report.defects.append(
+                        CalibrationDefect(
+                            kind="stale_timestamp",
+                            detail=(
+                                f"calibration is {age:.1f} days old "
+                                f"(limit {self.max_age_days:g})"
+                            ),
+                        )
+                    )
+        return report
+
+
+@dataclasses.dataclass(frozen=True)
+class RepairPolicy:
+    """How :func:`repair_calibration` fixes what the validator flags.
+
+    Attributes:
+        impute: ``"neighbor_median"`` (median over healthy entries sharing
+            an endpoint, falling back to the global median), ``"median"``
+            (global median of healthy entries), or ``"default"`` (always
+            ``default_error``).
+        default_error: Imputation value of last resort, used when no
+            healthy entry exists to take a median over.
+        prune_dead: Whether to remove dead couplers from the topology.
+            Pruning never disconnects the device: when removing a dead
+            coupler would cut the graph, the coupler is kept (routing will
+            still de-prioritise it under VIC weights) and a warning is
+            recorded instead.
+    """
+
+    impute: str = "neighbor_median"
+    default_error: float = 2.0e-2
+    prune_dead: bool = True
+
+    def __post_init__(self) -> None:
+        if self.impute not in ("neighbor_median", "median", "default"):
+            raise ValueError(f"unknown imputation policy {self.impute!r}")
+        if not 0.0 < self.default_error < 1.0:
+            raise ValueError("default_error must be in (0, 1)")
+
+
+@dataclasses.dataclass
+class RepairResult:
+    """A repaired calibration plus the full repair provenance.
+
+    Attributes:
+        calibration: Valid calibration on the (possibly pruned) coupling.
+        coupling: Post-prune coupling graph; identical to the input graph
+            when nothing was pruned.  The name is preserved so downstream
+            device-name checks keep passing — it is the same device, seen
+            through a degraded lens.
+        report: The defect report the repair acted on.
+        warnings: One entry per repair action or residual concern; empty
+            iff the feed was clean.
+        pruned_edges: Dead couplers removed from the topology.
+    """
+
+    calibration: Calibration
+    coupling: CouplingGraph
+    report: CalibrationReport
+    warnings: List[str] = dataclasses.field(default_factory=list)
+    pruned_edges: List[Edge] = dataclasses.field(default_factory=list)
+
+    @property
+    def degraded(self) -> bool:
+        """Whether any repair or fallback was taken."""
+        return bool(self.warnings)
+
+
+def _connected_with_edges(num_qubits: int, edges: Iterable[Edge]) -> bool:
+    """Union-find connectivity over an edge set."""
+    parent = list(range(num_qubits))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    components = num_qubits
+    for a, b in edges:
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            parent[ra] = rb
+            components -= 1
+    return components == 1
+
+
+def _impute_value(
+    edge: Edge,
+    healthy: Dict[Edge, float],
+    policy: RepairPolicy,
+) -> float:
+    if policy.impute == "default" or not healthy:
+        return policy.default_error
+    if policy.impute == "neighbor_median":
+        neighbours = [
+            err
+            for (a, b), err in healthy.items()
+            if edge[0] in (a, b) or edge[1] in (a, b)
+        ]
+        if neighbours:
+            return float(np.median(neighbours))
+    return float(np.median(list(healthy.values())))
+
+
+def repair_calibration(
+    raw: Union[RawCalibration, Calibration],
+    validator: Optional[CalibrationValidator] = None,
+    policy: Optional[RepairPolicy] = None,
+) -> RepairResult:
+    """Turn a dirty calibration feed into a usable one, or raise.
+
+    Pipeline: classify defects, impute unusable CNOT entries
+    (NaN/inf, out-of-range, missing, unknown-edge removal), prune dead
+    couplers while the topology stays connected, sanitise per-qubit rates,
+    then construct a validated :class:`Calibration`.  Every action lands
+    in ``warnings`` so callers (and job results) can surface degradation.
+
+    Raises:
+        CalibrationError: When the device topology itself is disconnected
+            (no repair can make distances finite) or the repaired feed
+            still fails :class:`Calibration` validation.
+    """
+    validator = validator if validator is not None else CalibrationValidator()
+    policy = policy if policy is not None else RepairPolicy()
+    if isinstance(raw, Calibration):
+        raw = RawCalibration.from_calibration(raw)
+    coupling = raw.coupling
+    if coupling.num_qubits > 1 and not coupling.is_connected():
+        raise CalibrationError(
+            f"coupling graph {coupling.name} is disconnected; no repair "
+            f"policy can produce finite routing distances"
+        )
+    report = validator.validate(raw)
+    warnings: List[str] = []
+    entries = raw.normalised_cnot_error()
+    by_kind = report.by_kind()
+
+    dropped = [d.edge for d in by_kind.get("unknown_edge", ())]
+    for edge in dropped:
+        entries.pop(edge, None)
+    if dropped:
+        warnings.append(
+            f"dropped {len(dropped)} entr"
+            f"{'y' if len(dropped) == 1 else 'ies'} for unknown couplings "
+            f"{sorted(dropped)}"
+        )
+
+    healthy = {
+        e: float(err)
+        for e, err in entries.items()
+        if coupling.has_edge(*e)
+        and _is_numeric(err)
+        and _is_healthy(float(err), validator.dead_threshold)
+    }
+    to_impute = sorted(
+        {d.edge for k in ("non_finite", "out_of_range", "missing_edge")
+         for d in by_kind.get(k, ())}
+    )
+    for edge in to_impute:
+        entries[edge] = _impute_value(edge, healthy, policy)
+    if to_impute:
+        warnings.append(
+            f"imputed {len(to_impute)} CNOT entr"
+            f"{'y' if len(to_impute) == 1 else 'ies'} "
+            f"({policy.impute}) on edges {to_impute}"
+        )
+
+    pruned: List[Edge] = []
+    dead = sorted(
+        (d for d in by_kind.get("dead_coupler", ())),
+        key=lambda d: -(d.value if d.value is not None else 1.0),
+    )
+    if dead and policy.prune_dead:
+        surviving = set(coupling.edges)
+        for defect in dead:
+            candidate = surviving - {defect.edge}
+            if coupling.num_qubits == 1 or _connected_with_edges(
+                coupling.num_qubits, candidate
+            ):
+                surviving = candidate
+                pruned.append(defect.edge)
+                entries.pop(defect.edge, None)
+            else:
+                warnings.append(
+                    f"kept dead coupler {defect.edge} "
+                    f"(error {defect.value:.3g}): pruning it would "
+                    f"disconnect {coupling.name}"
+                )
+        if pruned:
+            warnings.append(
+                f"pruned {len(pruned)} dead coupler"
+                f"{'' if len(pruned) == 1 else 's'} {sorted(pruned)} "
+                f"(error >= {validator.dead_threshold:.3g})"
+            )
+    elif dead:
+        warnings.append(
+            f"{len(dead)} dead coupler(s) retained (prune_dead disabled)"
+        )
+
+    for defect in by_kind.get("stale_timestamp", ()):
+        warnings.append(f"stale calibration: {defect.detail}")
+
+    single_qubit, readout = {}, {}
+    bad_rates = 0
+    for source, target in (
+        (raw.single_qubit_error, single_qubit),
+        (raw.readout_error, readout),
+    ):
+        for q, err in source.items():
+            if (
+                0 <= q < coupling.num_qubits
+                and _is_numeric(err)
+                and math.isfinite(float(err))
+                and 0.0 <= float(err) < 1.0
+            ):
+                target[q] = float(err)
+            else:
+                bad_rates += 1
+    if bad_rates:
+        warnings.append(
+            f"dropped {bad_rates} unusable per-qubit rate"
+            f"{'' if bad_rates == 1 else 's'}"
+        )
+
+    if pruned:
+        repaired_coupling = CouplingGraph(
+            coupling.num_qubits,
+            coupling.edges - set(pruned),
+            name=coupling.name,
+        )
+    else:
+        repaired_coupling = coupling
+    try:
+        calibration = Calibration(
+            coupling=repaired_coupling,
+            cnot_error={
+                e: entries[e] for e in repaired_coupling.edges
+            },
+            single_qubit_error=single_qubit,
+            readout_error=readout,
+            timestamp=raw.timestamp,
+        )
+    except (KeyError, ValueError) as exc:
+        raise CalibrationError(
+            f"calibration for {coupling.name} is beyond repair: {exc}"
+        ) from exc
+    return RepairResult(
+        calibration=calibration,
+        coupling=repaired_coupling,
+        report=report,
+        warnings=warnings,
+        pruned_edges=sorted(pruned),
+    )
+
+
+def _is_numeric(value) -> bool:
+    try:
+        float(value)
+        return True
+    except (TypeError, ValueError):
+        return False
+
+
+class FaultInjector:
+    """Seeded source of degraded calibrations for chaos testing.
+
+    Every method is deterministic under the construction seed, so chaos
+    sweeps and property tests reproduce exactly.  The injector degrades
+    *data*, never the coupling graph itself: a dead qubit or dead edge is
+    expressed as calibration entries at ``dead_error``, mirroring how real
+    feeds report hardware faults, and the repair layer decides what to
+    prune.
+
+    Args:
+        seed: Seed for the injector's private random generator.
+        dead_error: Error rate written for dead couplers/qubits; must sit
+            at or above the validator's dead threshold to be classified.
+    """
+
+    def __init__(self, seed: int = 0, dead_error: float = 0.9) -> None:
+        if not 0.0 < dead_error < 1.0:
+            raise ValueError("dead_error must be in (0, 1)")
+        self.rng = np.random.default_rng(seed)
+        self.dead_error = float(dead_error)
+
+    # ------------------------------------------------------------------
+    # individual faults (each returns a new RawCalibration)
+    # ------------------------------------------------------------------
+    def kill_qubits(
+        self, raw: RawCalibration, count: int
+    ) -> RawCalibration:
+        """Mark every coupler of ``count`` random qubits as dead."""
+        raw = _copy_raw(raw)
+        count = min(count, raw.coupling.num_qubits)
+        victims = self.rng.choice(
+            raw.coupling.num_qubits, size=count, replace=False
+        )
+        for q in victims:
+            for n in raw.coupling.neighbours(int(q)):
+                raw.cnot_error[_norm_edge(int(q), n)] = self.dead_error
+        return raw
+
+    def kill_edges(self, raw: RawCalibration, count: int) -> RawCalibration:
+        """Mark ``count`` random couplers as dead."""
+        raw = _copy_raw(raw)
+        edges = sorted(raw.coupling.edges)
+        count = min(count, len(edges))
+        for i in self.rng.choice(len(edges), size=count, replace=False):
+            raw.cnot_error[edges[int(i)]] = self.dead_error
+        return raw
+
+    def drift(
+        self, raw: RawCalibration, sigma: float
+    ) -> RawCalibration:
+        """Multiply every entry by a log-normal drift factor (Fig 10(a)
+        day-to-day variation)."""
+        raw = _copy_raw(raw)
+        for edge in sorted(raw.cnot_error):
+            err = raw.cnot_error[edge]
+            if _is_numeric(err) and math.isfinite(float(err)):
+                factor = float(np.exp(self.rng.normal(0.0, sigma)))
+                raw.cnot_error[edge] = min(float(err) * factor, 0.95)
+        return raw
+
+    def drop_entries(
+        self, raw: RawCalibration, fraction: float
+    ) -> RawCalibration:
+        """Delete a random fraction of CNOT entries (missing edges)."""
+        raw = _copy_raw(raw)
+        edges = sorted(raw.cnot_error)
+        count = min(len(edges), max(0, int(round(fraction * len(edges)))))
+        for i in self.rng.choice(len(edges), size=count, replace=False):
+            del raw.cnot_error[edges[int(i)]]
+        return raw
+
+    def poison(
+        self, raw: RawCalibration, count: int, value: float = float("nan")
+    ) -> RawCalibration:
+        """Overwrite ``count`` random entries with a poison value (NaN by
+        default; pass e.g. ``-0.2`` or ``3.0`` for out-of-range faults)."""
+        raw = _copy_raw(raw)
+        edges = sorted(raw.cnot_error)
+        count = min(count, len(edges))
+        for i in self.rng.choice(len(edges), size=count, replace=False):
+            raw.cnot_error[edges[int(i)]] = value
+        return raw
+
+    def inflate(self, raw: RawCalibration, factor: float) -> RawCalibration:
+        """Uniformly scale every finite entry (severity knob for sweeps)."""
+        raw = _copy_raw(raw)
+        for edge in sorted(raw.cnot_error):
+            err = raw.cnot_error[edge]
+            if _is_numeric(err) and math.isfinite(float(err)):
+                raw.cnot_error[edge] = min(float(err) * factor, 0.95)
+        return raw
+
+    # ------------------------------------------------------------------
+    # composite
+    # ------------------------------------------------------------------
+    def degrade(
+        self,
+        calibration: Union[Calibration, RawCalibration],
+        dead_qubits: int = 0,
+        dead_edges: int = 0,
+        drift_sigma: float = 0.0,
+        dropout: float = 0.0,
+        nan_entries: int = 0,
+        out_of_range_entries: int = 0,
+        inflate: float = 1.0,
+        timestamp: Optional[str] = None,
+    ) -> RawCalibration:
+        """Apply a bundle of faults in a fixed order.
+
+        Order: inflation, drift, dead qubits, dead edges, NaN poisoning,
+        out-of-range poisoning, dropout.  The fixed order keeps a given
+        seed + parameter set perfectly reproducible.
+        """
+        raw = (
+            RawCalibration.from_calibration(calibration)
+            if isinstance(calibration, Calibration)
+            else _copy_raw(calibration)
+        )
+        if inflate != 1.0:
+            raw = self.inflate(raw, inflate)
+        if drift_sigma > 0:
+            raw = self.drift(raw, drift_sigma)
+        if dead_qubits > 0:
+            raw = self.kill_qubits(raw, dead_qubits)
+        if dead_edges > 0:
+            raw = self.kill_edges(raw, dead_edges)
+        if nan_entries > 0:
+            raw = self.poison(raw, nan_entries)
+        if out_of_range_entries > 0:
+            raw = self.poison(raw, out_of_range_entries, value=1.5)
+        if dropout > 0:
+            raw = self.drop_entries(raw, dropout)
+        if timestamp is not None:
+            raw.timestamp = timestamp
+        return raw
+
+
+def _copy_raw(raw: RawCalibration) -> RawCalibration:
+    return RawCalibration(
+        coupling=raw.coupling,
+        cnot_error=dict(raw.cnot_error),
+        single_qubit_error=dict(raw.single_qubit_error),
+        readout_error=dict(raw.readout_error),
+        timestamp=raw.timestamp,
+    )

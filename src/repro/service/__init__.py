@@ -28,6 +28,7 @@ from .job import (
     job_from_dict,
     job_to_dict,
     load_jobs_jsonl,
+    resolve_job_environment,
 )
 from .telemetry import Histogram, Telemetry, percentile
 
@@ -36,6 +37,7 @@ __all__ = [
     "CompileJob",
     "JobResult",
     "execute_job",
+    "resolve_job_environment",
     "job_from_dict",
     "job_to_dict",
     "load_jobs_jsonl",

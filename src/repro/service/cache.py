@@ -143,9 +143,17 @@ class ResultCache:
         if self.directory is not None:
             self.directory.mkdir(parents=True, exist_ok=True)
             path = self._path(key)
-            tmp = path.with_suffix(".tmp")
-            tmp.write_text(payload)
-            os.replace(tmp, path)
+            # Unique temp name per writer: two processes/threads racing on
+            # the same key must never interleave writes into one temp file.
+            tmp = path.with_name(
+                f"{key}.{os.getpid()}.{threading.get_ident()}.tmp"
+            )
+            try:
+                tmp.write_text(payload)
+                os.replace(tmp, path)
+            except OSError:
+                tmp.unlink(missing_ok=True)
+                raise
 
     def __contains__(self, key: str) -> bool:
         with self._lock:
@@ -169,8 +177,9 @@ class ResultCache:
             self._entries.clear()
             self._bytes = 0
         if disk and self.directory is not None and self.directory.exists():
-            for path in self.directory.glob("*.json"):
-                path.unlink()
+            for pattern in ("*.json", "*.tmp", "*.json.corrupt"):
+                for path in self.directory.glob(pattern):
+                    path.unlink(missing_ok=True)
 
     # ------------------------------------------------------------------
     # disk-tier maintenance (used by ``repro cache``)
@@ -188,16 +197,29 @@ class ResultCache:
         )
 
     def prune_stale(self) -> int:
-        """Delete disk entries whose format version is stale; return count."""
+        """Delete stale/corrupt disk entries and writer debris; return count.
+
+        Removes entries whose format version is stale, entries that are
+        not valid JSON (truncated writes), quarantined ``.corrupt`` files,
+        and orphaned ``.tmp`` files left by crashed writers.
+        """
         if self.directory is None or not self.directory.exists():
             return 0
         pruned = 0
         for path in self.directory.glob("*.json"):
             try:
-                ok = self._check_version(path.read_text())
+                payload = path.read_text()
+                json.loads(payload)
+                ok = self._check_version(payload)
             except OSError:
                 ok = False
+            except json.JSONDecodeError:
+                ok = False
             if ok is False:
+                path.unlink(missing_ok=True)
+                pruned += 1
+        for pattern in ("*.tmp", "*.json.corrupt"):
+            for path in self.directory.glob(pattern):
                 path.unlink(missing_ok=True)
                 pruned += 1
         self.stats.invalidations += pruned
@@ -238,12 +260,30 @@ class ResultCache:
             payload = path.read_text()
         except (FileNotFoundError, OSError):
             return None
+        try:
+            json.loads(payload)
+        except json.JSONDecodeError:
+            # Corrupt or truncated entry (e.g. a crash mid-write by a
+            # pre-atomic-rename writer, bit rot, manual tampering):
+            # quarantine it and report a miss instead of raising.
+            self._quarantine(path)
+            with self._lock:
+                self.stats.invalidations += 1
+            return None
         if self._check_version(payload) is False:
             path.unlink(missing_ok=True)
             with self._lock:
                 self.stats.invalidations += 1
             return None
         return payload
+
+    @staticmethod
+    def _quarantine(path: pathlib.Path) -> None:
+        """Move a corrupt entry aside (delete if even that fails)."""
+        try:
+            path.replace(path.with_name(path.name + ".corrupt"))
+        except OSError:
+            path.unlink(missing_ok=True)
 
     def _check_version(self, payload: str) -> Optional[bool]:
         """``None`` when unchecked, else whether the version matches."""

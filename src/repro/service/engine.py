@@ -72,6 +72,11 @@ class BatchReport:
     def failed(self) -> List[JobResult]:
         return [r for r in self.results if not r.ok]
 
+    @property
+    def degraded(self) -> List[JobResult]:
+        """Jobs that succeeded but only via repairs/fallbacks."""
+        return [r for r in self.results if r.ok and r.warnings]
+
     def summary(self) -> dict:
         """Headline numbers: throughput, hit rate, latency percentiles."""
         snap = self.telemetry.snapshot()
@@ -80,6 +85,8 @@ class BatchReport:
             "jobs": len(self.results),
             "ok": len(self.ok),
             "failed": len(self.failed),
+            "degraded": len(self.degraded),
+            "warnings_total": sum(len(r.warnings) for r in self.results),
             "cached": sum(1 for r in self.results if r.cached),
             "elapsed_s": self.elapsed,
             "jobs_per_s": (
@@ -100,6 +107,7 @@ class BatchReport:
             ["jobs", s["jobs"]],
             ["ok", s["ok"]],
             ["failed", s["failed"]],
+            ["degraded", f"{s['degraded']} ({s['warnings_total']} warnings)"],
             ["cached", s["cached"]],
             ["elapsed", f"{s['elapsed_s']:.3f} s"],
             ["throughput", f"{s['jobs_per_s']:.1f} jobs/s"],
@@ -226,8 +234,11 @@ class BatchEngine:
         except ValueError:
             return None  # stale envelope in the memory tier — recompile
         latency = time.monotonic() - state.enqueued_at
+        warnings = list(metrics.get("warnings") or []) if metrics else []
         self.telemetry.incr("jobs.ok")
         self.telemetry.incr("jobs.cached")
+        if warnings:
+            self.telemetry.incr("jobs.degraded")
         self.telemetry.observe("job_latency_ms", latency * 1e3)
         return JobResult(
             job=state.job,
@@ -238,6 +249,7 @@ class BatchEngine:
             latency=latency,
             metrics=metrics,
             payload=payload,
+            warnings=warnings,
         )
 
     def _finish(
@@ -250,6 +262,11 @@ class BatchEngine:
         result.latency = time.monotonic() - state.enqueued_at
         if result.ok:
             self.telemetry.incr("jobs.ok")
+            if result.warnings:
+                self.telemetry.incr("jobs.degraded")
+                self.telemetry.observe(
+                    "job_warnings", float(len(result.warnings))
+                )
             if result.metrics and result.metrics.get("compile_time"):
                 self.telemetry.observe(
                     "compile_ms", result.metrics["compile_time"] * 1e3

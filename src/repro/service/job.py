@@ -40,6 +40,7 @@ __all__ = [
     "CompileJob",
     "JobResult",
     "execute_job",
+    "resolve_job_environment",
     "job_from_dict",
     "job_to_dict",
     "load_jobs_jsonl",
@@ -157,6 +158,38 @@ class CompileJob:
         raise ValueError(f"unsupported calibration spec {spec!r}")
 
 
+def resolve_job_environment(job: CompileJob):
+    """Resolve ``(device, calibration, warnings)`` for one job, repairing
+    dirty calibration feeds instead of failing them.
+
+    A calibration payload that :class:`~repro.hardware.calibration.
+    Calibration` rejects (NaN entries, out-of-range rates, missing or
+    unknown edges, dead couplers) is routed through
+    :func:`repro.hardware.faults.repair_calibration`; the returned device
+    is then the possibly-pruned coupling and ``warnings`` records every
+    repair taken.  Feeds that are beyond repair re-raise as ``ValueError``
+    so the engine classifies the job ``invalid``.
+    """
+    device = job.resolve_device()
+    warnings: List[str] = []
+    try:
+        return device, job.resolve_calibration(device), warnings
+    except ValueError as exc:
+        spec = job.calibration
+        if not (isinstance(spec, dict) and "cnot_error" in spec):
+            raise
+        from ..hardware.faults import repair_calibration
+
+        raw = _raw_calibration_from_payload(spec, device)
+        repair = repair_calibration(raw)  # CalibrationError -> ValueError
+        warnings.append(
+            f"calibration repaired: {repair.report.summary()} "
+            f"(rejected as-is: {exc})"
+        )
+        warnings.extend(repair.warnings)
+        return repair.coupling, repair.calibration, warnings
+
+
 @dataclasses.dataclass
 class JobResult:
     """Outcome of one job (success, cache hit, or structured failure).
@@ -175,6 +208,10 @@ class JobResult:
         error: Human-readable failure description.
         error_kind: Machine-readable category (``"timeout"``,
             ``"exception"``, ``"invalid"``, ``"pool"``).
+        warnings: Degradation provenance — every calibration repair and
+            compile-path fallback taken while producing this result.  A
+            populated list on an ``ok`` result means the job succeeded in
+            degraded mode.
     """
 
     job: CompileJob
@@ -187,6 +224,7 @@ class JobResult:
     payload: Optional[str] = None
     error: Optional[str] = None
     error_kind: Optional[str] = None
+    warnings: List[str] = dataclasses.field(default_factory=list)
 
     def compiled(self):
         """Deserialise the compiled circuit (raises on failed jobs)."""
@@ -216,6 +254,7 @@ class JobResult:
             "metrics": self.metrics,
             "error": self.error,
             "error_kind": self.error_kind,
+            "warnings": list(self.warnings),
         }
         if include_payload:
             record["payload"] = self.payload
@@ -236,8 +275,7 @@ def execute_job(job: CompileJob) -> JobResult:
     key = job.content_hash()
     start = time.perf_counter()
     try:
-        device = job.resolve_device()
-        calibration = job.resolve_calibration(device)
+        device, calibration, warnings = resolve_job_environment(job)
         compiled = compile_with_method(
             job.program,
             device,
@@ -247,6 +285,9 @@ def execute_job(job: CompileJob) -> JobResult:
             rng=np.random.default_rng(job.seed),
             router=job.router,
         )
+        # Repair provenance rides on the compiled result so the serialised
+        # document (and thus the cache) carries the full degradation story.
+        compiled.warnings = warnings + compiled.warnings
         measured = measure_compiled(compiled, calibration=calibration)
         metrics = {
             "depth": measured.depth,
@@ -255,6 +296,7 @@ def execute_job(job: CompileJob) -> JobResult:
             "swap_count": measured.swap_count,
             "compile_time": measured.compile_time,
             "success_probability": measured.success_probability,
+            "warnings": list(compiled.warnings),
         }
         payload = encode_envelope(to_json(compiled), metrics)
     except (KeyError, ValueError) as exc:
@@ -285,6 +327,7 @@ def execute_job(job: CompileJob) -> JobResult:
         latency=time.perf_counter() - start,
         metrics=metrics,
         payload=payload,
+        warnings=list(compiled.warnings),
     )
 
 
@@ -487,6 +530,41 @@ def _calibration_payload(calibration: Calibration) -> dict:
         },
         "timestamp": calibration.timestamp,
     }
+
+
+def _maybe_float(value) -> float:
+    """Parse a rate leniently: unparseable values become NaN so the fault
+    layer can classify them instead of the parser crashing."""
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        return float("nan")
+
+
+def _raw_calibration_from_payload(payload: dict, device: CouplingGraph):
+    """Parse a calibration payload without validation (the dirty feed)."""
+    from ..hardware.faults import RawCalibration
+
+    def _edge(key: str):
+        a, b = str(key).split("-")
+        return (int(a), int(b))
+
+    return RawCalibration(
+        coupling=device,
+        cnot_error={
+            _edge(k): _maybe_float(v)
+            for k, v in payload.get("cnot_error", {}).items()
+        },
+        single_qubit_error={
+            int(q): _maybe_float(v)
+            for q, v in payload.get("single_qubit_error", {}).items()
+        },
+        readout_error={
+            int(q): _maybe_float(v)
+            for q, v in payload.get("readout_error", {}).items()
+        },
+        timestamp=str(payload.get("timestamp", "")),
+    )
 
 
 def _calibration_from_payload(

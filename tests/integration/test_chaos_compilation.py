@@ -1,0 +1,190 @@
+"""Chaos sweep: every compilation method survives degraded calibrations.
+
+These are the resilience acceptance tests for the fault model.  A full
+severity ladder of seeded fault scenarios is swept through all four
+methods (qaim / ip / ic / vic) on both paper devices, and the resulting
+:class:`ChaosReport` is audited for the three contracts:
+
+1. no cell raises — every degraded compile returns a valid circuit,
+2. degraded compiles carry populated ``warnings`` provenance, and
+3. a pruned dead coupler is never used by a compiled circuit, and
+   success probability degrades (within tolerance) as severity rises.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.experiments import (
+    ChaosScenario,
+    default_scenarios,
+    run_chaos,
+)
+
+pytestmark = pytest.mark.chaos
+
+METHODS = ("qaim", "ip", "ic", "vic")
+DEVICES = ("ibmq_20_tokyo", "ibmq_16_melbourne")
+NODES = 6
+SEED = 7
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_chaos(
+        methods=METHODS, devices=DEVICES, nodes=NODES, seed=SEED
+    )
+
+
+class TestChaosSweep:
+    def test_full_grid_covered(self, report):
+        assert len(report.outcomes) == len(METHODS) * len(DEVICES) * len(
+            default_scenarios()
+        )
+        assert len(default_scenarios()) >= 3
+
+    def test_no_uncaught_exceptions(self, report):
+        failures = report.failures()
+        assert failures == [], "\n".join(
+            f"{o.device}/{o.scenario}/{o.method}: {o.error}" for o in failures
+        )
+
+    def test_no_contract_violations(self, report):
+        violations = report.contract_violations()
+        assert violations == [], "\n".join(
+            f"{o.device}/{o.scenario}/{o.method}: {why}"
+            for o, why in violations
+        )
+
+    def test_degraded_compiles_carry_warnings(self, report):
+        faulty = {s.name for s in default_scenarios() if s.injects_faults}
+        for o in report.outcomes:
+            if o.scenario in faulty:
+                assert o.warnings, (
+                    f"{o.device}/{o.scenario}/{o.method} degraded silently"
+                )
+
+    def test_baseline_compiles_are_clean(self, report):
+        for o in report.outcomes:
+            if o.scenario == "baseline":
+                assert o.warnings == []
+                assert o.pruned_edges == []
+
+    def test_pruned_couplers_never_used(self, report):
+        for o in report.outcomes:
+            assert o.used_pruned_edges == []
+
+    def test_every_cell_produced_a_circuit(self, report):
+        for o in report.outcomes:
+            assert o.ok
+            assert o.depth is not None and o.depth > 0
+            assert o.success_probability is not None
+            assert 0.0 <= o.success_probability <= 1.0
+
+    def test_success_probability_degrades_monotonically(self, report):
+        violations = report.monotone_violations(tolerance=1.05)
+        assert violations == [], "\n".join(
+            f"{device}/{method}: {lo}→{hi} rose {p_lo:.3g}→{p_hi:.3g}"
+            for device, method, lo, hi, p_lo, p_hi in violations
+        )
+
+    def test_dead_coupler_scenario_actually_prunes(self, report):
+        pruned_cells = [
+            o
+            for o in report.outcomes
+            if o.scenario == "dead-coupler" and o.pruned_edges
+        ]
+        assert pruned_cells, "dead-coupler scenario never pruned an edge"
+
+    def test_report_renders(self, report):
+        text = report.render()
+        assert "chaos sweep" in text
+        for method in METHODS:
+            assert method in text
+
+
+class TestChaosDeterminism:
+    def test_sweep_is_reproducible(self, report):
+        again = run_chaos(
+            methods=METHODS, devices=DEVICES, nodes=NODES, seed=SEED
+        )
+        for a, b in zip(report.outcomes, again.outcomes):
+            assert (a.device, a.scenario, a.method) == (
+                b.device,
+                b.scenario,
+                b.method,
+            )
+            assert a.warnings == b.warnings
+            assert a.pruned_edges == b.pruned_edges
+            assert a.success_probability == b.success_probability
+
+    def test_custom_scenarios(self):
+        ladder = [
+            ChaosScenario(name="ok", severity=0),
+            ChaosScenario(name="bad", severity=1, nan_entries=2, inflate=3.0),
+        ]
+        rep = run_chaos(
+            methods=("ic",),
+            devices=("ibmq_20_tokyo",),
+            scenarios=ladder,
+            nodes=5,
+            seed=3,
+        )
+        assert len(rep.outcomes) == 2
+        assert rep.contract_violations() == []
+
+
+class TestChaosCli:
+    def _run(self, argv):
+        out = io.StringIO()
+        code = main(argv, out=out)
+        return code, out.getvalue()
+
+    def test_cli_json_smoke(self):
+        code, text = self._run(
+            [
+                "chaos",
+                "--nodes",
+                "5",
+                "--seed",
+                "1",
+                "--devices",
+                "ibmq_20_tokyo",
+                "--scenarios",
+                "baseline,poison",
+                "--json",
+            ]
+        )
+        assert code == 0
+        doc = json.loads(text)
+        assert doc["contract_violations"] == []
+        assert doc["monotone_violations"] == []
+        assert len(doc["outcomes"]) == 2 * len(METHODS)
+        poison_cells = [
+            o for o in doc["outcomes"] if o["scenario"] == "poison"
+        ]
+        assert poison_cells and all(o["warnings"] for o in poison_cells)
+
+    def test_cli_rendered_smoke(self):
+        code, text = self._run(
+            [
+                "chaos",
+                "--nodes",
+                "5",
+                "--seed",
+                "2",
+                "--devices",
+                "ibmq_16_melbourne",
+                "--scenarios",
+                "baseline,drift,dead-coupler",
+            ]
+        )
+        assert code == 0
+        assert "chaos sweep" in text
+
+    def test_cli_rejects_unknown_scenario(self, capsys):
+        code, _ = self._run(["chaos", "--scenarios", "no-such-scenario"])
+        assert code == 2
+        assert "unknown scenario" in capsys.readouterr().err.lower()

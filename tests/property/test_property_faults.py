@@ -1,0 +1,104 @@
+"""Property tests: inject → repair always yields a usable calibration.
+
+The contract guarded here is the one the chaos harness relies on: for any
+seeded degradation of a clean calibration, ``repair_calibration`` either
+returns a :class:`Calibration` whose VIC edge weights are all finite and
+positive on a still-connected coupling graph, or raises a clear
+:class:`CalibrationError` — never a crash, never a poisoned weight.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware import (
+    CalibrationError,
+    FaultInjector,
+    grid_device,
+    repair_calibration,
+    ring_device,
+    uniform_calibration,
+)
+
+
+@st.composite
+def fault_recipes(draw):
+    return {
+        "dead_qubits": draw(st.integers(0, 2)),
+        "dead_edges": draw(st.integers(0, 3)),
+        "drift_sigma": draw(st.floats(0.0, 0.5)),
+        "dropout": draw(st.floats(0.0, 0.4)),
+        "nan_entries": draw(st.integers(0, 3)),
+        "out_of_range_entries": draw(st.integers(0, 2)),
+        "inflate": draw(st.floats(1.0, 10.0)),
+    }
+
+
+def _device(kind):
+    return ring_device(8) if kind == "ring" else grid_device(3, 3)
+
+
+@given(
+    kind=st.sampled_from(["ring", "grid"]),
+    seed=st.integers(0, 2**16),
+    recipe=fault_recipes(),
+)
+@settings(max_examples=60, deadline=None)
+def test_repair_yields_finite_vic_weights_on_connected_graph(
+    kind, seed, recipe
+):
+    cal = uniform_calibration(_device(kind), cnot_error=0.02)
+    raw = FaultInjector(seed=seed).degrade(cal, **recipe)
+    try:
+        result = repair_calibration(raw)
+    except CalibrationError:
+        return  # explicit refusal is an allowed outcome
+    assert result.coupling.is_connected()
+    weights = result.calibration.vic_edge_weights()
+    assert set(weights) == set(result.coupling.edges)
+    for weight in weights.values():
+        assert math.isfinite(weight)
+        assert weight > 0
+    for err in result.calibration.cnot_error.values():
+        assert math.isfinite(err)
+        assert 0.0 <= err < 1.0
+
+
+@given(
+    seed=st.integers(0, 2**16),
+    recipe=fault_recipes(),
+)
+@settings(max_examples=40, deadline=None)
+def test_pruned_edges_are_gone_and_rest_is_intact(seed, recipe):
+    device = ring_device(8)
+    cal = uniform_calibration(device, cnot_error=0.02)
+    raw = FaultInjector(seed=seed).degrade(cal, **recipe)
+    try:
+        result = repair_calibration(raw)
+    except CalibrationError:
+        return
+    pruned = set(result.pruned_edges)
+    for edge in pruned:
+        assert not result.coupling.has_edge(*edge)
+    assert set(result.coupling.edges) | pruned == set(device.edges)
+    assert result.coupling.name == device.name
+
+
+@given(seed=st.integers(0, 2**16), recipe=fault_recipes())
+@settings(max_examples=30, deadline=None)
+def test_repair_is_deterministic(seed, recipe):
+    cal = uniform_calibration(ring_device(8), cnot_error=0.02)
+    raw = FaultInjector(seed=seed).degrade(cal, **recipe)
+    try:
+        first = repair_calibration(raw)
+    except CalibrationError:
+        try:
+            repair_calibration(raw)
+        except CalibrationError:
+            return
+        raise AssertionError("repair raised once but not twice")
+    second = repair_calibration(raw)
+    assert first.pruned_edges == second.pruned_edges
+    assert first.warnings == second.warnings
+    assert first.calibration.cnot_error == second.calibration.cnot_error

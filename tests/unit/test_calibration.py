@@ -33,6 +33,34 @@ class TestValidation:
         with pytest.raises(ValueError, match="outside"):
             Calibration(g, {(0, 1): 1.5})
 
+    def test_negative_error_rejected(self):
+        g = linear_device(2)
+        with pytest.raises(ValueError, match="outside"):
+            Calibration(g, {(0, 1): -0.1})
+
+    def test_nan_error_rejected_with_repair_hint(self):
+        g = linear_device(2)
+        with pytest.raises(ValueError, match="not finite"):
+            Calibration(g, {(0, 1): float("nan")})
+        try:
+            Calibration(g, {(0, 1): float("nan")})
+        except ValueError as exc:
+            assert "repair" in str(exc)
+
+    def test_inf_error_rejected(self):
+        g = linear_device(2)
+        with pytest.raises(ValueError, match="not finite"):
+            Calibration(g, {(0, 1): float("inf")})
+
+    def test_nan_qubit_rate_rejected(self):
+        g = linear_device(2)
+        with pytest.raises(ValueError, match="not finite"):
+            Calibration(
+                g,
+                {(0, 1): 0.01},
+                single_qubit_error={0: float("nan")},
+            )
+
     def test_edge_key_normalisation(self):
         g = linear_device(2)
         cal = Calibration(g, {(1, 0): 0.02})

@@ -1,0 +1,349 @@
+"""Unit tests for the calibration fault model (repro.hardware.faults)."""
+
+import datetime
+import math
+
+import numpy as np
+import pytest
+
+from repro.hardware import (
+    Calibration,
+    CalibrationError,
+    CalibrationValidator,
+    CouplingGraph,
+    FaultInjector,
+    RawCalibration,
+    RepairPolicy,
+    linear_device,
+    repair_calibration,
+    ring_device,
+    uniform_calibration,
+)
+
+
+def _raw(coupling, cnot_error, **kwargs):
+    return RawCalibration(coupling=coupling, cnot_error=cnot_error, **kwargs)
+
+
+class TestValidatorClassification:
+    def test_clean_feed(self):
+        report = CalibrationValidator().validate(
+            uniform_calibration(ring_device(4))
+        )
+        assert report.clean
+        assert report.defects == []
+        assert "clean" in report.summary()
+
+    def test_nan_classified_non_finite(self):
+        g = linear_device(3)
+        raw = _raw(g, {(0, 1): float("nan"), (1, 2): 0.01})
+        report = CalibrationValidator().validate(raw)
+        assert report.counts() == {"non_finite": 1}
+        assert report.defects[0].edge == (0, 1)
+
+    def test_inf_classified_non_finite(self):
+        g = linear_device(2)
+        raw = _raw(g, {(0, 1): float("inf")})
+        report = CalibrationValidator().validate(raw)
+        assert report.counts() == {"non_finite": 1}
+
+    def test_non_numeric_classified_non_finite(self):
+        g = linear_device(2)
+        raw = _raw(g, {(0, 1): "broken"})
+        report = CalibrationValidator().validate(raw)
+        assert report.counts() == {"non_finite": 1}
+
+    def test_out_of_range(self):
+        g = linear_device(3)
+        raw = _raw(g, {(0, 1): -0.2, (1, 2): 1.5})
+        report = CalibrationValidator().validate(raw)
+        assert report.counts() == {"out_of_range": 2}
+
+    def test_missing_edge(self):
+        g = linear_device(3)
+        raw = _raw(g, {(0, 1): 0.01})
+        report = CalibrationValidator().validate(raw)
+        assert report.counts() == {"missing_edge": 1}
+        assert report.defects[0].edge == (1, 2)
+
+    def test_unknown_edge(self):
+        g = linear_device(3)
+        raw = _raw(g, {(0, 1): 0.01, (1, 2): 0.01, (0, 2): 0.01})
+        report = CalibrationValidator().validate(raw)
+        assert report.counts() == {"unknown_edge": 1}
+
+    def test_dead_coupler_threshold(self):
+        g = linear_device(3)
+        raw = _raw(g, {(0, 1): 0.6, (1, 2): 0.01})
+        report = CalibrationValidator(dead_threshold=0.5).validate(raw)
+        assert report.counts() == {"dead_coupler": 1}
+        # Below the threshold the same entry is healthy.
+        report = CalibrationValidator(dead_threshold=0.7).validate(raw)
+        assert report.clean
+
+    def test_bad_qubit_rate(self):
+        g = linear_device(2)
+        raw = _raw(
+            g,
+            {(0, 1): 0.01},
+            single_qubit_error={0: float("nan")},
+            readout_error={7: 0.1},
+        )
+        report = CalibrationValidator().validate(raw)
+        assert report.counts() == {"bad_qubit_rate": 2}
+
+    def test_stale_timestamp(self):
+        g = linear_device(2)
+        raw = _raw(g, {(0, 1): 0.01}, timestamp="4/8/2020")
+        validator = CalibrationValidator(
+            max_age_days=30.0,
+            now=datetime.datetime(2020, 6, 1),
+        )
+        report = validator.validate(raw)
+        assert report.counts() == {"stale_timestamp": 1}
+
+    def test_fresh_timestamp_not_flagged(self):
+        g = linear_device(2)
+        raw = _raw(g, {(0, 1): 0.01}, timestamp="4/8/2020")
+        validator = CalibrationValidator(
+            max_age_days=90.0, now=datetime.datetime(2020, 5, 1)
+        )
+        assert validator.validate(raw).clean
+
+    def test_unparseable_timestamp_ignored(self):
+        g = linear_device(2)
+        raw = _raw(g, {(0, 1): 0.01}, timestamp="last tuesday")
+        validator = CalibrationValidator(max_age_days=1.0)
+        assert validator.validate(raw).clean
+
+    def test_edge_key_normalisation(self):
+        g = linear_device(2)
+        raw = _raw(g, {(1, 0): float("nan")})
+        report = CalibrationValidator().validate(raw)
+        assert report.defects[0].edge == (0, 1)
+
+    def test_validates_clean_calibration_instances(self):
+        report = CalibrationValidator().validate(
+            uniform_calibration(linear_device(4))
+        )
+        assert report.clean
+
+
+class TestRepair:
+    def test_clean_feed_untouched(self):
+        cal = uniform_calibration(ring_device(5), cnot_error=0.02)
+        result = repair_calibration(cal)
+        assert not result.degraded
+        assert result.warnings == []
+        assert result.pruned_edges == []
+        assert result.coupling is cal.coupling
+        assert result.calibration.cnot_error == cal.cnot_error
+
+    def test_nan_imputed(self):
+        g = linear_device(4)
+        raw = _raw(g, {(0, 1): float("nan"), (1, 2): 0.02, (2, 3): 0.04})
+        result = repair_calibration(raw)
+        assert result.degraded
+        err = result.calibration.cnot_error_rate(0, 1)
+        assert math.isfinite(err) and 0.0 <= err < 1.0
+        assert any("imputed" in w for w in result.warnings)
+
+    def test_neighbor_median_prefers_adjacent_entries(self):
+        # Edge (0,1) shares qubit 1 with (1,2)=0.1; the far edge (3,4)=0.5
+        # must not dominate the imputation.
+        g = linear_device(5)
+        raw = _raw(
+            g,
+            {
+                (0, 1): float("nan"),
+                (1, 2): 0.1,
+                (2, 3): 0.1,
+                (3, 4): 0.4,
+            },
+        )
+        result = repair_calibration(raw)
+        assert result.calibration.cnot_error_rate(0, 1) == pytest.approx(0.1)
+
+    def test_global_median_policy(self):
+        g = linear_device(4)
+        raw = _raw(g, {(0, 1): float("nan"), (1, 2): 0.02, (2, 3): 0.06})
+        result = repair_calibration(raw, policy=RepairPolicy(impute="median"))
+        assert result.calibration.cnot_error_rate(0, 1) == pytest.approx(0.04)
+
+    def test_default_policy_when_nothing_healthy(self):
+        g = linear_device(2)
+        raw = _raw(g, {(0, 1): float("nan")})
+        result = repair_calibration(
+            raw, policy=RepairPolicy(default_error=0.03)
+        )
+        assert result.calibration.cnot_error_rate(0, 1) == pytest.approx(0.03)
+
+    def test_missing_edges_imputed(self):
+        g = ring_device(4)
+        raw = _raw(g, {(0, 1): 0.02, (1, 2): 0.02})
+        result = repair_calibration(raw)
+        assert set(result.calibration.cnot_error) == set(g.edges)
+
+    def test_unknown_edges_dropped(self):
+        g = linear_device(3)
+        raw = _raw(g, {(0, 1): 0.01, (1, 2): 0.01, (0, 2): 0.5})
+        result = repair_calibration(raw)
+        assert (0, 2) not in result.calibration.cnot_error
+        assert any("unknown" in w for w in result.warnings)
+
+    def test_dead_coupler_pruned_from_topology(self):
+        g = ring_device(5)  # removing one ring edge keeps it connected
+        errors = {e: 0.01 for e in g.edges}
+        errors[(0, 1)] = 0.9
+        result = repair_calibration(_raw(g, errors))
+        assert result.pruned_edges == [(0, 1)]
+        assert not result.coupling.has_edge(0, 1)
+        assert result.coupling.is_connected()
+        assert result.coupling.name == g.name  # same device, degraded view
+
+    def test_dead_coupler_kept_when_prune_would_disconnect(self):
+        g = linear_device(3)  # every edge is a bridge
+        errors = {(0, 1): 0.9, (1, 2): 0.01}
+        result = repair_calibration(_raw(g, errors))
+        assert result.pruned_edges == []
+        assert result.coupling.has_edge(0, 1)
+        assert any("disconnect" in w for w in result.warnings)
+        # The dead-but-kept error rate is preserved so VIC de-prioritises it.
+        assert result.calibration.cnot_error_rate(0, 1) == pytest.approx(0.9)
+
+    def test_dead_qubit_keeps_one_lifeline(self):
+        # All couplers of qubit 0 dead: pruning must keep at least one so
+        # the device stays connected.
+        g = ring_device(4)
+        errors = {e: 0.01 for e in g.edges}
+        errors[(0, 1)] = 0.95
+        errors[(0, 3)] = 0.9
+        result = repair_calibration(_raw(g, errors))
+        assert len(result.pruned_edges) == 1
+        assert result.coupling.degree(0) == 1
+        assert result.coupling.is_connected()
+
+    def test_prune_disabled_by_policy(self):
+        g = ring_device(5)
+        errors = {e: 0.01 for e in g.edges}
+        errors[(0, 1)] = 0.9
+        result = repair_calibration(
+            _raw(g, errors), policy=RepairPolicy(prune_dead=False)
+        )
+        assert result.pruned_edges == []
+        assert result.coupling.has_edge(0, 1)
+        assert result.degraded
+
+    def test_bad_qubit_rates_dropped(self):
+        g = linear_device(2)
+        raw = _raw(
+            g,
+            {(0, 1): 0.01},
+            single_qubit_error={0: float("inf"), 1: 0.001},
+            readout_error={5: 0.1},
+        )
+        result = repair_calibration(raw)
+        assert result.calibration.single_qubit_error == {1: 0.001}
+        assert result.calibration.readout_error == {}
+        assert any("per-qubit" in w for w in result.warnings)
+
+    def test_disconnected_device_unrepairable(self):
+        g = CouplingGraph(4, [(0, 1), (2, 3)], name="split")
+        raw = _raw(g, {(0, 1): 0.01, (2, 3): 0.01})
+        with pytest.raises(CalibrationError, match="disconnected"):
+            repair_calibration(raw)
+
+    def test_calibration_error_is_value_error(self):
+        # The service layer classifies ValueError as "invalid"; the chaos
+        # contract depends on CalibrationError being in that family.
+        assert issubclass(CalibrationError, ValueError)
+
+    def test_repaired_vic_weights_always_finite(self):
+        g = ring_device(6)
+        errors = {e: 0.02 for e in g.edges}
+        errors[(0, 1)] = float("nan")
+        errors[(1, 2)] = 5.0
+        errors[(2, 3)] = 0.95
+        result = repair_calibration(_raw(g, errors))
+        for weight in result.calibration.vic_edge_weights().values():
+            assert math.isfinite(weight) and weight > 0
+
+
+class TestFaultInjector:
+    def test_deterministic_under_seed(self):
+        cal = uniform_calibration(ring_device(8), cnot_error=0.02)
+        a = FaultInjector(seed=3).degrade(
+            cal, dead_edges=2, drift_sigma=0.2, dropout=0.25, nan_entries=1
+        )
+        b = FaultInjector(seed=3).degrade(
+            cal, dead_edges=2, drift_sigma=0.2, dropout=0.25, nan_entries=1
+        )
+        assert sorted(a.cnot_error) == sorted(b.cnot_error)
+        for edge in a.cnot_error:
+            va, vb = a.cnot_error[edge], b.cnot_error[edge]
+            assert (va == vb) or (math.isnan(va) and math.isnan(vb))
+
+    def test_kill_qubits_marks_all_couplers_dead(self):
+        cal = uniform_calibration(ring_device(6), cnot_error=0.02)
+        raw = FaultInjector(seed=0, dead_error=0.8).kill_qubits(
+            RawCalibration.from_calibration(cal), count=1
+        )
+        dead = [e for e, v in raw.cnot_error.items() if v == 0.8]
+        assert len(dead) == 2  # a ring qubit has exactly two couplers
+        (a1, b1), (a2, b2) = dead
+        assert set((a1, b1)) & set((a2, b2))  # they share the dead qubit
+
+    def test_kill_edges_count(self):
+        cal = uniform_calibration(ring_device(8), cnot_error=0.02)
+        raw = FaultInjector(seed=1, dead_error=0.9).kill_edges(
+            RawCalibration.from_calibration(cal), count=3
+        )
+        assert sum(1 for v in raw.cnot_error.values() if v == 0.9) == 3
+
+    def test_dropout_removes_entries(self):
+        cal = uniform_calibration(ring_device(8), cnot_error=0.02)
+        raw = FaultInjector(seed=2).drop_entries(
+            RawCalibration.from_calibration(cal), fraction=0.5
+        )
+        assert len(raw.cnot_error) == 4
+
+    def test_poison_nan(self):
+        cal = uniform_calibration(ring_device(6), cnot_error=0.02)
+        raw = FaultInjector(seed=4).poison(
+            RawCalibration.from_calibration(cal), count=2
+        )
+        assert sum(1 for v in raw.cnot_error.values() if math.isnan(v)) == 2
+
+    def test_inflate_scales_and_caps(self):
+        cal = uniform_calibration(ring_device(4), cnot_error=0.1)
+        raw = FaultInjector(seed=5).inflate(
+            RawCalibration.from_calibration(cal), factor=20.0
+        )
+        assert all(v == 0.95 for v in raw.cnot_error.values())
+
+    def test_degrade_does_not_mutate_input(self):
+        cal = uniform_calibration(ring_device(6), cnot_error=0.02)
+        FaultInjector(seed=6).degrade(cal, dead_edges=2, nan_entries=2)
+        assert all(v == 0.02 for v in cal.cnot_error.values())
+
+    def test_degrade_sets_timestamp(self):
+        cal = uniform_calibration(ring_device(4))
+        raw = FaultInjector(seed=0).degrade(cal, timestamp="1/1/2019")
+        assert raw.timestamp == "1/1/2019"
+
+    def test_injected_then_repaired_roundtrip(self):
+        cal = uniform_calibration(ring_device(8), cnot_error=0.02)
+        raw = FaultInjector(seed=9).degrade(
+            cal,
+            dead_qubits=1,
+            dead_edges=1,
+            drift_sigma=0.3,
+            dropout=0.2,
+            nan_entries=2,
+            out_of_range_entries=1,
+            inflate=2.0,
+        )
+        result = repair_calibration(raw)
+        assert result.degraded
+        assert result.coupling.is_connected()
+        assert isinstance(result.calibration, Calibration)

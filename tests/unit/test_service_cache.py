@@ -1,6 +1,7 @@
 """Unit tests for the content-addressed result cache."""
 
 import json
+import pathlib
 
 import pytest
 
@@ -105,6 +106,35 @@ class TestDiskTier:
         assert cache.get("junk") is None
         assert not (d / "junk.json").exists()
 
+    def test_corrupt_file_quarantined_not_lost(self, tmp_path):
+        d = tmp_path / "cache"
+        d.mkdir()
+        (d / "junk.json").write_text('{"truncated": ')
+        cache = ResultCache(directory=str(d))
+        assert cache.get("junk") is None
+        assert (d / "junk.json.corrupt").exists()
+        assert cache.stats.invalidations == 1
+        # The quarantined file no longer counts as a disk entry and a
+        # fresh put for the same key works normally.
+        assert cache.disk_entries() == 0
+        cache.put("junk", _payload("fresh"))
+        assert cache.get("junk") == _payload("fresh")
+
+    def test_put_leaves_no_temp_files(self, tmp_path):
+        d = tmp_path / "cache"
+        cache = ResultCache(directory=str(d))
+        for i in range(5):
+            cache.put(f"k{i}", _payload(str(i)))
+        assert list(pathlib.Path(d).glob("*.tmp")) == []
+        assert cache.disk_entries() == 5
+
+    def test_put_overwrites_atomically(self, tmp_path):
+        d = tmp_path / "cache"
+        cache = ResultCache(directory=str(d), max_entries=1)
+        cache.put("k", _payload("first"))
+        cache.put("k", _payload("second"))
+        assert (pathlib.Path(d) / "k.json").read_text() == _payload("second")
+
     def test_put_rejects_wrong_version(self, tmp_path):
         cache = ResultCache(
             directory=str(tmp_path / "cache"), expected_version=1
@@ -121,6 +151,18 @@ class TestDiskTier:
         cache = ResultCache(directory=str(d), expected_version=1)
         assert cache.prune_stale() == 2
         assert cache.disk_entries() == 1
+
+    def test_prune_stale_sweeps_writer_debris(self, tmp_path):
+        d = tmp_path / "cache"
+        d.mkdir()
+        (d / "good.json").write_text(_payload("good", version=1))
+        (d / "orphan.12345.678.tmp").write_text("partial write")
+        (d / "bad.json.corrupt").write_text("{quarantined")
+        cache = ResultCache(directory=str(d), expected_version=1)
+        assert cache.prune_stale() == 2
+        assert cache.disk_entries() == 1
+        assert list(d.glob("*.tmp")) == []
+        assert list(d.glob("*.corrupt")) == []
 
     def test_clear_disk(self, tmp_path):
         d = str(tmp_path / "cache")

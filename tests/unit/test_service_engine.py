@@ -139,6 +139,47 @@ class TestSerial:
         assert "jobs/s" in text
         assert "cache hit rate" in text
 
+    def test_degraded_jobs_surface_in_summary(self):
+        from repro.hardware.devices import melbourne_calibration
+
+        dirty = {
+            f"{a}-{b}": err
+            for (a, b), err in melbourne_calibration().cnot_error.items()
+        }
+        dirty["0-1"] = float("nan")
+        degraded_job = CompileJob(
+            program=_program(),
+            device="ibmq_16_melbourne",
+            method="vic",
+            calibration={"cnot_error": dirty},
+        )
+        report = run_batch(_jobs(1) + [degraded_job])
+        summary = report.summary()
+        assert summary["degraded"] == 1
+        assert summary["warnings_total"] >= 1
+        assert len(report.degraded) == 1
+        assert "degraded" in report.render()
+
+    def test_degraded_status_survives_cache_hit(self):
+        from repro.hardware.devices import melbourne_calibration
+
+        dirty = {
+            f"{a}-{b}": err
+            for (a, b), err in melbourne_calibration().cnot_error.items()
+        }
+        dirty["0-1"] = float("nan")
+        job = CompileJob(
+            program=_program(),
+            device="ibmq_16_melbourne",
+            method="vic",
+            calibration={"cnot_error": dirty},
+        )
+        cache = ResultCache()
+        cold = run_batch([job], cache=cache).results[0]
+        warm = run_batch([job], cache=cache).results[0]
+        assert warm.cached
+        assert warm.warnings == cold.warnings
+
     def test_engine_validates_config(self):
         with pytest.raises(ValueError):
             BatchEngine(workers=-1)

@@ -160,6 +160,72 @@ class TestExecuteJob:
             result.compiled()
 
 
+def _dirty_melbourne_payload():
+    payload = {
+        f"{a}-{b}": err
+        for (a, b), err in melbourne_calibration().cnot_error.items()
+    }
+    payload["0-1"] = float("nan")
+    payload["2-3"] = 7.5  # out of range
+    return {"cnot_error": payload}
+
+
+class TestDegradedCalibration:
+    def test_dirty_feed_repaired_with_warnings(self, program):
+        result = execute_job(
+            _job(
+                program,
+                device="ibmq_16_melbourne",
+                method="vic",
+                calibration=_dirty_melbourne_payload(),
+            )
+        )
+        assert result.ok
+        assert result.warnings
+        assert any("repaired" in w for w in result.warnings)
+        assert result.metrics["warnings"] == result.warnings
+        assert result.metrics["success_probability"] is not None
+
+    def test_warnings_survive_record_round_trip(self, program):
+        result = execute_job(
+            _job(
+                program,
+                device="ibmq_16_melbourne",
+                method="vic",
+                calibration=_dirty_melbourne_payload(),
+            )
+        )
+        record = result.to_record()
+        assert record["warnings"] == result.warnings
+
+    def test_clean_feed_has_no_warnings(self, program):
+        result = execute_job(
+            _job(
+                program,
+                device="ibmq_16_melbourne",
+                method="vic",
+                calibration="auto",
+            )
+        )
+        assert result.ok
+        assert result.warnings == []
+
+    def test_unrepairable_feed_is_structured_error(self, program):
+        device = ring_device(5)
+        disconnected = type(device)(
+            5, [(0, 1), (1, 2), (3, 4)], name="split5"
+        )
+        payload = {
+            "cnot_error": {"0-1": float("nan"), "1-2": 0.01, "3-4": 0.01}
+        }
+        result = execute_job(
+            _job(program, device=disconnected, calibration=payload)
+        )
+        assert not result.ok
+        assert result.error_kind == "invalid"
+        assert "disconnected" in result.error
+
+
 class TestJsonl:
     def test_round_trip(self, program):
         job = _job(program, method="ip", packing_limit=4, job_id="x1")

@@ -5,7 +5,11 @@ import pytest
 
 from repro.circuits import QuantumCircuit
 from repro.compiler.mapping import Mapping
-from repro.compiler.vic import VariationAwareCompiler, vic_compiler
+from repro.compiler.vic import (
+    VariationAwareCompiler,
+    resolve_vic_distances,
+    vic_compiler,
+)
 from repro.hardware import Calibration, linear_device
 from repro.hardware.devices import figure6_calibration, figure6_device
 
@@ -88,3 +92,47 @@ class TestConstruction:
             [(0, 1, 0.1), (2, 3, 0.1)], mapping, out
         )
         assert all(len(layer) == 1 for layer in result.layers)
+
+
+class _BrokenCalibration:
+    """Calibration stand-in whose VIC distance table is unusable."""
+
+    def __init__(self, coupling, mode):
+        self.coupling = coupling
+        self._mode = mode
+
+    def vic_distance_matrix(self):
+        if self._mode == "raises":
+            raise ValueError("synthetic calibration failure")
+        n = self.coupling.num_qubits
+        dist = np.asarray(self.coupling.distance_matrix(), dtype=float)
+        dist[0, 1] = dist[1, 0] = np.nan
+        return dist
+
+
+class TestGracefulFallback:
+    def test_clean_calibration_has_no_warnings(self):
+        dist, warnings = resolve_vic_distances(figure6_calibration())
+        assert dist is not None
+        assert warnings == []
+
+    def test_exception_falls_back_with_warning(self):
+        g = linear_device(4)
+        dist, warnings = resolve_vic_distances(_BrokenCalibration(g, "raises"))
+        assert dist is None
+        assert len(warnings) == 1
+        assert "falling back to hop distances" in warnings[0]
+
+    def test_non_finite_entries_fall_back_with_warning(self):
+        g = linear_device(4)
+        dist, warnings = resolve_vic_distances(_BrokenCalibration(g, "nan"))
+        assert dist is None
+        assert "non-finite" in warnings[0]
+
+    def test_compiler_degrades_to_hop_distances(self):
+        g = linear_device(4)
+        compiler = VariationAwareCompiler(_BrokenCalibration(g, "nan"))
+        assert compiler.warnings
+        np.testing.assert_allclose(
+            compiler.distance_matrix, g.distance_matrix()
+        )
