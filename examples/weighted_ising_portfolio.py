@@ -21,14 +21,13 @@ import numpy as np
 from repro import (
     MaxCutProblem,
     StatevectorSimulator,
-    build_qaoa_circuit,
     compile_with_method,
     decode_physical_counts,
     ibmq_16_melbourne,
     optimize_qaoa,
 )
 from repro.experiments.reporting import format_table
-from repro.sim.sampler import expectation_from_counts, most_frequent
+from repro.sim.sampler import expectation_from_counts
 
 
 def correlation_graph(num_assets: int, rng: np.random.Generator):

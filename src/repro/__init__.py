@@ -45,8 +45,14 @@ from .compiler import (
     ConventionalBackend,
     IncrementalCompiler,
     Mapping,
+    PassContext,
+    PassRecord,
+    Pipeline,
+    PipelineSpec,
     VariationAwareCompiler,
+    build_pipeline,
     compile_qaoa,
+    compile_spec,
     compile_with_method,
     greedy_e_placement,
     greedy_v_placement,
@@ -123,8 +129,14 @@ __all__ = [
     "CompiledCircuit",
     "CompiledQAOA",
     "compile_qaoa",
+    "compile_spec",
     "compile_with_method",
     "METHOD_PRESETS",
+    "PassContext",
+    "PassRecord",
+    "Pipeline",
+    "PipelineSpec",
+    "build_pipeline",
     "qaim_placement",
     "greedy_v_placement",
     "greedy_e_placement",

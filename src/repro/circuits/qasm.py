@@ -130,7 +130,6 @@ def loads(text: str) -> QuantumCircuit:
         raise QASMError("missing OPENQASM 2.0 header")
     num_qubits: Optional[int] = None
     qreg_name = "q"
-    circuit: Optional[QuantumCircuit] = None
     instructions: List[Instruction] = []
 
     for stmt in statements[1:]:

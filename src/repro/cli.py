@@ -14,7 +14,8 @@ Subcommands::
 
 Every command takes ``--seed`` for reproducibility; ``compile`` can dump the
 result as OpenQASM 2.0 with ``--qasm out.qasm`` or as machine-readable JSON
-with ``--json``.
+with ``--json``, and ``--trace`` prints the per-pass pipeline trace (wall
+time, SWAPs inserted, depth/gate deltas for every compiler pass).
 """
 
 from __future__ import annotations
@@ -58,8 +59,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     compile_p.add_argument("--p", type=int, default=1, help="QAOA levels")
     compile_p.add_argument("--packing-limit", type=int, default=None)
+    compile_p.add_argument(
+        "--router",
+        choices=["layered", "sabre"],
+        default="layered",
+        help="backend SWAP router",
+    )
+    compile_p.add_argument(
+        "--qaim-radius",
+        type=int,
+        default=2,
+        help="QAIM connectivity-strength radius",
+    )
+    compile_p.add_argument(
+        "--crosstalk",
+        default=None,
+        metavar="A-B:C-D[,...]",
+        help="conflicting coupling pairs for the Section VI "
+        "sequentialisation pass, e.g. '0-1:2-3,4-5:6-7'",
+    )
     compile_p.add_argument("--seed", type=int, default=0)
     compile_p.add_argument("--qasm", default=None, help="write OpenQASM here")
+    compile_p.add_argument(
+        "--trace",
+        action="store_true",
+        help="print the per-pass trace (wall time, SWAPs, depth/gate deltas)",
+    )
     compile_p.add_argument(
         "--draw", action="store_true", help="ASCII-draw the compiled circuit"
     )
@@ -231,6 +256,27 @@ def _cmd_profile(args, out) -> int:
     return 0
 
 
+def _parse_crosstalk(text: Optional[str]):
+    """Parse ``'0-1:2-3,4-5:6-7'`` into conflicting coupling pairs."""
+    if text is None:
+        return None
+    conflicts = []
+    for chunk in text.split(","):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        try:
+            first, second = chunk.split(":")
+            a, b = (int(q) for q in first.split("-"))
+            c, d = (int(q) for q in second.split("-"))
+        except ValueError:
+            raise ValueError(
+                f"bad crosstalk conflict {chunk!r}; expected 'A-B:C-D'"
+            ) from None
+        conflicts.append(((a, b), (c, d)))
+    return conflicts
+
+
 def _cmd_compile(args, out) -> int:
     from .compiler import compile_with_method, measure_compiled
     from .experiments.harness import make_problem
@@ -260,6 +306,9 @@ def _cmd_compile(args, out) -> int:
             calibration=calibration,
             packing_limit=args.packing_limit,
             rng=rng,
+            router=args.router,
+            qaim_radius=args.qaim_radius,
+            crosstalk_conflicts=_parse_crosstalk(args.crosstalk),
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -295,6 +344,42 @@ def _cmd_compile(args, out) -> int:
     if metrics.success_probability is not None:
         print(
             f"  success probability={metrics.success_probability:.3e}",
+            file=out,
+        )
+    if args.trace:
+        from .experiments.reporting import format_table
+
+        rows = [
+            [
+                r.name,
+                f"{r.seconds * 1e3:.3f}",
+                r.swaps,
+                f"{r.depth_delta:+d}",
+                f"{r.gate_delta:+d}",
+            ]
+            for r in compiled.pass_trace
+        ]
+        accounted = sum(r.seconds for r in compiled.pass_trace)
+        rows.append(
+            [
+                "(total)",
+                f"{compiled.compile_time * 1e3:.3f}",
+                compiled.swap_count,
+                "",
+                "",
+            ]
+        )
+        print("  pass trace:", file=out)
+        print(
+            format_table(
+                ["pass", "ms", "swaps", "Δdepth", "Δgates"], rows
+            ),
+            file=out,
+        )
+        overhead = compiled.compile_time - accounted
+        print(
+            f"  pipeline overhead: {overhead * 1e3:.3f} ms "
+            f"({100 * overhead / compiled.compile_time:.1f}%)",
             file=out,
         )
     if args.qasm:

@@ -9,8 +9,10 @@ from .flow import (
     METHOD_PRESETS,
     ORDERINGS,
     PLACEMENTS,
+    ROUTERS,
     CompiledQAOA,
     compile_qaoa,
+    compile_spec,
     compile_with_method,
 )
 from .ic import IncrementalBlockResult, IncrementalCompiler
@@ -24,6 +26,14 @@ from .portfolio import (
     depth_objective,
     gate_count_objective,
     reliability_objective,
+)
+from .pipeline import (
+    Pass,
+    PassContext,
+    PassRecord,
+    Pipeline,
+    PipelineSpec,
+    build_pipeline,
 )
 from .placement import (
     greedy_e_placement,
@@ -60,11 +70,19 @@ __all__ = [
     "VariationAwareCompiler",
     "vic_compiler",
     "compile_qaoa",
+    "compile_spec",
     "compile_with_method",
     "CompiledQAOA",
     "METHOD_PRESETS",
     "PLACEMENTS",
     "ORDERINGS",
+    "ROUTERS",
+    "Pass",
+    "PassContext",
+    "PassRecord",
+    "Pipeline",
+    "PipelineSpec",
+    "build_pipeline",
     "CircuitMetrics",
     "measure_compiled",
     "success_probability",

@@ -12,6 +12,13 @@ The paper's named methods are presets over these knobs
 (:data:`METHOD_PRESETS`): NAIVE = random+random, QAIM = qaim+random,
 IP = qaim+ip, IC = qaim+ic, VIC = qaim+vic.
 
+Since the pass-pipeline refactor this module is a thin wrapper: a preset
+is a declarative :class:`~repro.compiler.pipeline.PipelineSpec`,
+:func:`compile_qaoa`/:func:`compile_spec` assemble the concrete pass list
+via :func:`~repro.compiler.pipeline.build_pipeline` and run it, and the
+per-pass instrumentation lands on the result as
+:attr:`CompiledQAOA.pass_trace`.
+
 Every flow produces a :class:`CompiledQAOA`: a coupling-compliant physical
 circuit (H prefix, routed CPHASE blocks, RX mixers at the logical qubits'
 *current* physical homes, measurements at their final homes) plus the
@@ -29,12 +36,10 @@ import numpy as np
 from ..circuits import QuantumCircuit, decompose_to_basis
 from ..hardware.calibration import Calibration
 from ..hardware.coupling import CouplingGraph
-from ..qaoa.circuit_builder import build_qaoa_circuit
 from ..qaoa.problems import QAOAProgram
-from .backend import ConventionalBackend
 from .ic import IncrementalCompiler
-from .ip import parallelize
 from .mapping import Mapping
+from .pipeline import PassContext, PassRecord, PipelineSpec, build_pipeline
 from .placement import (
     greedy_e_placement,
     greedy_v_placement,
@@ -46,11 +51,13 @@ from .qaim import qaim_placement
 __all__ = [
     "CompiledQAOA",
     "compile_qaoa",
+    "compile_spec",
     "compile_with_method",
     "run_incremental_flow",
     "METHOD_PRESETS",
     "PLACEMENTS",
     "ORDERINGS",
+    "ROUTERS",
 ]
 
 PLACEMENTS = {
@@ -63,15 +70,19 @@ PLACEMENTS = {
 
 ORDERINGS = ("random", "ip", "ic", "vic")
 
-#: The paper's named methodologies as (placement, ordering) presets.
-METHOD_PRESETS: Dict[str, tuple] = {
-    "naive": ("random", "random"),
-    "greedy_v": ("greedy_v", "random"),
-    "greedy_e": ("greedy_e", "random"),
-    "qaim": ("qaim", "random"),
-    "ip": ("qaim", "ip"),
-    "ic": ("qaim", "ic"),
-    "vic": ("qaim", "vic"),
+ROUTERS = ("layered", "sabre")
+
+#: The paper's named methodologies as declarative pipeline specs.  Each
+#: entry still unpacks as ``(placement, ordering)`` for pre-pipeline
+#: callers (:class:`~repro.compiler.pipeline.PipelineSpec` is iterable).
+METHOD_PRESETS: Dict[str, PipelineSpec] = {
+    "naive": PipelineSpec(placement="random", ordering="random"),
+    "greedy_v": PipelineSpec(placement="greedy_v", ordering="random"),
+    "greedy_e": PipelineSpec(placement="greedy_e", ordering="random"),
+    "qaim": PipelineSpec(placement="qaim", ordering="random"),
+    "ip": PipelineSpec(placement="qaim", ordering="ip"),
+    "ic": PipelineSpec(placement="qaim", ordering="ic"),
+    "vic": PipelineSpec(placement="qaim", ordering="vic"),
 }
 
 
@@ -95,6 +106,11 @@ class CompiledQAOA:
             on the way to this circuit (e.g. a VIC→IC distance fallback,
             calibration repairs applied upstream).  Empty for a clean
             compilation.
+        pass_trace: Per-pass instrumentation (one
+            :class:`~repro.compiler.pipeline.PassRecord` per pipeline
+            stage: wall time, SWAPs inserted, depth/gate deltas).  Empty
+            for results built outside the pipeline (e.g. deserialised
+            pre-pipeline payloads).
     """
 
     circuit: QuantumCircuit
@@ -106,6 +122,10 @@ class CompiledQAOA:
     compile_time: float
     method: str
     warnings: List[str] = dataclasses.field(default_factory=list)
+    pass_trace: List[PassRecord] = dataclasses.field(default_factory=list)
+    _native_cache: Dict[bool, QuantumCircuit] = dataclasses.field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     @property
     def num_logical(self) -> int:
@@ -115,15 +135,25 @@ class CompiledQAOA:
     def native(self, optimize: bool = False) -> QuantumCircuit:
         """The circuit lowered to the IBM basis.
 
+        The lowering is memoized per ``optimize`` flag — a compiled result
+        is effectively frozen, and ``depth()``/``gate_count()``/
+        ``success_probability()`` all need the same lowered circuit, so
+        the basis decomposition runs at most once per flag.
+
         Args:
             optimize: Run the peephole pass (CNOT cancellation at
                 CPHASE/SWAP seams, phase merging) on the lowered circuit.
         """
+        key = bool(optimize)
+        cached = self._native_cache.get(key)
+        if cached is not None:
+            return cached
         lowered = decompose_to_basis(self.circuit)
         if optimize:
             from ..circuits.optimize import peephole_optimize
 
             lowered = peephole_optimize(lowered)
+        self._native_cache[key] = lowered
         return lowered
 
     def depth(self) -> int:
@@ -150,6 +180,92 @@ class CompiledQAOA:
         return success_probability(self.native(), calibration, **kwargs)
 
 
+def _validate_spec(
+    spec: PipelineSpec,
+    coupling: CouplingGraph,
+    calibration: Optional[Calibration],
+) -> None:
+    """Reject bad knob combinations with the historical error messages."""
+    if spec.placement not in PLACEMENTS:
+        raise ValueError(
+            f"unknown placement {spec.placement!r}; "
+            f"options: {sorted(PLACEMENTS)}"
+        )
+    if spec.ordering not in ORDERINGS:
+        raise ValueError(
+            f"unknown ordering {spec.ordering!r}; options: {ORDERINGS}"
+        )
+    if spec.ordering == "vic":
+        if calibration is None:
+            raise ValueError("VIC ordering requires calibration data")
+        if calibration.coupling.name != coupling.name:
+            raise ValueError(
+                "calibration device does not match target coupling"
+            )
+    if spec.router not in ROUTERS:
+        raise ValueError(
+            f"unknown router {spec.router!r}; options: {ROUTERS}"
+        )
+
+
+def compile_spec(
+    program: QAOAProgram,
+    coupling: CouplingGraph,
+    spec: PipelineSpec,
+    calibration: Optional[Calibration] = None,
+    rng: Optional[np.random.Generator] = None,
+    crosstalk_conflicts=None,
+) -> CompiledQAOA:
+    """Compile a QAOA program through the pipeline a spec describes.
+
+    This is the single seam every compilation takes: it validates the
+    spec, assembles the pass list with
+    :func:`~repro.compiler.pipeline.build_pipeline`, runs it, and wraps
+    the evolved context into a :class:`CompiledQAOA` (pass trace
+    included).
+
+    Args:
+        program: Logical QAOA program (edges + per-level angles).
+        coupling: Target device topology.
+        spec: Declarative flow description (placement, ordering, router,
+            knobs).
+        calibration: Required for ``ordering="vic"``; must cover
+            ``coupling``.
+        rng: Random generator driving every stochastic tie-break.
+        crosstalk_conflicts: Optional iterable of conflicting coupling
+            pairs; when given, a crosstalk sequentialisation pass runs
+            post-routing.
+    """
+    _validate_spec(spec, coupling, calibration)
+    rng = rng if rng is not None else np.random.default_rng()
+
+    pipeline = build_pipeline(spec, crosstalk_conflicts=crosstalk_conflicts)
+    context = PassContext(
+        program=program,
+        coupling=coupling,
+        rng=rng,
+        calibration=calibration,
+    )
+    start = time.perf_counter()
+    pipeline.run(context)
+    elapsed = time.perf_counter() - start
+
+    result = CompiledQAOA(
+        circuit=context.circuit,
+        coupling=coupling,
+        program=program,
+        initial_mapping=context.initial_mapping,
+        final_mapping=context.final_mapping,
+        swap_count=context.swap_count,
+        compile_time=elapsed,
+        method=spec.method,
+        warnings=context.warnings,
+        pass_trace=context.trace,
+    )
+    result.validate()
+    return result
+
+
 def compile_qaoa(
     program: QAOAProgram,
     coupling: CouplingGraph,
@@ -163,6 +279,10 @@ def compile_qaoa(
     crosstalk_conflicts=None,
 ) -> CompiledQAOA:
     """Compile a QAOA program with the chosen placement and ordering.
+
+    Thin wrapper over :func:`compile_spec` — the knobs are packed into a
+    :class:`~repro.compiler.pipeline.PipelineSpec` and run through the
+    pass pipeline.
 
     Args:
         program: Logical QAOA program (edges + per-level angles).
@@ -186,142 +306,21 @@ def compile_qaoa(
     Returns:
         A :class:`CompiledQAOA`.
     """
-    if placement not in PLACEMENTS:
-        raise ValueError(
-            f"unknown placement {placement!r}; options: {sorted(PLACEMENTS)}"
-        )
-    if ordering not in ORDERINGS:
-        raise ValueError(
-            f"unknown ordering {ordering!r}; options: {ORDERINGS}"
-        )
-    if ordering == "vic":
-        if calibration is None:
-            raise ValueError("VIC ordering requires calibration data")
-        if calibration.coupling.name != coupling.name:
-            raise ValueError(
-                "calibration device does not match target coupling"
-            )
-    if router not in ("layered", "sabre"):
-        raise ValueError(
-            f"unknown router {router!r}; options: ('layered', 'sabre')"
-        )
-    rng = rng if rng is not None else np.random.default_rng()
-
-    start = time.perf_counter()
-    pairs = program.pairs()
-    if placement == "qaim":
-        from .qaim import QAIMConfig
-
-        mapping = qaim_placement(
-            pairs,
-            program.num_qubits,
-            coupling,
-            rng=rng,
-            config=QAIMConfig(radius=qaim_radius),
-        )
-    else:
-        mapping = PLACEMENTS[placement](
-            pairs, program.num_qubits, coupling, rng
-        )
-    initial = mapping.as_dict()
-
-    flow_warnings: List[str] = []
-    if ordering in ("random", "ip"):
-        compiled = _compile_monolithic(
-            program, coupling, mapping, ordering, packing_limit, rng, router
-        )
-    else:
-        compiled, flow_warnings = _compile_incremental(
-            program, coupling, mapping, ordering, calibration,
-            packing_limit, rng, router,
-        )
-    circuit, final_mapping, swap_count = compiled
-    if crosstalk_conflicts is not None:
-        from .crosstalk import sequentialize_crosstalk
-
-        circuit = sequentialize_crosstalk(circuit, crosstalk_conflicts)
-    elapsed = time.perf_counter() - start
-
-    result = CompiledQAOA(
-        circuit=circuit,
-        coupling=coupling,
-        program=program,
-        initial_mapping=initial,
-        final_mapping=final_mapping,
-        swap_count=swap_count,
-        compile_time=elapsed,
-        method=f"{placement}+{ordering}",
-        warnings=flow_warnings,
-    )
-    result.validate()
-    return result
-
-
-def _make_router(
-    router: str,
-    coupling: CouplingGraph,
-    distance_matrix=None,
-):
-    """Instantiate the chosen backend router."""
-    if router == "sabre":
-        from .sabre import SabreBackend
-
-        return SabreBackend(coupling, distance_matrix=distance_matrix)
-    return ConventionalBackend(coupling, distance_matrix=distance_matrix)
-
-
-def _compile_monolithic(
-    program: QAOAProgram,
-    coupling: CouplingGraph,
-    mapping: Mapping,
-    ordering: str,
-    packing_limit: Optional[int],
-    rng: np.random.Generator,
-    router: str = "layered",
-):
-    """random/IP orderings: build the full logical circuit, compile once."""
-    if ordering == "ip":
-        ip_result = parallelize(
-            program.pairs(), rng=rng, packing_limit=packing_limit
-        )
-        edge_orders = [ip_result.ordered_pairs] * program.p
-        logical = build_qaoa_circuit(program, edge_orders=edge_orders)
-    else:
-        logical = build_qaoa_circuit(program, rng=rng)
-    backend = _make_router(router, coupling)
-    compiled = backend.compile(logical, mapping)
-    return compiled.circuit, compiled.final_mapping, compiled.swap_count
-
-
-def _compile_incremental(
-    program: QAOAProgram,
-    coupling: CouplingGraph,
-    mapping: Mapping,
-    ordering: str,
-    calibration: Optional[Calibration],
-    packing_limit: Optional[int],
-    rng: np.random.Generator,
-    router: str = "layered",
-):
-    """IC/VIC orderings: layer-at-a-time compilation with stitching.
-
-    Returns ``(compiled_triple, warnings)``; the warnings record a VIC→IC
-    distance fallback when the calibration is unusable.
-    """
-    warnings: List[str] = []
-    distance_matrix = None
-    if ordering == "vic":
-        from .vic import resolve_vic_distances
-
-        distance_matrix, warnings = resolve_vic_distances(calibration)
-    compiler = IncrementalCompiler(
-        coupling,
-        distance_matrix=distance_matrix,
+    spec = PipelineSpec(
+        placement=placement,
+        ordering=ordering,
+        router=router,
+        qaim_radius=qaim_radius,
         packing_limit=packing_limit,
-        rng=rng,
-        backend=_make_router(router, coupling, distance_matrix),
     )
-    return run_incremental_flow(program, mapping, compiler), warnings
+    return compile_spec(
+        program,
+        coupling,
+        spec,
+        calibration=calibration,
+        rng=rng,
+        crosstalk_conflicts=crosstalk_conflicts,
+    )
 
 
 def run_incremental_flow(
@@ -367,26 +366,34 @@ def compile_with_method(
     packing_limit: Optional[int] = None,
     rng: Optional[np.random.Generator] = None,
     router: str = "layered",
+    qaim_radius: int = 2,
+    crosstalk_conflicts=None,
 ) -> CompiledQAOA:
     """Compile using one of the paper's named methods.
 
     ``method`` is one of :data:`METHOD_PRESETS`:
     ``naive``, ``greedy_v``, ``greedy_e``, ``qaim``, ``ip``, ``ic``,
-    ``vic``.  ``router`` selects the backend (``"layered"``/``"sabre"``).
+    ``vic``.  ``router`` selects the backend (``"layered"``/``"sabre"``),
+    ``qaim_radius`` tunes QAIM's connectivity-strength radius, and
+    ``crosstalk_conflicts`` appends the Section VI sequentialisation pass
+    — all forwarded to :func:`compile_spec`.
     """
     try:
-        placement, ordering = METHOD_PRESETS[method]
+        preset = METHOD_PRESETS[method]
     except KeyError:
         raise ValueError(
             f"unknown method {method!r}; options: {sorted(METHOD_PRESETS)}"
         ) from None
-    return compile_qaoa(
+    spec = preset.replace(
+        router=router,
+        qaim_radius=qaim_radius,
+        packing_limit=packing_limit,
+    )
+    return compile_spec(
         program,
         coupling,
-        placement=placement,
-        ordering=ordering,
+        spec,
         calibration=calibration,
-        packing_limit=packing_limit,
         rng=rng,
-        router=router,
+        crosstalk_conflicts=crosstalk_conflicts,
     )

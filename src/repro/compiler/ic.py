@@ -160,7 +160,6 @@ class IncrementalCompiler:
                 partial.cphase(gamma, a, b)
             swap_count += self.backend.continue_compile(partial, mapping, out)
             layers.append([(a, b) for a, b, _ in layer_gates])
-            chosen_keys = list(chosen)
             remaining = _remove_once(remaining, layer_gates)
         return IncrementalBlockResult(swap_count=swap_count, layers=layers)
 

@@ -22,12 +22,14 @@ from ..hardware.coupling import CouplingGraph
 from ..qaoa.problems import Level, QAOAProgram
 from .backend import CompiledCircuit
 from .flow import CompiledQAOA
+from .pipeline import PassRecord
 
 __all__ = ["to_json", "from_json", "FORMAT_VERSION"]
 
 #: Version stamped into every payload; :func:`from_json` rejects any other.
 #: Bump when the payload layout changes so stale caches invalidate cleanly.
-FORMAT_VERSION = 1
+#: v2: QAOA payloads carry the per-pass ``pass_trace`` (pipeline refactor).
+FORMAT_VERSION = 2
 
 # Backwards-compatible alias (pre-service-layer name).
 _FORMAT_VERSION = FORMAT_VERSION
@@ -68,6 +70,7 @@ def to_json(compiled: Union[CompiledQAOA, CompiledCircuit]) -> str:
     }
     if isinstance(compiled, CompiledQAOA):
         payload["warnings"] = list(compiled.warnings)
+        payload["pass_trace"] = [r.to_dict() for r in compiled.pass_trace]
         program = compiled.program
         payload["program"] = {
             "num_qubits": program.num_qubits,
@@ -125,6 +128,10 @@ def from_json(text: str) -> Union[CompiledQAOA, CompiledCircuit]:
         result = CompiledQAOA(
             program=program,
             warnings=[str(w) for w in payload.get("warnings", [])],
+            pass_trace=[
+                PassRecord.from_dict(r)
+                for r in payload.get("pass_trace", [])
+            ],
             **common,
         )
     else:

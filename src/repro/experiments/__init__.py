@@ -15,6 +15,7 @@ from .harness import (
     compile_record,
     make_problem,
     mean_by,
+    pass_seconds,
     ratio_table,
     run_sweep,
     scaled_instances,
@@ -33,6 +34,7 @@ __all__ = [
     "compile_record",
     "run_sweep",
     "mean_by",
+    "pass_seconds",
     "ratio_table",
     "scaled_instances",
     "DEFAULT_GAMMA",

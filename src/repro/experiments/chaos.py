@@ -45,7 +45,7 @@ from ..hardware.faults import (
     RawCalibration,
     repair_calibration,
 )
-from .harness import make_problem
+from .harness import make_problem, pass_seconds
 
 __all__ = [
     "ChaosScenario",
@@ -168,6 +168,7 @@ class ChaosOutcome:
     depth: Optional[int] = None
     swap_count: Optional[int] = None
     success_probability: Optional[float] = None
+    pass_times: Optional[Dict[str, float]] = None
 
     @property
     def violates_contract(self) -> Optional[str]:
@@ -413,6 +414,7 @@ def _run_cell(
         outcome.depth = metrics.depth
         outcome.swap_count = metrics.swap_count
         outcome.success_probability = metrics.success_probability
+        outcome.pass_times = pass_seconds(compiled.pass_trace)
     except Exception as exc:  # noqa: BLE001 — the audit reports, never dies
         outcome.error = f"{type(exc).__name__}: {exc}"
     return outcome

@@ -40,6 +40,7 @@ __all__ = [
     "compile_record",
     "run_sweep",
     "mean_by",
+    "pass_seconds",
     "ratio_table",
     "scaled_instances",
     "stable_hash",
@@ -85,6 +86,9 @@ class RunRecord:
         compile_time: Wall-clock compile seconds.
         success_probability: Product-of-gate-success metric (when a
             calibration was supplied).
+        pass_times: Per-pass wall seconds from the compile's pass trace
+            (``{pass_name: seconds}``), so sweeps can attribute where
+            compile time goes, not just its total.
     """
 
     family: str
@@ -98,6 +102,7 @@ class RunRecord:
     swap_count: int
     compile_time: float
     success_probability: Optional[float] = None
+    pass_times: Optional[Dict[str, float]] = None
 
 
 def make_problem(
@@ -163,7 +168,17 @@ def compile_record(
         swap_count=metrics.swap_count,
         compile_time=metrics.compile_time,
         success_probability=metrics.success_probability,
+        pass_times=pass_seconds(compiled.pass_trace),
     )
+
+
+def pass_seconds(trace) -> Dict[str, float]:
+    """Collapse a pass trace to ``{pass_name: total_seconds}`` (summing
+    repeated pass names, which can occur in custom pipelines)."""
+    out: Dict[str, float] = {}
+    for record in trace:
+        out[record.name] = out.get(record.name, 0.0) + record.seconds
+    return out
 
 
 def run_sweep(

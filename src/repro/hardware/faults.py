@@ -32,7 +32,7 @@ from __future__ import annotations
 import dataclasses
 import datetime
 import math
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterable, List, Optional, Union
 
 import numpy as np
 

@@ -20,7 +20,10 @@ The engine consults a :class:`~repro.service.cache.ResultCache` before
 executing anything and write-through-populates it with every success, and
 it feeds a :class:`~repro.service.telemetry.Telemetry` instance throughout:
 ``jobs.*`` counters, end-to-end ``job_latency_ms`` / execution-only
-``execute_ms`` / pure ``compile_ms`` histograms.
+``execute_ms`` / pure ``compile_ms`` histograms, and one
+``pass_ms.<pass-name>`` histogram per compiler-pipeline pass (fed from
+each successful result's pass trace), so batch telemetry reports where
+compile time goes — p50/p95/p99 per pass, not just per job.
 
 Retries apply to transient faults (worker exceptions, broken pools,
 timeouts).  Deterministic rejections (``error_kind="invalid"`` — unknown
@@ -76,6 +79,22 @@ class BatchReport:
     def degraded(self) -> List[JobResult]:
         """Jobs that succeeded but only via repairs/fallbacks."""
         return [r for r in self.results if r.ok and r.warnings]
+
+    def pass_summary(self) -> dict:
+        """Per-compiler-pass latency aggregation across the batch.
+
+        Returns ``{pass_name: {count, mean, min, max, p50, p95, p99}}``
+        in milliseconds, built from the ``pass_ms.*`` histograms the
+        engine feeds from every executed job's pass trace.  Cache hits
+        contribute no samples (nothing was compiled).
+        """
+        snap = self.telemetry.snapshot()
+        prefix = "pass_ms."
+        return {
+            name[len(prefix):]: summary
+            for name, summary in snap["histograms"].items()
+            if name.startswith(prefix)
+        }
 
     def summary(self) -> dict:
         """Headline numbers: throughput, hit rate, latency percentiles."""
@@ -271,6 +290,12 @@ class BatchEngine:
                 self.telemetry.observe(
                     "compile_ms", result.metrics["compile_time"] * 1e3
                 )
+            if result.metrics:
+                for record in result.metrics.get("pass_trace") or []:
+                    self.telemetry.observe(
+                        f"pass_ms.{record['name']}",
+                        float(record["seconds"]) * 1e3,
+                    )
             if self.cache is not None and result.payload is not None:
                 self.cache.put(state.key, result.payload)
         else:

@@ -202,7 +202,9 @@ class JobResult:
         attempts: Executions performed (0 for a cache hit).
         latency: Seconds from scheduling to completion of this job.
         metrics: Headline numbers (depth, gates, cnots, swaps,
-            compile_time, success_probability when calibrated).
+            compile_time, success_probability when calibrated) plus the
+            per-pass ``pass_trace`` (name/seconds/swaps/deltas per
+            pipeline stage).
         payload: Envelope string (see :func:`encode_envelope`) holding the
             serialised compiled circuit; ``None`` on failure.
         error: Human-readable failure description.
@@ -297,6 +299,7 @@ def execute_job(job: CompileJob) -> JobResult:
             "compile_time": measured.compile_time,
             "success_probability": measured.success_probability,
             "warnings": list(compiled.warnings),
+            "pass_trace": [r.to_dict() for r in compiled.pass_trace],
         }
         payload = encode_envelope(to_json(compiled), metrics)
     except (KeyError, ValueError) as exc:

@@ -11,7 +11,6 @@ from repro.sim import NoiseModel, NoisySimulator, StatevectorSimulator
 
 @pytest.fixture(scope="module")
 def setup():
-    rng = np.random.default_rng(77)
     problem = MaxCutProblem(
         8, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7),
             (0, 7), (1, 6), (2, 5)]

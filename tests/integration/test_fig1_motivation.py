@@ -9,7 +9,6 @@ flows' ability to find the good orderings automatically.
 """
 
 import numpy as np
-import pytest
 
 from repro.circuits import QuantumCircuit
 from repro.compiler import (

@@ -5,8 +5,6 @@ contract that overrides actually flow through (a silent fallback to paper
 defaults would make 'reduced mode' lie about what it measured).
 """
 
-import pytest
-
 from repro.experiments.figures import fig7, fig10, fig11b, fig12
 
 

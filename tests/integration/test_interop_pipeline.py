@@ -2,7 +2,6 @@
 provenance, and simulation parity across the boundary."""
 
 import io
-import json
 
 import numpy as np
 import pytest
@@ -12,7 +11,6 @@ from repro.circuits.qasm import loads
 from repro.compiler import compile_with_method, from_json, to_json
 from repro.compiler.flow import run_incremental_flow
 from repro.compiler.ic import IncrementalCompiler
-from repro.compiler.mapping import Mapping
 from repro.compiler.qaim import qaim_placement
 from repro.hardware import ring_device
 from repro.qaoa import MaxCutProblem

@@ -3,7 +3,6 @@ the compilation flows — quantifying the paper's qualitative claims.
 """
 
 import numpy as np
-import pytest
 
 from repro.circuits.timing import decoherence_factor, execution_time
 from repro.compiler import compile_with_method, success_probability
@@ -13,7 +12,7 @@ from repro.hardware import (
     ibmq_20_tokyo,
     melbourne_calibration,
 )
-from repro.sim import NoiseModel, NoisySimulator, StatevectorSimulator
+from repro.sim import NoiseModel, NoisySimulator
 from repro.qaoa.evaluation import decode_physical_counts
 
 

@@ -1,7 +1,5 @@
 """Integration tests for the consolidated experiment runner."""
 
-import pytest
-
 from repro.experiments.figures import sec6_planner
 from repro.experiments.runner import (
     PAPER_HEADLINES,

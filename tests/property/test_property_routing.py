@@ -2,7 +2,7 @@
 
 import networkx as nx
 import numpy as np
-from hypothesis import assume, given, settings
+from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.compiler.mapping import Mapping

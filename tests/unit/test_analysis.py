@@ -1,7 +1,6 @@
 """Unit tests for compilation analysis."""
 
 import numpy as np
-import pytest
 
 from repro.compiler import compile_with_method
 from repro.compiler.analysis import analyze_compiled

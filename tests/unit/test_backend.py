@@ -1,6 +1,5 @@
 """Unit tests for the conventional layer-partitioning backend compiler."""
 
-import numpy as np
 import pytest
 
 from repro.circuits import QuantumCircuit

@@ -147,7 +147,9 @@ class TestCompileJson:
         assert code == 0
         document = json.loads(text)
         assert document["metrics"]["depth"] > 0
-        assert document["result"]["format_version"] == 1
+        from repro.compiler.serialize import FORMAT_VERSION
+
+        assert document["result"]["format_version"] == FORMAT_VERSION
         assert document["result"]["qasm"].startswith("OPENQASM")
 
     def test_json_result_deserialises(self):

@@ -3,7 +3,6 @@
 import datetime
 import math
 
-import numpy as np
 import pytest
 
 from repro.hardware import (

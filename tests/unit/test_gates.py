@@ -9,7 +9,6 @@ from repro.circuits.gates import (
     GATES,
     IBM_BASIS,
     QAOA_BASIS,
-    GateSpec,
     Instruction,
     gate_spec,
     is_known_gate,

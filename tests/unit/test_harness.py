@@ -1,6 +1,5 @@
 """Unit tests for the experiment harness."""
 
-import numpy as np
 import pytest
 
 from repro.experiments.harness import (
@@ -12,7 +11,7 @@ from repro.experiments.harness import (
     run_sweep,
     scaled_instances,
 )
-from repro.hardware import linear_device, ring_device, uniform_calibration
+from repro.hardware import ring_device, uniform_calibration
 
 
 class TestScaledInstances:

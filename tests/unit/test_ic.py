@@ -1,7 +1,6 @@
 """Unit tests for Incremental Compilation — including a Figure 5-style run."""
 
 import numpy as np
-import pytest
 
 from repro.circuits import QuantumCircuit
 from repro.compiler.ic import IncrementalCompiler

@@ -6,7 +6,6 @@ import pytest
 from repro.circuits import QuantumCircuit
 from repro.hardware import linear_device, uniform_calibration
 from repro.sim.noise import NoiseModel, NoisySimulator
-from repro.sim.statevector import StatevectorSimulator
 
 
 def _ghz(n):

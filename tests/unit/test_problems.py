@@ -1,7 +1,6 @@
 """Unit tests for MaxCut problems and QAOA programs."""
 
 import networkx as nx
-import numpy as np
 import pytest
 
 from repro.qaoa.problems import Level, MaxCutProblem, QAOAProgram

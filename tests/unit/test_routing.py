@@ -1,7 +1,5 @@
 """Unit tests for SWAP routing."""
 
-import numpy as np
-import pytest
 
 from repro.compiler.mapping import Mapping
 from repro.compiler.routing import route_pair

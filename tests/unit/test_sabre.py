@@ -134,7 +134,7 @@ class TestAsIncrementalBackend:
         mapping = Mapping.trivial(6, 8)
         out = QuantumCircuit(8)
         gates = [(0, 3, 0.5), (1, 4, 0.5), (2, 5, 0.5), (0, 5, 0.5)]
-        result = compiler.compile_block(gates, mapping, out)
+        compiler.compile_block(gates, mapping, out)
         assert out.count_ops()["cphase"] == 4
         for inst in out:
             if inst.is_two_qubit:

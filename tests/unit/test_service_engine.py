@@ -9,7 +9,6 @@ from repro.qaoa import MaxCutProblem
 from repro.service import (
     BatchEngine,
     CompileJob,
-    JobResult,
     ResultCache,
     execute_job,
     run_batch,

@@ -12,7 +12,6 @@ def _kron_apply(matrix, qubits, num_qubits, state_flat):
     """Reference implementation: build the full 2^n x 2^n operator."""
     dim = 2 ** num_qubits
     full = np.zeros((dim, dim), dtype=complex)
-    k = len(qubits)
     for i in range(dim):
         for j in range(dim):
             # matrix element <i|U|j> factorises over gate and spectator bits

@@ -1,7 +1,5 @@
 """Unit tests for the gate-duration model and execution-time estimate."""
 
-import math
-
 import pytest
 
 from repro.circuits import QuantumCircuit

@@ -6,7 +6,6 @@ import pytest
 from repro.qaoa.graphs import random_regular_graph
 from repro.qaoa.problems import MaxCutProblem
 from repro.qaoa.transfer import (
-    TransferredParameters,
     learn_parameters,
     transfer_quality,
 )

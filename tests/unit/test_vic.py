@@ -104,7 +104,6 @@ class _BrokenCalibration:
     def vic_distance_matrix(self):
         if self._mode == "raises":
             raise ValueError("synthetic calibration failure")
-        n = self.coupling.num_qubits
         dist = np.asarray(self.coupling.distance_matrix(), dtype=float)
         dist[0, 1] = dist[1, 0] = np.nan
         return dist
