@@ -1,0 +1,167 @@
+"""Target-layer oracle bench: cold per-job recomputation vs interning.
+
+Before the Target layer, every batch job against the same device re-ran
+the O(n³) Floyd–Warshall analyses — hop distances at ``CouplingGraph``
+construction and the VIC reliability table per compile.  The interning
+registry (:func:`repro.hardware.target.intern_target`) keys that work off
+the content fingerprint, so a stream of N content-identical device specs
+pays for one analysis.
+
+This bench replays such a stream both ways against a 36-qubit grid (the
+paper's hypothetical large architecture) and reports the speedup.  Each
+"job" arrives the way service jobs do — as a raw spec (qubit count, edge
+list, error table) — and needs the hop matrix, the VIC distance matrix,
+the radius-2 connectivity profile, and a handful of shortest paths.
+
+Run it through pytest-benchmark with the suite, or standalone::
+
+    PYTHONPATH=src python benchmarks/bench_target_oracles.py --quick
+
+The standalone quick mode is the CI smoke step: it asserts the interned
+stream beats cold recomputation and that re-interning yields the *same*
+object (hit-rate 100% after the first job).
+"""
+
+import sys
+import time
+
+import numpy as np
+
+from repro.experiments.figures.common import FigureResult
+from repro.experiments.reporting import format_table
+from repro.hardware.calibration import Calibration, random_calibration
+from repro.hardware.coupling import CouplingGraph
+from repro.hardware.devices import grid_device
+from repro.hardware.target import (
+    Target,
+    clear_target_registry,
+    intern_coupling,
+    intern_target,
+    target_registry_stats,
+)
+
+JOBS = 60
+QUICK_JOBS = 12
+
+
+def _device_spec():
+    """One device spec the way a batch job file carries it."""
+    coupling = grid_device(6, 6)
+    calibration = random_calibration(
+        coupling, rng=np.random.default_rng(417)
+    )
+    return {
+        "num_qubits": coupling.num_qubits,
+        "edges": sorted(coupling.edges),
+        "name": coupling.name,
+        "cnot_error": dict(calibration.cnot_error),
+    }
+
+
+def _touch_oracles(target):
+    """The per-job oracle workload (what one compile reads)."""
+    target.hop_distances()
+    target.vic_distance_matrix()
+    target.connectivity_profile(radius=2)
+    n = target.num_qubits
+    for q in range(0, n, 5):
+        target.shortest_path(0, q, metric="vic")
+
+
+def _run_cold(spec, jobs):
+    """Every job rebuilds the device objects and recomputes the oracles."""
+    clear_target_registry()
+    start = time.perf_counter()
+    for _ in range(jobs):
+        coupling = CouplingGraph(
+            spec["num_qubits"], spec["edges"], name=spec["name"]
+        )
+        calibration = Calibration(
+            coupling=coupling, cnot_error=dict(spec["cnot_error"])
+        )
+        _touch_oracles(Target(coupling, calibration))
+    return time.perf_counter() - start
+
+
+def _run_interned(spec, jobs):
+    """Every job goes through the intern registry (the service path)."""
+    clear_target_registry()
+    start = time.perf_counter()
+    for _ in range(jobs):
+        coupling = intern_coupling(
+            spec["num_qubits"], spec["edges"], name=spec["name"]
+        )
+        calibration = Calibration(
+            coupling=coupling, cnot_error=dict(spec["cnot_error"])
+        )
+        _touch_oracles(intern_target(coupling, calibration))
+    elapsed = time.perf_counter() - start
+    return elapsed, target_registry_stats()
+
+
+def run_bench(jobs=JOBS):
+    spec = _device_spec()
+    # Warm-up outside timing so first-import costs don't skew either side.
+    _run_cold(spec, 1)
+    cold_s = _run_cold(spec, jobs)
+    interned_s, stats = _run_interned(spec, jobs)
+    clear_target_registry()
+
+    speedup = cold_s / max(interned_s, 1e-12)
+    rows = [
+        ["cold (rebuild per job)", jobs, cold_s * 1e3, 1.0],
+        ["interned (shared Target)", jobs, interned_s * 1e3, speedup],
+    ]
+    table = format_table(
+        ["mode", "jobs", "total ms", "speedup"], rows, float_fmt="{:.3g}"
+    )
+    headline = {
+        "jobs": float(jobs),
+        "cold_ms": cold_s * 1e3,
+        "interned_ms": interned_s * 1e3,
+        "interned_speedup": speedup,
+        "target_hit_rate": stats["target_hits"] / max(jobs, 1),
+    }
+    return FigureResult(
+        figure="target_oracles",
+        description=(
+            f"Target oracle memoization on a 36-qubit grid: {jobs} "
+            f"content-identical device specs, cold vs interned"
+        ),
+        table=table,
+        headline=headline,
+    )
+
+
+def test_target_oracles(benchmark, record_figure):
+    result = benchmark.pedantic(run_bench, rounds=1, iterations=1)
+    record_figure(result)
+    h = result.headline
+    # Every job after the first must hit the registry...
+    assert h["target_hit_rate"] == (h["jobs"] - 1) / h["jobs"]
+    # ...and sharing one analysis must beat recomputing it per job.
+    assert h["interned_speedup"] > 2.0
+
+
+def main(argv):
+    jobs = QUICK_JOBS if "--quick" in argv else JOBS
+    result = run_bench(jobs=jobs)
+    print(result.render())
+    h = result.headline
+    assert h["target_hit_rate"] == (h["jobs"] - 1) / h["jobs"], (
+        "intern registry missed content-identical specs"
+    )
+    # Quick mode runs on noisy CI hosts; the bar is lower than the
+    # pytest-benchmark assertion but still requires a real win.
+    assert h["interned_speedup"] > 1.5, (
+        f"interned path only {h['interned_speedup']:.2f}x vs cold"
+    )
+    print(
+        f"OK: interned Target {h['interned_speedup']:.1f}x faster than "
+        f"per-job recomputation over {jobs} jobs"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -92,6 +92,7 @@ def vqa_placement(
     num_logical: int,
     calibration: Calibration,
     rng: Optional[np.random.Generator] = None,
+    target=None,
 ) -> Mapping:
     """Variation-aware Qubit Allocation (Tannu & Qureshi style).
 
@@ -107,6 +108,8 @@ def vqa_placement(
         calibration: Device calibration (defines both topology and
             reliability).
         rng: Optional tie-break randomiser.
+        target: Optional :class:`~repro.hardware.target.Target` sharing
+            its memoized hop view (defaults to the coupling's cached one).
     """
     coupling = calibration.coupling
     if num_logical > coupling.num_qubits:
@@ -120,7 +123,10 @@ def vqa_placement(
         )
         for q in range(coupling.num_qubits)
     }
-    hop = coupling.distance_matrix()
+    hop = (
+        target.hop_distances() if target is not None
+        else coupling.distance_matrix()
+    )
     profile = program_profile(pairs)
     adjacency: Dict[int, set] = {q: set() for q in range(num_logical)}
     for a, b in pairs:

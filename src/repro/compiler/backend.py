@@ -82,15 +82,22 @@ class ConventionalBackend:
         coupling: Target device topology.
         distance_matrix: Optional matrix steering SWAP paths; defaults to
             hop distances.  VIC passes the reliability-weighted matrix here.
+        path_oracle: Optional ``(pa, pb) -> path`` callable replacing the
+            per-call shortest-path reconstruction — routers built via
+            :func:`repro.compiler.pipeline.make_router` bind the target's
+            memoized path cache here, so repeated routings of the same
+            physical pair are dictionary lookups.
     """
 
     def __init__(
         self,
         coupling: CouplingGraph,
         distance_matrix: Optional[np.ndarray] = None,
+        path_oracle=None,
     ) -> None:
         self.coupling = coupling
         self.distance_matrix = distance_matrix
+        self.path_oracle = path_oracle
 
     def compile(
         self,
@@ -163,6 +170,7 @@ class ConventionalBackend:
             logical_a,
             logical_b,
             dist=self.distance_matrix,
+            path_oracle=self.path_oracle,
         )
         out.extend(routing.swaps)
         out.append(

@@ -20,6 +20,7 @@ from typing import FrozenSet, Iterable, List, Set, Tuple
 
 from ..circuits import QuantumCircuit, asap_layers
 from ..circuits.gates import Instruction
+from ..hardware.target import normalise_conflicts
 
 __all__ = ["ConflictSpec", "sequentialize_crosstalk", "count_conflicts"]
 
@@ -33,14 +34,10 @@ def _norm_edge(a: int, b: int) -> Edge:
 
 def _normalise_conflicts(
     conflicts: Iterable[Tuple[Edge, Edge]]
-) -> Set[ConflictSpec]:
-    out: Set[ConflictSpec] = set()
-    for e1, e2 in conflicts:
-        n1, n2 = _norm_edge(*e1), _norm_edge(*e2)
-        if n1 == n2:
-            raise ValueError(f"a coupling cannot conflict with itself: {n1}")
-        out.add(frozenset((n1, n2)))
-    return out
+) -> FrozenSet[ConflictSpec]:
+    # Canonicalisation lives in the hardware layer now (conflict sets are
+    # a device fact carried by Target); this alias keeps the local name.
+    return normalise_conflicts(conflicts)
 
 
 def count_conflicts(

@@ -36,6 +36,7 @@ import numpy as np
 from ..circuits import QuantumCircuit, decompose_to_basis
 from ..hardware.calibration import Calibration
 from ..hardware.coupling import CouplingGraph
+from ..hardware.target import Target, intern_target
 from ..qaoa.problems import QAOAProgram
 from .ic import IncrementalCompiler
 from .mapping import Mapping
@@ -111,6 +112,11 @@ class CompiledQAOA:
             stage: wall time, SWAPs inserted, depth/gate deltas).  Empty
             for results built outside the pipeline (e.g. deserialised
             pre-pipeline payloads).
+        target_fingerprint: Content fingerprint of the
+            :class:`~repro.hardware.target.Target` compiled against
+            (``None`` for un-fingerprintable calibrations or legacy
+            payloads) — the device+calibration identity downstream caches
+            and telemetry key on.
     """
 
     circuit: QuantumCircuit
@@ -123,6 +129,7 @@ class CompiledQAOA:
     method: str
     warnings: List[str] = dataclasses.field(default_factory=list)
     pass_trace: List[PassRecord] = dataclasses.field(default_factory=list)
+    target_fingerprint: Optional[str] = None
     _native_cache: Dict[bool, QuantumCircuit] = dataclasses.field(
         default_factory=dict, repr=False, compare=False
     )
@@ -208,43 +215,82 @@ def _validate_spec(
         )
 
 
+def _resolve_target(
+    coupling,
+    calibration: Optional[Calibration],
+    target: Optional[Target],
+) -> Target:
+    """Normalise the (coupling, calibration, target) entry-point triple.
+
+    Callers either pass the loose objects (interned into a shared
+    :class:`~repro.hardware.target.Target` here) or a prebuilt target —
+    possibly *as* the ``coupling`` argument, so call sites read
+    ``compile_with_method(program, target, method)``.
+    """
+    if isinstance(coupling, Target):
+        if target is not None and target is not coupling:
+            raise ValueError("got two different targets")
+        target = coupling
+    if target is None:
+        if coupling is None:
+            raise ValueError("a coupling graph or Target is required")
+        return intern_target(coupling, calibration)
+    if calibration is not None and calibration is not target.calibration:
+        raise ValueError(
+            "calibration argument conflicts with the target's calibration; "
+            "build the target from the calibration you want"
+        )
+    return target
+
+
 def compile_spec(
     program: QAOAProgram,
-    coupling: CouplingGraph,
-    spec: PipelineSpec,
+    coupling=None,
+    spec: PipelineSpec = None,
     calibration: Optional[Calibration] = None,
     rng: Optional[np.random.Generator] = None,
     crosstalk_conflicts=None,
+    target: Optional[Target] = None,
 ) -> CompiledQAOA:
     """Compile a QAOA program through the pipeline a spec describes.
 
-    This is the single seam every compilation takes: it validates the
-    spec, assembles the pass list with
+    This is the single seam every compilation takes: it resolves the
+    device view into a shared :class:`~repro.hardware.target.Target`,
+    validates the spec, assembles the pass list with
     :func:`~repro.compiler.pipeline.build_pipeline`, runs it, and wraps
-    the evolved context into a :class:`CompiledQAOA` (pass trace
-    included).
+    the evolved context into a :class:`CompiledQAOA` (pass trace and
+    target fingerprint included).
 
     Args:
         program: Logical QAOA program (edges + per-level angles).
-        coupling: Target device topology.
+        coupling: Target device topology, or a prebuilt
+            :class:`~repro.hardware.target.Target`.
         spec: Declarative flow description (placement, ordering, router,
             knobs).
         calibration: Required for ``ordering="vic"``; must cover
-            ``coupling``.
+            ``coupling``.  Ignored in favour of ``target.calibration``
+            when a target is passed (passing both is an error unless they
+            are the same object).
         rng: Random generator driving every stochastic tie-break.
         crosstalk_conflicts: Optional iterable of conflicting coupling
             pairs; when given, a crosstalk sequentialisation pass runs
-            post-routing.
+            post-routing.  Defaults to the target's own conflict sets.
+    target: Prebuilt device view; batches/sweeps pass one interned
+            target so the O(n³) device analyses run once per device.
     """
-    _validate_spec(spec, coupling, calibration)
+    if spec is None:
+        raise ValueError("compile_spec requires a PipelineSpec")
+    resolved = _resolve_target(coupling, calibration, target)
+    _validate_spec(spec, resolved.coupling, resolved.calibration)
     rng = rng if rng is not None else np.random.default_rng()
 
+    if crosstalk_conflicts is None and resolved.conflict_sets():
+        crosstalk_conflicts = resolved.conflict_sets()
     pipeline = build_pipeline(spec, crosstalk_conflicts=crosstalk_conflicts)
     context = PassContext(
         program=program,
-        coupling=coupling,
+        target=resolved,
         rng=rng,
-        calibration=calibration,
     )
     start = time.perf_counter()
     pipeline.run(context)
@@ -252,7 +298,9 @@ def compile_spec(
 
     result = CompiledQAOA(
         circuit=context.circuit,
-        coupling=coupling,
+        # Preserve the caller's coupling instance when one was passed
+        # loose (interning may have matched a content-equal device).
+        coupling=coupling if isinstance(coupling, CouplingGraph) else resolved.coupling,
         program=program,
         initial_mapping=context.initial_mapping,
         final_mapping=context.final_mapping,
@@ -261,6 +309,7 @@ def compile_spec(
         method=spec.method,
         warnings=context.warnings,
         pass_trace=context.trace,
+        target_fingerprint=resolved.fingerprint,
     )
     result.validate()
     return result
@@ -268,7 +317,7 @@ def compile_spec(
 
 def compile_qaoa(
     program: QAOAProgram,
-    coupling: CouplingGraph,
+    coupling=None,
     placement: str = "qaim",
     ordering: str = "random",
     calibration: Optional[Calibration] = None,
@@ -277,6 +326,7 @@ def compile_qaoa(
     qaim_radius: int = 2,
     router: str = "layered",
     crosstalk_conflicts=None,
+    target: Optional[Target] = None,
 ) -> CompiledQAOA:
     """Compile a QAOA program with the chosen placement and ordering.
 
@@ -286,7 +336,8 @@ def compile_qaoa(
 
     Args:
         program: Logical QAOA program (edges + per-level angles).
-        coupling: Target device topology.
+        coupling: Target device topology (or a prebuilt
+            :class:`~repro.hardware.target.Target`).
         placement: One of :data:`PLACEMENTS`.
         ordering: One of :data:`ORDERINGS`.
         calibration: Required for ``ordering="vic"``; must cover
@@ -302,6 +353,8 @@ def compile_qaoa(
             pairs; when given, the Section VI crosstalk sequentialisation
             pass runs post-compilation (see
             :func:`repro.compiler.crosstalk.sequentialize_crosstalk`).
+        target: Prebuilt :class:`~repro.hardware.target.Target` carrying
+            coupling + calibration + memoized oracles.
 
     Returns:
         A :class:`CompiledQAOA`.
@@ -320,6 +373,7 @@ def compile_qaoa(
         calibration=calibration,
         rng=rng,
         crosstalk_conflicts=crosstalk_conflicts,
+        target=target,
     )
 
 
@@ -360,20 +414,23 @@ def run_incremental_flow(
 
 def compile_with_method(
     program: QAOAProgram,
-    coupling: CouplingGraph,
-    method: str,
+    coupling=None,
+    method: str = "ic",
     calibration: Optional[Calibration] = None,
     packing_limit: Optional[int] = None,
     rng: Optional[np.random.Generator] = None,
     router: str = "layered",
     qaim_radius: int = 2,
     crosstalk_conflicts=None,
+    target: Optional[Target] = None,
 ) -> CompiledQAOA:
     """Compile using one of the paper's named methods.
 
     ``method`` is one of :data:`METHOD_PRESETS`:
     ``naive``, ``greedy_v``, ``greedy_e``, ``qaim``, ``ip``, ``ic``,
-    ``vic``.  ``router`` selects the backend (``"layered"``/``"sabre"``),
+    ``vic``.  ``coupling`` accepts either a device topology or a prebuilt
+    :class:`~repro.hardware.target.Target` (equivalently pass ``target=``).
+    ``router`` selects the backend (``"layered"``/``"sabre"``),
     ``qaim_radius`` tunes QAIM's connectivity-strength radius, and
     ``crosstalk_conflicts`` appends the Section VI sequentialisation pass
     — all forwarded to :func:`compile_spec`.
@@ -396,4 +453,5 @@ def compile_with_method(
         calibration=calibration,
         rng=rng,
         crosstalk_conflicts=crosstalk_conflicts,
+        target=target,
     )

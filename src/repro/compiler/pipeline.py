@@ -38,8 +38,8 @@ from typing import Dict, List, Optional, Protocol, Sequence, Tuple, runtime_chec
 import numpy as np
 
 from ..circuits import QuantumCircuit, decompose_to_basis
-from ..hardware.calibration import Calibration
 from ..hardware.coupling import CouplingGraph
+from ..hardware.target import Target, as_target
 from ..qaoa.problems import QAOAProgram
 from .backend import ConventionalBackend
 from .mapping import Mapping
@@ -121,11 +121,14 @@ class PassContext:
 
     Attributes:
         program: The logical QAOA program being compiled.
-        coupling: Target device topology.
+        target: The memoized device view
+            (:class:`~repro.hardware.target.Target`): coupling,
+            calibration, and every derived oracle (distance tables,
+            connectivity profiles, shortest paths, conflict sets) in one
+            shared, immutable bundle.
         rng: Generator driving every stochastic tie-break.  Passes must
             draw from it in pipeline order — rng discipline is what makes
             a pipeline reproducible and seed-equivalent to the old flow.
-        calibration: Device calibration (required by VIC).
         mapping: Live logical→physical mapping (set by placement, evolved
             by routing).
         initial_mapping: Snapshot of ``mapping`` right after placement.
@@ -134,25 +137,45 @@ class PassContext:
         level_gates: Ordered CPHASE triples per QAOA level (set by ordering
             passes for the monolithic route; incremental routing ignores
             it and orders gates layer-at-a-time itself).
-        distance_matrix: Routing/ordering distance table override
-            (``None`` = hop distances; VIC installs its reliability table).
+        distance_metric: Which of the target's distance tables routing
+            steers by — ``"hop"`` (default) or ``"vic"`` after a
+            :class:`VICDistancePass` resolved a usable reliability table.
         warnings: Degradation provenance accumulated across passes.
         trace: One :class:`PassRecord` per completed pass.
     """
 
     program: QAOAProgram
-    coupling: CouplingGraph
+    target: Target
     rng: np.random.Generator
-    calibration: Optional[Calibration] = None
     mapping: Optional[Mapping] = None
     initial_mapping: Optional[Dict[int, int]] = None
     circuit: Optional[QuantumCircuit] = None
     final_mapping: Optional[Dict[int, int]] = None
     swap_count: int = 0
     level_gates: Optional[List[List[ParamPair]]] = None
-    distance_matrix: Optional[np.ndarray] = None
+    distance_metric: str = "hop"
     warnings: List[str] = dataclasses.field(default_factory=list)
     trace: List[PassRecord] = dataclasses.field(default_factory=list)
+
+    @property
+    def coupling(self) -> CouplingGraph:
+        """The target's device topology (delegate)."""
+        return self.target.coupling
+
+    @property
+    def calibration(self):
+        """The target's calibration (delegate; ``None`` when absent)."""
+        return self.target.calibration
+
+    def routing_distances(self) -> Optional[np.ndarray]:
+        """The distance-table override for the active metric (``None``
+        means hop distances, served by the target's read-only view)."""
+        return self.target.routing_distances(self.distance_metric)
+
+    # Pre-Target name kept for external passes that read the override.
+    @property
+    def distance_matrix(self) -> Optional[np.ndarray]:
+        return self.routing_distances()
 
 
 @runtime_checkable
@@ -254,17 +277,32 @@ class Pipeline:
         return context
 
 
-def make_router(
-    router: str,
-    coupling: CouplingGraph,
-    distance_matrix: Optional[np.ndarray] = None,
-):
-    """Instantiate a backend router by name (``"layered"``/``"sabre"``)."""
+def make_router(router: str, target, metric: str = "hop"):
+    """Instantiate a backend router by name (``"layered"``/``"sabre"``).
+
+    Args:
+        router: ``"layered"`` or ``"sabre"``.
+        target: A :class:`~repro.hardware.target.Target` (or anything
+            :func:`~repro.hardware.target.as_target` coerces — a bare
+            coupling graph works).
+        metric: Distance metric the router steers by (``"hop"``/``"vic"``).
+
+    Routers share the target's memoized tables: ``metric="hop"`` leaves the
+    distance override unset (both backends default to the target's cached
+    hop view), and the layered backend routes through the target's
+    shortest-path cache.
+    """
+    target = as_target(target)
+    distance_matrix = target.routing_distances(metric)
     if router == "sabre":
         from .sabre import SabreBackend
 
-        return SabreBackend(coupling, distance_matrix=distance_matrix)
-    return ConventionalBackend(coupling, distance_matrix=distance_matrix)
+        return SabreBackend(target.coupling, distance_matrix=distance_matrix)
+    return ConventionalBackend(
+        target.coupling,
+        distance_matrix=distance_matrix,
+        path_oracle=target.path_oracle(metric),
+    )
 
 
 # ----------------------------------------------------------------------
@@ -296,6 +334,7 @@ class PlacementPass:
                 context.coupling,
                 rng=context.rng,
                 config=QAIMConfig(radius=self.qaim_radius),
+                target=context.target,
             )
         else:
             from .flow import PLACEMENTS
@@ -366,12 +405,10 @@ class VICDistancePass:
         self.info: dict = {}
 
     def run(self, context: PassContext) -> None:
-        from .vic import resolve_vic_distances
-
         if context.calibration is None:
             raise ValueError("VIC ordering requires calibration data")
-        distance_matrix, warnings = resolve_vic_distances(context.calibration)
-        context.distance_matrix = distance_matrix
+        distance_matrix, warnings = context.target.vic_distances()
+        context.distance_metric = "vic" if distance_matrix is not None else "hop"
         context.warnings.extend(warnings)
         self.info = {"fallback": distance_matrix is None}
 
@@ -407,7 +444,7 @@ class RoutingPass:
                 logical.rx(mixer, q)
         logical.measure_all()
         backend = make_router(
-            self.router, context.coupling, context.distance_matrix
+            self.router, context.target, context.distance_metric
         )
         compiled = backend.compile(logical, context.mapping)
         context.circuit = compiled.circuit
@@ -443,11 +480,11 @@ class IncrementalRoutingPass:
             raise ValueError("routing requires a placement (mapping unset)")
         compiler = IncrementalCompiler(
             context.coupling,
-            distance_matrix=context.distance_matrix,
+            distance_matrix=context.routing_distances(),
             packing_limit=self.packing_limit,
             rng=context.rng,
             backend=make_router(
-                self.router, context.coupling, context.distance_matrix
+                self.router, context.target, context.distance_metric
             ),
         )
         circuit, final_mapping, swap_count = run_incremental_flow(

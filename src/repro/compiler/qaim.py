@@ -98,6 +98,7 @@ def qaim_placement(
     coupling: CouplingGraph,
     rng: Optional[np.random.Generator] = None,
     config: Optional[QAIMConfig] = None,
+    target=None,
 ) -> Mapping:
     """Run the QAIM procedure and return the initial mapping.
 
@@ -107,6 +108,9 @@ def qaim_placement(
         coupling: Target device.
         rng: Optional generator for random tie-breaks.
         config: Radius / weighting knobs (defaults to the paper's).
+        target: Optional :class:`~repro.hardware.target.Target` whose
+            memoized connectivity profile and hop view are used instead
+            of recomputing them from ``coupling``.
 
     Returns:
         A :class:`~repro.compiler.mapping.Mapping` placing every logical
@@ -118,8 +122,12 @@ def qaim_placement(
             f"{coupling.num_qubits}-qubit device {coupling.name}"
         )
     config = config or QAIMConfig()
-    strength = coupling.connectivity_profile(radius=config.radius)
-    hop = coupling.distance_matrix()
+    if target is not None:
+        strength = target.connectivity_profile(radius=config.radius)
+        hop = target.hop_distances()
+    else:
+        strength = coupling.connectivity_profile(radius=config.radius)
+        hop = coupling.distance_matrix()
     profile = program_profile(pairs)
     adjacency = _logical_neighbours(pairs, num_logical)
 

@@ -52,6 +52,7 @@ def route_pair(
     logical_a: int,
     logical_b: int,
     dist: Optional[np.ndarray] = None,
+    path_oracle=None,
 ) -> RoutingResult:
     """Insert SWAPs until ``logical_a`` and ``logical_b`` are adjacent.
 
@@ -66,12 +67,19 @@ def route_pair(
         dist: Optional distance matrix steering path choice (e.g. the
             reliability-weighted matrix for variation-aware routing).
             Defaults to hop distances.
+        path_oracle: Optional ``(pa, pb) -> path`` callable used instead
+            of reconstructing the path from ``dist`` — e.g. the memoized
+            :meth:`repro.hardware.target.Target.shortest_path` cache.
+            Must agree with ``dist`` on the metric it encodes.
     """
     pa, pb = mapping.physical_pair(logical_a, logical_b)
     if coupling.has_edge(pa, pb):
         return RoutingResult([], (pa, pb))
 
-    path = coupling.shortest_path(pa, pb, dist=dist)
+    if path_oracle is not None:
+        path = path_oracle(pa, pb)
+    else:
+        path = coupling.shortest_path(pa, pb, dist=dist)
     swaps: List[Instruction] = []
     # Move both endpoints inward along the path until adjacent.
     left, right = 0, len(path) - 1

@@ -24,12 +24,18 @@ from .backend import CompiledCircuit
 from .flow import CompiledQAOA
 from .pipeline import PassRecord
 
-__all__ = ["to_json", "from_json", "FORMAT_VERSION"]
+__all__ = ["to_json", "from_json", "FORMAT_VERSION", "COMPAT_READ_VERSIONS"]
 
-#: Version stamped into every payload; :func:`from_json` rejects any other.
-#: Bump when the payload layout changes so stale caches invalidate cleanly.
+#: Version stamped into every payload.  Bump when the payload layout
+#: changes so stale caches invalidate cleanly.
 #: v2: QAOA payloads carry the per-pass ``pass_trace`` (pipeline refactor).
-FORMAT_VERSION = 2
+#: v3: QAOA payloads carry the ``target_fingerprint`` (Target layer).
+FORMAT_VERSION = 3
+
+#: Versions :func:`from_json` can restore.  v2 payloads are a strict
+#: subset of v3 (they just lack the fingerprint), so they load with
+#: ``target_fingerprint=None`` instead of forcing a recompile.
+COMPAT_READ_VERSIONS = frozenset({2, 3})
 
 # Backwards-compatible alias (pre-service-layer name).
 _FORMAT_VERSION = FORMAT_VERSION
@@ -71,6 +77,7 @@ def to_json(compiled: Union[CompiledQAOA, CompiledCircuit]) -> str:
     if isinstance(compiled, CompiledQAOA):
         payload["warnings"] = list(compiled.warnings)
         payload["pass_trace"] = [r.to_dict() for r in compiled.pass_trace]
+        payload["target_fingerprint"] = compiled.target_fingerprint
         program = compiled.program
         payload["program"] = {
             "num_qubits": program.num_qubits,
@@ -95,10 +102,11 @@ def from_json(text: str) -> Union[CompiledQAOA, CompiledCircuit]:
             "payload carries no 'format_version' field — it was not "
             "produced by repro.compiler.serialize.to_json"
         )
-    if version != FORMAT_VERSION:
+    if version not in COMPAT_READ_VERSIONS:
         raise ValueError(
             f"unsupported serialisation format version {version!r} "
-            f"(this build reads version {FORMAT_VERSION}); recompile the "
+            f"(this build reads version {FORMAT_VERSION} and compatible "
+            f"versions {sorted(COMPAT_READ_VERSIONS)}); recompile the "
             f"circuit or prune the stale cache entry"
         )
     coupling = _coupling_from(payload["coupling"])
@@ -125,6 +133,7 @@ def from_json(text: str) -> Union[CompiledQAOA, CompiledCircuit]:
             levels=[Level(g, b) for g, b in prog["levels"]],
             linear={int(k): v for k, v in prog.get("linear", {}).items()},
         )
+        fingerprint = payload.get("target_fingerprint")
         result = CompiledQAOA(
             program=program,
             warnings=[str(w) for w in payload.get("warnings", [])],
@@ -132,6 +141,9 @@ def from_json(text: str) -> Union[CompiledQAOA, CompiledCircuit]:
                 PassRecord.from_dict(r)
                 for r in payload.get("pass_trace", [])
             ],
+            target_fingerprint=(
+                str(fingerprint) if fingerprint is not None else None
+            ),
             **common,
         )
     else:

@@ -45,6 +45,7 @@ from ..hardware.faults import (
     RawCalibration,
     repair_calibration,
 )
+from ..hardware.target import intern_target
 from .harness import make_problem, pass_seconds
 
 __all__ = [
@@ -389,12 +390,18 @@ def _run_cell(
         pruned_edges=list(repair.pruned_edges),
     )
     try:
+        # Interning keys off content, so every method cell for the same
+        # repaired feed shares one Target (and its memoized oracles).
+        target = intern_target(
+            repair.coupling,
+            repair.calibration,
+            warnings=tuple(repair.warnings),
+        )
         compiled = compile_with_method(
             program,
-            repair.coupling,
-            method,
-            calibration=repair.calibration,
+            method=method,
             rng=np.random.default_rng(seed),
+            target=target,
         )
         compiled.warnings = list(repair.warnings) + compiled.warnings
         compiled.validate()

@@ -33,6 +33,7 @@ from ...hardware.devices import (
     ibmq_20_tokyo,
     melbourne_calibration,
 )
+from ...hardware.target import intern_target
 from ..harness import make_problem, scaled_instances
 from ..reporting import format_table
 from .common import FigureResult
@@ -192,12 +193,13 @@ def vic_weight_ablation(
     instances = instances or scaled_instances(reduced=8, paper=25)
     coupling = ibmq_16_melbourne()
     calibration = melbourne_calibration()
-    inv_matrix = calibration.vic_distance_matrix()
+    target = intern_target(coupling, calibration)
+    inv_matrix = target.vic_distance_matrix()
     log_weights = {
         e: -math.log(calibration.cphase_success(*e))
         for e in coupling.edges
     }
-    log_matrix = coupling.weighted_distance_matrix(log_weights)
+    log_matrix = target.weighted_distances(log_weights)
 
     rows = []
     headline = {}

@@ -27,6 +27,7 @@ import numpy as np
 from ..compiler import compile_with_method, measure_compiled
 from ..hardware.calibration import Calibration
 from ..hardware.coupling import CouplingGraph
+from ..hardware.target import Target, intern_target
 from ..qaoa.graphs import (
     erdos_renyi_fixed_edges,
     erdos_renyi_graph,
@@ -144,17 +145,32 @@ def compile_record(
     family: str = "",
     param: float = 0.0,
     instance: int = 0,
+    target: Optional[Target] = None,
 ) -> RunRecord:
-    """Compile one instance with one method and collect its metrics."""
+    """Compile one instance with one method and collect its metrics.
+
+    When ``target`` is given, its memoized oracles (hop/VIC distance
+    matrices, connectivity profiles) are shared across every record in
+    the sweep instead of being recomputed per compile.
+    """
     program = problem.to_program([gamma], [beta])
-    compiled = compile_with_method(
-        program,
-        coupling,
-        method,
-        calibration=calibration,
-        packing_limit=packing_limit,
-        rng=rng,
-    )
+    if target is not None:
+        compiled = compile_with_method(
+            program,
+            method=method,
+            packing_limit=packing_limit,
+            rng=rng,
+            target=target,
+        )
+    else:
+        compiled = compile_with_method(
+            program,
+            coupling,
+            method,
+            calibration=calibration,
+            packing_limit=packing_limit,
+            rng=rng,
+        )
     metrics = measure_compiled(compiled, calibration=calibration)
     return RunRecord(
         family=family,
@@ -197,7 +213,12 @@ def run_sweep(
     For each family parameter, ``instances`` random problems are sampled;
     every method compiles *the same* instances (shared problem, independent
     method rng derived from the seed) so ratios are paired, as in the paper.
+
+    The (coupling, calibration) pair is interned into a single
+    :class:`~repro.hardware.target.Target` up front so every compile in
+    the sweep shares one set of memoized distance/connectivity oracles.
     """
+    target = intern_target(coupling, calibration)
     records: List[RunRecord] = []
     for param in params:
         problem_rng = np.random.default_rng((seed, int(param * 1000), 0))
@@ -218,6 +239,7 @@ def run_sweep(
                         family=family,
                         param=param,
                         instance=i,
+                        target=target,
                     )
                 )
     return records

@@ -18,7 +18,8 @@ from __future__ import annotations
 
 import dataclasses
 import math
-from typing import Dict, Optional
+from types import MappingProxyType
+from typing import Dict, Mapping, Optional
 
 import numpy as np
 
@@ -127,20 +128,47 @@ class Calibration:
     # ------------------------------------------------------------------
     # derived tables
     # ------------------------------------------------------------------
-    def vic_edge_weights(self) -> Dict[Edge, float]:
+    def vic_edge_weights(self) -> Mapping[Edge, float]:
         """Edge weights ``1 / cphase_success`` for VIC routing.
 
         Figure 6 uses ``1/R`` where ``R`` is the two-qubit operation success
         rate; combined with Floyd–Warshall this makes the "distance" between
         qubits grow as reliability falls.
+
+        Memoized (read-only mapping): a calibration's rates are fixed after
+        validation, and VIC resolves these weights once per layer without
+        this cache.
         """
-        return {
-            e: 1.0 / self.cphase_success(*e) for e in self.coupling.edges
-        }
+        cached = self.__dict__.get("_vic_weights_cache")
+        if cached is None:
+            cached = MappingProxyType(
+                {e: 1.0 / self.cphase_success(*e) for e in self.coupling.edges}
+            )
+            self.__dict__["_vic_weights_cache"] = cached
+        return cached
 
     def vic_distance_matrix(self) -> np.ndarray:
-        """Reliability-weighted all-pairs distances (Figure 6(d))."""
-        return self.coupling.weighted_distance_matrix(self.vic_edge_weights())
+        """Reliability-weighted all-pairs distances (Figure 6(d)).
+
+        Memoized as a read-only array — the O(n³) Floyd–Warshall runs once
+        per calibration instead of once per VIC layer.
+        """
+        cached = self.__dict__.get("_vic_matrix_cache")
+        if cached is None:
+            cached = self.coupling.weighted_distance_matrix(
+                self.vic_edge_weights()
+            )
+            cached.setflags(write=False)
+            self.__dict__["_vic_matrix_cache"] = cached
+        return cached
+
+    def __getstate__(self) -> dict:
+        # Memoized tables are derived data: drop them so pickles stay
+        # edge-list-sized and unpickled copies recompute lazily.
+        state = dict(self.__dict__)
+        state.pop("_vic_weights_cache", None)
+        state.pop("_vic_matrix_cache", None)
+        return state
 
     def mean_cnot_error(self) -> float:
         """Average CNOT error over all couplings."""

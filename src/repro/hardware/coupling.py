@@ -85,6 +85,9 @@ class CouplingGraph:
         self._hop_distances = floyd_warshall(
             num_qubits, {e: 1.0 for e in self._edges}
         )
+        # Served directly by distance_matrix(); read-only so hot-path
+        # callers can share it without defensive copies.
+        self._hop_distances.setflags(write=False)
 
     def _neighbours_of(self, qubit: int) -> List[int]:
         return [
@@ -132,8 +135,13 @@ class CouplingGraph:
         return int(d)
 
     def distance_matrix(self) -> np.ndarray:
-        """Copy of the full hop-distance matrix."""
-        return self._hop_distances.copy()
+        """The full hop-distance matrix as a cached **read-only** array.
+
+        The same array object is returned on every call (sabre/ic/backend
+        consume it on the hot path, so no per-call O(n²) copy).  Callers
+        that need to mutate must ``.copy()`` explicitly.
+        """
+        return self._hop_distances
 
     def weighted_distance_matrix(
         self, edge_weights: Dict[Edge, float]
@@ -235,6 +243,17 @@ class CouplingGraph:
         """Edges of the induced subgraph on ``qubits``."""
         qs = set(qubits)
         return [e for e in self._edges if e[0] in qs and e[1] in qs]
+
+    def __reduce__(self):
+        # Pickle as the constructive spec, not the O(n²) distance tables,
+        # and re-intern on arrival: a process-pool worker receiving N jobs
+        # for the same device rebuilds (and analyses) it once.
+        from .target import intern_coupling
+
+        return (
+            intern_coupling,
+            (self.num_qubits, tuple(sorted(self._edges)), self.name),
+        )
 
     def __repr__(self) -> str:
         return (

@@ -96,6 +96,18 @@ class BatchReport:
             if name.startswith(prefix)
         }
 
+    def distinct_targets(self) -> int:
+        """Distinct device+calibration fingerprints among the successful
+        results — how many Target-layer analyses the batch actually paid
+        for (the rest were intern-registry shares)."""
+        return len(
+            {
+                (r.metrics or {}).get("target_fingerprint")
+                for r in self.ok
+                if (r.metrics or {}).get("target_fingerprint")
+            }
+        )
+
     def summary(self) -> dict:
         """Headline numbers: throughput, hit rate, latency percentiles."""
         snap = self.telemetry.snapshot()
@@ -107,6 +119,7 @@ class BatchReport:
             "degraded": len(self.degraded),
             "warnings_total": sum(len(r.warnings) for r in self.results),
             "cached": sum(1 for r in self.results if r.cached),
+            "distinct_targets": self.distinct_targets(),
             "elapsed_s": self.elapsed,
             "jobs_per_s": (
                 len(self.results) / self.elapsed if self.elapsed > 0 else 0.0
@@ -128,6 +141,7 @@ class BatchReport:
             ["failed", s["failed"]],
             ["degraded", f"{s['degraded']} ({s['warnings_total']} warnings)"],
             ["cached", s["cached"]],
+            ["distinct targets", s["distinct_targets"]],
             ["elapsed", f"{s['elapsed_s']:.3f} s"],
             ["throughput", f"{s['jobs_per_s']:.1f} jobs/s"],
             ["cache hit rate", f"{100 * s['cache_hit_rate']:.1f}%"],

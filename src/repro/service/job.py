@@ -49,7 +49,9 @@ __all__ = [
 ]
 
 #: Bumped whenever the canonical form changes, so stale hashes cannot alias.
-HASH_VERSION = 1
+#: v2: inline devices canonicalise to their Target-layer content
+#: fingerprint instead of an embedded edge list.
+HASH_VERSION = 2
 
 DeviceSpec = Union[str, CouplingGraph]
 CalibrationSpec = Union[None, str, Dict, Calibration]
@@ -278,11 +280,16 @@ def execute_job(job: CompileJob) -> JobResult:
     start = time.perf_counter()
     try:
         device, calibration, warnings = resolve_job_environment(job)
+        # One interned Target per distinct device+calibration (repair
+        # warnings included): every job sharing this environment reuses
+        # the same memoized device analyses, within and across batches.
+        from ..hardware.target import intern_target
+
+        target = intern_target(device, calibration, warnings=tuple(warnings))
         compiled = compile_with_method(
             job.program,
-            device,
+            target,
             job.method,
-            calibration=calibration,
             packing_limit=job.packing_limit,
             rng=np.random.default_rng(job.seed),
             router=job.router,
@@ -300,6 +307,7 @@ def execute_job(job: CompileJob) -> JobResult:
             "success_probability": measured.success_probability,
             "warnings": list(compiled.warnings),
             "pass_trace": [r.to_dict() for r in compiled.pass_trace],
+            "target_fingerprint": compiled.target_fingerprint,
         }
         payload = encode_envelope(to_json(compiled), metrics)
     except (KeyError, ValueError) as exc:
@@ -446,7 +454,11 @@ def job_from_dict(spec: dict) -> CompileJob:
 
     device = spec.get("device", "ibmq_20_tokyo")
     if isinstance(device, dict):
-        device = CouplingGraph(
+        # Interned: N job lines naming the same inline device share one
+        # CouplingGraph (and one eager Floyd–Warshall) per batch.
+        from ..hardware.target import intern_coupling
+
+        device = intern_coupling(
             int(device["num_qubits"]),
             [tuple(e) for e in device["edges"]],
             name=device.get("name", "inline"),
@@ -482,10 +494,11 @@ def load_jobs_jsonl(lines: Sequence[str]) -> List[CompileJob]:
 # ----------------------------------------------------------------------
 def _device_canonical(device: DeviceSpec):
     if isinstance(device, CouplingGraph):
+        from ..hardware.target import coupling_fingerprint
+
         return {
             "name": device.name,
-            "num_qubits": device.num_qubits,
-            "edges": sorted([min(a, b), max(a, b)] for a, b in device.edges),
+            "fingerprint": coupling_fingerprint(device),
         }
     return {"name": str(device)}
 

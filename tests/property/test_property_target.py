@@ -1,0 +1,235 @@
+"""Property tests for the Target layer's memoization contract.
+
+A memoized oracle is only correct if it is *observationally identical* to
+recomputing from scratch — for any device, any calibration, any access
+order, and in particular after the two state transitions that historically
+invalidated derived tables:
+
+* calibration repair (``repair_calibration`` pruning dead couplers, i.e. a
+  *different* coupling graph than the raw feed), and
+* VIC degradation (an unusable reliability table falling back to hop
+  distances, with the explanatory warnings preserved verbatim).
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler.vic import resolve_vic_distances
+from repro.hardware.calibration import Calibration
+from repro.hardware.coupling import CouplingGraph
+from repro.hardware.faults import (
+    CalibrationValidator,
+    FaultInjector,
+    RawCalibration,
+    repair_calibration,
+)
+from repro.hardware.target import Target, intern_target
+
+
+@st.composite
+def couplings(draw):
+    """Connected random device: spanning tree plus extra chords."""
+    n = draw(st.integers(3, 9))
+    rng = np.random.default_rng(draw(st.integers(0, 2**32 - 1)))
+    edges = set()
+    for b in range(1, n):
+        edges.add((int(rng.integers(0, b)), b))
+    extra = draw(st.integers(0, n))
+    for _ in range(extra):
+        a, b = sorted(rng.choice(n, size=2, replace=False).tolist())
+        edges.add((int(a), int(b)))
+    return CouplingGraph(n, sorted(edges), name=f"rand{n}")
+
+
+@st.composite
+def calibrations(draw):
+    coupling = draw(couplings())
+    rng = np.random.default_rng(draw(st.integers(0, 2**32 - 1)))
+    cnot_error = {
+        e: float(rng.uniform(1e-3, 0.2)) for e in sorted(coupling.edges)
+    }
+    return Calibration(coupling=coupling, cnot_error=cnot_error)
+
+
+class _UnusableCalibration:
+    """Stand-in whose VIC table always fails to resolve."""
+
+    def __init__(self, coupling):
+        self.coupling = coupling
+
+    def vic_distance_matrix(self):
+        raise ValueError("synthetic calibration failure")
+
+
+class TestOracleEqualsRecomputation:
+    @given(couplings())
+    @settings(max_examples=40, deadline=None)
+    def test_hop_and_connectivity_oracles(self, coupling):
+        target = Target(coupling)
+        fresh = CouplingGraph(
+            coupling.num_qubits, sorted(coupling.edges), name=coupling.name
+        )
+        np.testing.assert_array_equal(
+            target.hop_distances(), fresh.distance_matrix()
+        )
+        for radius in (1, 2, 3):
+            assert dict(target.connectivity_profile(radius)) == (
+                fresh.connectivity_profile(radius=radius)
+            )
+        for q in range(coupling.num_qubits):
+            assert target.neighbourhood(q, 2) == frozenset(
+                p
+                for p in range(fresh.num_qubits)
+                if p != q and fresh.distance(q, p) <= 2
+            )
+
+    @given(calibrations())
+    @settings(max_examples=30, deadline=None)
+    def test_vic_oracles(self, calibration):
+        target = Target(calibration.coupling, calibration)
+        fresh = Calibration(
+            coupling=calibration.coupling,
+            cnot_error=dict(calibration.cnot_error),
+        )
+        # First access memoizes; the memo must equal a fresh recomputation.
+        np.testing.assert_allclose(
+            target.vic_distance_matrix(), fresh.vic_distance_matrix()
+        )
+        assert dict(target.vic_edge_weights()) == {
+            e: 1.0 / fresh.cphase_success(*e)
+            for e in sorted(calibration.coupling.edges)
+        }
+        matrix, warnings = target.vic_distances()
+        ref_matrix, ref_warnings = resolve_vic_distances(fresh)
+        np.testing.assert_allclose(matrix, ref_matrix)
+        assert warnings == ref_warnings == []
+        # Repeated access returns the identical memoized matrix.
+        assert target.vic_distances()[0] is matrix
+
+    @given(couplings(), st.integers(0, 2**16))
+    @settings(max_examples=30, deadline=None)
+    def test_weighted_and_path_oracles(self, coupling, seed):
+        rng = np.random.default_rng(seed)
+        weights = {
+            e: float(rng.uniform(0.5, 3.0)) for e in sorted(coupling.edges)
+        }
+        target = Target(coupling)
+        np.testing.assert_allclose(
+            target.weighted_distances(weights),
+            coupling.weighted_distance_matrix(weights),
+        )
+        hop = coupling.distance_matrix()
+        for a in range(coupling.num_qubits):
+            for b in range(coupling.num_qubits):
+                path = target.shortest_path(a, b)
+                assert len(path) == hop[a, b] + 1
+                assert path[0] == a and path[-1] == b
+                for u, v in zip(path, path[1:]):
+                    assert coupling.has_edge(u, v)
+
+
+class TestAfterRepair:
+    @given(calibrations(), st.integers(0, 2**16), st.integers(0, 2))
+    @settings(max_examples=25, deadline=None)
+    def test_repaired_target_oracles_match_repaired_content(
+        self, calibration, seed, dead_edges
+    ):
+        raw = FaultInjector(seed=seed).degrade(
+            calibration,
+            dead_edges=dead_edges,
+            dropout=0.1,
+            inflate=1.5,
+        )
+        repair = repair_calibration(
+            raw, validator=CalibrationValidator(max_age_days=None)
+        )
+        target = intern_target(
+            repair.coupling,
+            repair.calibration,
+            warnings=tuple(repair.warnings),
+        )
+        # The target wraps the *repaired* device, not the raw feed.
+        assert target.num_qubits == repair.coupling.num_qubits
+        for edge in repair.pruned_edges:
+            assert not target.coupling.has_edge(*edge)
+        # Every memoized oracle equals recomputation on content-equal
+        # rebuilds of the repaired objects.
+        fresh_coupling = CouplingGraph(
+            repair.coupling.num_qubits,
+            sorted(repair.coupling.edges),
+            name=repair.coupling.name,
+        )
+        np.testing.assert_array_equal(
+            target.hop_distances(), fresh_coupling.distance_matrix()
+        )
+        fresh_cal = Calibration(
+            coupling=fresh_coupling,
+            cnot_error=dict(repair.calibration.cnot_error),
+        )
+        np.testing.assert_allclose(
+            target.vic_distance_matrix(), fresh_cal.vic_distance_matrix()
+        )
+        # Repair provenance feeds the fingerprint: a degraded target never
+        # aliases the clean target for the same raw device.
+        clean = intern_target(repair.coupling, repair.calibration)
+        if repair.warnings:
+            assert clean is not target
+            assert clean.fingerprint != target.fingerprint
+        else:
+            assert clean is target
+
+    @given(calibrations(), st.integers(0, 2**16))
+    @settings(max_examples=25, deadline=None)
+    def test_interning_is_content_stable_across_instances(
+        self, calibration, seed
+    ):
+        raw = FaultInjector(seed=seed).degrade(calibration, inflate=1.2)
+        validator = CalibrationValidator(max_age_days=None)
+        first = repair_calibration(raw, validator=validator)
+        second = repair_calibration(_clone_raw(raw), validator=validator)
+        a = intern_target(
+            first.coupling, first.calibration, warnings=tuple(first.warnings)
+        )
+        b = intern_target(
+            second.coupling,
+            second.calibration,
+            warnings=tuple(second.warnings),
+        )
+        assert a is b
+
+
+def _clone_raw(raw: RawCalibration) -> RawCalibration:
+    return RawCalibration(
+        coupling=raw.coupling,
+        cnot_error=dict(raw.cnot_error),
+        single_qubit_error=dict(raw.single_qubit_error),
+        readout_error=dict(raw.readout_error),
+        timestamp=raw.timestamp,
+    )
+
+
+class TestDegradedFallback:
+    @given(couplings())
+    @settings(max_examples=25, deadline=None)
+    def test_fallback_matches_resolution_and_preserves_warnings(
+        self, coupling
+    ):
+        stub = _UnusableCalibration(coupling)
+        target = Target(coupling, stub)
+        matrix, warnings = target.vic_distances()
+        ref_matrix, ref_warnings = resolve_vic_distances(
+            _UnusableCalibration(coupling)
+        )
+        assert matrix is None and ref_matrix is None
+        assert warnings == ref_warnings
+        assert len(warnings) == 1
+        assert "falling back to hop distances" in warnings[0]
+        # Memoized: the fallback verdict and warnings survive re-access
+        # unchanged, and routing degrades to hop distances.
+        again_matrix, again_warnings = target.vic_distances()
+        assert again_matrix is None and again_warnings == warnings
+        assert target.routing_distances("vic") is None
+        assert target.shortest_path(0, coupling.num_qubits - 1, "vic") == (
+            target.shortest_path(0, coupling.num_qubits - 1, "hop")
+        )

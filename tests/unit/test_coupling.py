@@ -94,10 +94,13 @@ class TestDistances:
         with pytest.raises(ValueError, match="disconnected"):
             g.distance(0, 2)
 
-    def test_distance_matrix_is_copy(self):
+    def test_distance_matrix_is_cached_readonly_view(self):
         g = linear_device(3)
         m = g.distance_matrix()
-        m[0, 1] = 99
+        assert m is g.distance_matrix()
+        assert not m.flags.writeable
+        with pytest.raises(ValueError):
+            m[0, 1] = 99
         assert g.distance(0, 1) == 1
 
     def test_weighted_distances_figure6(self):

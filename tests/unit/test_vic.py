@@ -104,7 +104,9 @@ class _BrokenCalibration:
     def vic_distance_matrix(self):
         if self._mode == "raises":
             raise ValueError("synthetic calibration failure")
-        dist = np.asarray(self.coupling.distance_matrix(), dtype=float)
+        # distance_matrix() is a cached read-only view; copy before
+        # poisoning it so the NaN write doesn't raise.
+        dist = np.array(self.coupling.distance_matrix(), dtype=float)
         dist[0, 1] = dist[1, 0] = np.nan
         return dist
 
