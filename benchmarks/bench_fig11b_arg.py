@@ -13,6 +13,60 @@ from repro.experiments.figures import fig11b
 from repro.experiments.harness import scaled_instances
 
 
+def quick_speedup_smoke(nodes=10, shots=4096, trajectories=16, seed=11):
+    """Quick mode: one instance, fast path vs gate-by-gate fallback.
+
+    Returns ``(speedup, arg_fast, arg_slow)``; the two ARGs are computed
+    from identical RNG streams so they must agree to machine precision.
+    Used by CI to hold the fast-path engine to its >=5x contract.
+    """
+    import time
+
+    import numpy as np
+
+    from repro.compiler import compile_with_method
+    from repro.experiments.harness import make_problem
+    from repro.hardware import ibmq_16_melbourne, melbourne_calibration
+    from repro.qaoa import optimize_qaoa
+    from repro.sim import NoiseModel
+    from repro.sim.fastpath import evaluate_fast
+
+    rng = np.random.default_rng(seed)
+    problem = make_problem("er", nodes, 0.5, rng)
+    opt = optimize_qaoa(problem, p=1)
+    program = problem.to_program(opt.gammas, opt.betas)
+    calibration = melbourne_calibration()
+    compiled = compile_with_method(
+        program, ibmq_16_melbourne(), "ic", calibration=calibration, rng=rng
+    )
+    noise = NoiseModel.from_calibration(calibration)
+
+    def once(use_fastpath):
+        start = time.perf_counter()
+        outcome = evaluate_fast(
+            compiled,
+            noise=noise,
+            shots=shots,
+            trajectories=trajectories,
+            rng=np.random.default_rng(seed),
+            use_fastpath=use_fastpath,
+        )
+        return time.perf_counter() - start, outcome
+
+    # Warm both paths once (imports, registry) before timing.
+    once(True), once(False)
+    fast_s, fast = once(True)
+    slow_s, slow = once(False)
+    assert fast.fastpath and not slow.fastpath
+    return slow_s / fast_s, fast.arg, slow.arg
+
+
+def test_fastpath_speedup_quick():
+    speedup, arg_fast, arg_slow = quick_speedup_smoke()
+    assert abs(arg_fast - arg_slow) < 1e-9, (arg_fast, arg_slow)
+    assert speedup >= 5.0, f"fast path only {speedup:.1f}x faster"
+
+
 def test_fig11b_arg_hardware_validation(benchmark, record_figure):
     instances = scaled_instances(reduced=4, paper=20)
     num_nodes = scaled_instances(reduced=10, paper=12)
@@ -35,3 +89,15 @@ def test_fig11b_arg_hardware_validation(benchmark, record_figure):
     # The paper's ordering: the optimised flows beat QAIM-only.
     assert h["arg_mean_ic"] < h["arg_mean_qaim"]
     assert h["arg_mean_vic"] < h["arg_mean_qaim"]
+
+
+if __name__ == "__main__":
+    speedup, arg_fast, arg_slow = quick_speedup_smoke()
+    delta = abs(arg_fast - arg_slow)
+    print(
+        f"fast path {speedup:.1f}x faster; "
+        f"ARG fast={arg_fast:.6f} slow={arg_slow:.6f} (|delta|={delta:.2e})"
+    )
+    assert delta < 1e-9, "fast/slow ARG mismatch"
+    assert speedup >= 5.0, f"fast path only {speedup:.1f}x faster"
+    print("quick speedup smoke OK")

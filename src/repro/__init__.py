@@ -13,21 +13,33 @@ The package implements, from scratch on numpy/scipy/networkx:
 * the experiment harness regenerating every figure/table
   (:mod:`repro.experiments`).
 
-Quickstart::
+Quickstart (the :mod:`repro.api` facade is the front door)::
 
-    import numpy as np
-    from repro import (
-        MaxCutProblem, optimize_qaoa, compile_with_method, ibmq_20_tokyo,
+    import repro
+
+    problem = repro.MaxCutProblem(
+        4, [(0, 1), (0, 2), (1, 3), (2, 3), (0, 3), (1, 2)]
     )
+    result = repro.compile(
+        problem, target="ibmq_16_melbourne", method="vic", calibration="auto"
+    )
+    scores = repro.evaluate(result, shots=4096, seed=7)
+    print(result.swap_count, scores.r0, scores.rh, scores.arg)
 
-    rng = np.random.default_rng(7)
-    problem = MaxCutProblem(4, [(0, 1), (0, 2), (1, 3), (2, 3), (0, 3), (1, 2)])
-    opt = optimize_qaoa(problem, p=1)
-    program = problem.to_program(opt.gammas, opt.betas)
-    compiled = compile_with_method(program, ibmq_20_tokyo(), "ic", rng=rng)
-    print(compiled.depth(), compiled.gate_count(), compiled.swap_count)
+The legacy top-level entry points (``repro.compile_qaoa``,
+``repro.compile_with_method``) still work but emit
+:class:`DeprecationWarning`; the silent originals live on under
+:mod:`repro.compiler`.
 """
 
+from .api import (
+    CompileResult,
+    EvalResult,
+    compile,
+    compile_qaoa,
+    compile_with_method,
+    evaluate,
+)
 from .circuits import (
     IBM_BASIS,
     QAOA_BASIS,
@@ -51,9 +63,7 @@ from .compiler import (
     PipelineSpec,
     VariationAwareCompiler,
     build_pipeline,
-    compile_qaoa,
     compile_spec,
-    compile_with_method,
     greedy_e_placement,
     greedy_v_placement,
     measure_compiled,
@@ -93,12 +103,23 @@ from .qaoa import (
     qaoa_expectation,
     random_regular_graph,
 )
-from .sim import NoiseModel, NoisySimulator, StatevectorSimulator
+from .sim import (
+    EvalOutcome,
+    NoiseModel,
+    NoisySimulator,
+    StatevectorSimulator,
+    evaluate_fast,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
+    # api facade
+    "compile",
+    "evaluate",
+    "CompileResult",
+    "EvalResult",
     # circuits
     "QuantumCircuit",
     "Instruction",
@@ -123,6 +144,8 @@ __all__ = [
     "StatevectorSimulator",
     "NoisySimulator",
     "NoiseModel",
+    "evaluate_fast",
+    "EvalOutcome",
     # compiler
     "Mapping",
     "ConventionalBackend",

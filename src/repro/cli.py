@@ -8,6 +8,7 @@ Subcommands::
         --device ibmq_20_tokyo --method ic       # compile one instance
     python -m repro experiment fig9              # reproduce one figure
     python -m repro arg --nodes 10 --shots 4096  # ARG across methods
+    python -m repro evaluate --nodes 10 --cache-dir .cache  # fast-path ARG
     python -m repro batch jobs.jsonl -o out.jsonl --workers 4  # batch service
     python -m repro chaos --nodes 8 --seed 0     # calibration-fault sweep
     python -m repro cache stats --dir .cache     # disk-cache maintenance
@@ -131,6 +132,51 @@ def build_parser() -> argparse.ArgumentParser:
     arg_p.add_argument("--shots", type=int, default=4096)
     arg_p.add_argument("--seed", type=int, default=0)
     arg_p.add_argument("--trajectories", type=int, default=24)
+
+    evaluate = sub.add_parser(
+        "evaluate",
+        help="fast-path ARG evaluation across methods via the batch engine",
+    )
+    evaluate.add_argument("--nodes", type=int, default=10)
+    evaluate.add_argument(
+        "--family", choices=["er", "regular", "er_m"], default="er"
+    )
+    evaluate.add_argument("--param", type=float, default=0.5)
+    evaluate.add_argument("--device", default="ibmq_16_melbourne")
+    evaluate.add_argument(
+        "--methods",
+        default="qaim,ip,ic,vic",
+        help="comma-separated compilation methods",
+    )
+    evaluate.add_argument("--shots", type=int, default=4096)
+    evaluate.add_argument("--trajectories", type=int, default=24)
+    evaluate.add_argument(
+        "--mode",
+        choices=["sampled", "exact"],
+        default="sampled",
+        help="sampled: paper shot procedure; exact: expectation values",
+    )
+    evaluate.add_argument(
+        "--noise-scale",
+        type=float,
+        default=1.0,
+        help="multiplier on every calibrated error rate",
+    )
+    evaluate.add_argument(
+        "--t2-ns", type=float, default=None, help="T2 dephasing time (ns)"
+    )
+    evaluate.add_argument("--seed", type=int, default=0)
+    evaluate.add_argument(
+        "--cache-dir", default=None, help="disk-tier cache directory"
+    )
+    evaluate.add_argument(
+        "--no-cache", action="store_true", help="disable result caching"
+    )
+    evaluate.add_argument(
+        "--json",
+        action="store_true",
+        help="emit per-method outcomes as a JSON document",
+    )
 
     batch = sub.add_parser(
         "batch",
@@ -516,6 +562,114 @@ def _cmd_arg(args, out) -> int:
     return 0
 
 
+def _cmd_evaluate(args, out) -> int:
+    from .experiments.harness import make_problem
+    from .experiments.reporting import format_table
+    from .qaoa import optimize_qaoa
+    from .service import CompileJob, EvalJob, ResultCache, run_eval_batch
+
+    rng = np.random.default_rng(args.seed)
+    problem = make_problem(args.family, args.nodes, args.param, rng)
+    opt = optimize_qaoa(problem, p=1)
+    program = problem.to_program(opt.gammas, opt.betas)
+    methods = [m.strip() for m in args.methods.split(",") if m.strip()]
+    jobs = [
+        EvalJob(
+            compile_job=CompileJob(
+                program=program,
+                device=args.device,
+                method=method,
+                seed=args.seed,
+                calibration="auto",
+                job_id=method,
+            ),
+            shots=args.shots,
+            trajectories=args.trajectories,
+            noise_scale=args.noise_scale,
+            t2_ns=args.t2_ns,
+            mode=args.mode,
+            eval_seed=args.seed,
+            job_id=method,
+        )
+        for method in methods
+    ]
+    cache = None
+    if not args.no_cache:
+        from .compiler.serialize import FORMAT_VERSION
+
+        cache = ResultCache(
+            directory=args.cache_dir, expected_version=FORMAT_VERSION
+        )
+    report = run_eval_batch(jobs, cache=cache, seed=args.seed)
+    by_id = {r.job.job_id: r for r in report.results}
+    if args.json:
+        import json as _json
+
+        document = {
+            "problem": {
+                "family": args.family,
+                "nodes": args.nodes,
+                "param": args.param,
+                "seed": args.seed,
+            },
+            "device": args.device,
+            "results": [
+                {
+                    "method": method,
+                    "ok": r.ok,
+                    "cached": r.cached,
+                    "error": r.error,
+                    **{
+                        k: r.metrics.get(k)
+                        for k in (
+                            "r0", "rh", "arg", "fastpath", "swap_count",
+                            "success_probability",
+                        )
+                    },
+                }
+                for method in methods
+                for r in (by_id[method],)
+            ],
+        }
+        print(_json.dumps(document, indent=2), file=out)
+        return 0 if not report.failed else 1
+    rows = []
+    for method in methods:
+        result = by_id[method]
+        if not result.ok:
+            rows.append([method.upper(), "-", "-", "-", "-", result.error])
+            continue
+        m = result.metrics
+        rows.append(
+            [
+                method.upper(),
+                m["swap_count"],
+                f"{m['r0']:.3f}",
+                f"{m['rh']:.3f}",
+                f"{m['arg']:.2f}%",
+                "cached" if result.cached else f"{result.latency * 1e3:.0f}ms",
+            ]
+        )
+    print(
+        f"{problem} on {args.device} ({args.mode}, {args.shots} shots, "
+        f"{args.trajectories} trajectories):",
+        file=out,
+    )
+    print(
+        format_table(["method", "swaps", "r0", "rh", "ARG", "source"], rows),
+        file=out,
+    )
+    stages = report.eval_summary()
+    if stages:
+        print("  eval stage p50 latency:", file=out)
+        srows = [
+            [name, f"{summary['p50']:.2f}", summary["count"]]
+            for name, summary in sorted(stages.items())
+        ]
+        print(format_table(["stage", "p50 ms", "samples"], srows), file=out)
+    return 0 if not report.failed else 1
+
+
 def _cmd_batch(args, out) -> int:
     import json
 
@@ -674,6 +828,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         return _cmd_analyze(args, out)
     if args.command == "arg":
         return _cmd_arg(args, out)
+    if args.command == "evaluate":
+        return _cmd_evaluate(args, out)
     if args.command == "batch":
         return _cmd_batch(args, out)
     if args.command == "chaos":

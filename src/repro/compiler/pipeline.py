@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import dataclasses
 import time
+import warnings as _warnings
 from typing import Dict, List, Optional, Protocol, Sequence, Tuple, runtime_checkable
 
 import numpy as np
@@ -215,6 +216,13 @@ class PipelineSpec:
     lower: bool = False
 
     def __iter__(self):
+        _warnings.warn(
+            "tuple-unpacking a PipelineSpec is deprecated; read "
+            "spec.placement / spec.ordering, or compile through the "
+            "repro.api facade",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return iter((self.placement, self.ordering))
 
     @property

@@ -37,8 +37,10 @@ from ..qaoa.problems import MaxCutProblem
 
 __all__ = [
     "RunRecord",
+    "EvalRecord",
     "make_problem",
     "compile_record",
+    "eval_record",
     "run_sweep",
     "mean_by",
     "pass_seconds",
@@ -185,6 +187,113 @@ def compile_record(
         compile_time=metrics.compile_time,
         success_probability=metrics.success_probability,
         pass_times=pass_seconds(compiled.pass_trace),
+    )
+
+
+@dataclasses.dataclass
+class EvalRecord(RunRecord):
+    """A :class:`RunRecord` extended with fast-path evaluation numbers.
+
+    Attributes:
+        r0: Noiseless expected-cut ratio.
+        rh: Noisy (hardware-simulated) expected-cut ratio.
+        arg: Approximation Ratio Gap, ``100 * (r0 - rh) / r0``.
+        fastpath: Whether the vectorized diagonal engine was used (False
+            means the gate-by-gate fallback ran; numbers are identical
+            either way).
+    """
+
+    r0: float = 0.0
+    rh: float = 0.0
+    arg: float = 0.0
+    fastpath: bool = False
+
+
+def eval_record(
+    problem: MaxCutProblem,
+    coupling: CouplingGraph,
+    method: str,
+    rng: np.random.Generator,
+    calibration: Optional[Calibration] = None,
+    packing_limit: Optional[int] = None,
+    gammas: Optional[Sequence[float]] = None,
+    betas: Optional[Sequence[float]] = None,
+    shots: int = 4096,
+    trajectories: int = 24,
+    mode: str = "sampled",
+    t2_ns: Optional[float] = None,
+    eval_rng: Optional[np.random.Generator] = None,
+    family: str = "",
+    param: float = 0.0,
+    instance: int = 0,
+    target: Optional[Target] = None,
+) -> EvalRecord:
+    """Compile one instance and evaluate its ARG through the fast path.
+
+    The evaluation-enabled sibling of :func:`compile_record`: same compile
+    and metric collection, plus one :func:`repro.sim.fastpath.evaluate_fast`
+    pass for ``r0``/``rh``/ARG.  The noise model comes from ``calibration``
+    (ideal when ``None``); ``eval_rng`` defaults to a fresh child of
+    ``rng`` so compile tie-breaks and sampling draws stay independent.
+    """
+    from ..sim.fastpath import evaluate_fast
+    from ..sim.noise import NoiseModel
+
+    program = problem.to_program(
+        list(gammas) if gammas is not None else [DEFAULT_GAMMA],
+        list(betas) if betas is not None else [DEFAULT_BETA],
+    )
+    if target is not None:
+        compiled = compile_with_method(
+            program,
+            method=method,
+            packing_limit=packing_limit,
+            rng=rng,
+            target=target,
+        )
+    else:
+        compiled = compile_with_method(
+            program,
+            coupling,
+            method,
+            calibration=calibration,
+            packing_limit=packing_limit,
+            rng=rng,
+        )
+    metrics = measure_compiled(compiled, calibration=calibration)
+    if calibration is not None:
+        noise = NoiseModel.from_calibration(calibration, t2_ns=t2_ns)
+    else:
+        noise = NoiseModel.ideal(coupling.num_qubits)
+        if t2_ns is not None:
+            noise = dataclasses.replace(noise, t2_ns=float(t2_ns))
+    outcome = evaluate_fast(
+        compiled,
+        noise=noise,
+        shots=shots,
+        trajectories=trajectories,
+        rng=eval_rng if eval_rng is not None else np.random.default_rng(
+            rng.integers(2**63)
+        ),
+        mode=mode,
+    )
+    return EvalRecord(
+        family=family,
+        param=param,
+        num_nodes=problem.num_nodes,
+        instance=instance,
+        method=method,
+        depth=metrics.depth,
+        gate_count=metrics.gate_count,
+        cnot_count=metrics.cnot_count,
+        swap_count=metrics.swap_count,
+        compile_time=metrics.compile_time,
+        success_probability=metrics.success_probability,
+        pass_times=pass_seconds(compiled.pass_trace),
+        r0=outcome.r0,
+        rh=outcome.rh,
+        arg=outcome.arg,
+        fastpath=outcome.fastpath,
     )
 
 

@@ -109,6 +109,7 @@ def evaluate_arg(
     noisy_simulator,
     shots: int = 4096,
     rng: Optional[np.random.Generator] = None,
+    fast: object = "auto",
 ) -> ARGResult:
     """Measure the ARG of a compiled QAOA circuit (Section V-A procedure).
 
@@ -123,11 +124,59 @@ def evaluate_arg(
         noisy_simulator: Same interface, standing in for the hardware.
         shots: Samples per side (paper: 40960 on melbourne).
         rng: Random generator for sampling.
+        fast: ``"auto"`` (default) routes through
+            :func:`repro.sim.fastpath.evaluate_fast` when both simulators
+            are the stock gate-by-gate ones and the compiled circuit
+            proves ARG-equivalent, falling back to gate-by-gate sampling
+            otherwise; ``False`` forces the legacy path; ``True`` demands
+            the fast path and raises :class:`ValueError` when it cannot
+            be taken.  The fast path consumes random draws in the same
+            order as the legacy path, so a seeded ``rng`` yields
+            identical samples either way.
 
     Returns:
         An :class:`ARGResult`.
     """
+    if fast not in ("auto", True, False):
+        raise ValueError(f"fast must be 'auto', True or False, got {fast!r}")
     rng = rng if rng is not None else np.random.default_rng()
+
+    if fast is not False:
+        from ..sim.fastpath import cost_diagonal, evaluate_fast, fastpath_plan
+        from ..sim.noise import NoisySimulator
+        from ..sim.statevector import StatevectorSimulator
+
+        reason = None
+        if not (
+            type(ideal_simulator) is StatevectorSimulator
+            and type(noisy_simulator) is NoisySimulator
+        ):
+            reason = "simulators are not the stock gate-by-gate pair"
+        elif (
+            cost_diagonal(problem).fingerprint
+            != cost_diagonal(compiled.program).fingerprint
+        ):
+            reason = "problem content differs from the compiled program"
+        else:
+            plan = fastpath_plan(compiled)
+            if not plan.ok:
+                reason = plan.reason
+        if reason is None:
+            outcome = evaluate_fast(
+                compiled,
+                noise=noisy_simulator.noise,
+                shots=shots,
+                trajectories=noisy_simulator.trajectories,
+                rng=rng,
+                mode="sampled",
+                durations=noisy_simulator.durations,
+            )
+            return ARGResult(
+                r0=outcome.r0, rh=outcome.rh, arg=outcome.arg, shots=shots
+            )
+        if fast is True:
+            raise ValueError(f"fast path unavailable: {reason}")
+
     circuit = compiled.circuit
     mapping = compiled.final_mapping
     n_logical = compiled.num_logical

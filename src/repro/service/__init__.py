@@ -8,6 +8,9 @@ winners):
 
 * :mod:`repro.service.job` — the :class:`CompileJob` unit of work and its
   canonical content hash (stable under commuting-term reorderings);
+* :mod:`repro.service.evaluate` — the :class:`EvalJob` ARG-evaluation
+  workload (compile + fast-path ``r0``/``rh``/ARG), same engine, cache
+  and telemetry;
 * :mod:`repro.service.cache` — content-addressed LRU result cache with
   entry/byte budgets and an optional disk tier;
 * :mod:`repro.service.engine` — process-pool batch execution with per-job
@@ -18,6 +21,12 @@ winners):
 
 from .cache import CacheStats, ResultCache
 from .engine import BatchEngine, BatchReport, run_batch
+from .evaluate import (
+    EVAL_HASH_VERSION,
+    EvalJob,
+    execute_eval_job,
+    run_eval_batch,
+)
 from .job import (
     HASH_VERSION,
     CompileJob,
@@ -34,8 +43,12 @@ from .telemetry import Histogram, Telemetry, percentile
 
 __all__ = [
     "HASH_VERSION",
+    "EVAL_HASH_VERSION",
     "CompileJob",
+    "EvalJob",
     "JobResult",
+    "execute_eval_job",
+    "run_eval_batch",
     "execute_job",
     "resolve_job_environment",
     "job_from_dict",

@@ -23,7 +23,15 @@ it feeds a :class:`~repro.service.telemetry.Telemetry` instance throughout:
 ``execute_ms`` / pure ``compile_ms`` histograms, and one
 ``pass_ms.<pass-name>`` histogram per compiler-pipeline pass (fed from
 each successful result's pass trace), so batch telemetry reports where
-compile time goes — p50/p95/p99 per pass, not just per job.
+compile time goes — p50/p95/p99 per pass, not just per job.  Evaluation
+jobs (:mod:`repro.service.evaluate`) additionally feed one
+``eval_ms.<stage>`` histogram per fast-path evaluation stage.
+
+The engine is job-flavour agnostic: anything with ``content_hash()`` and
+the record fields (``job_id``/``device``/``method``/...) schedules the
+same way — ``execute_fn`` picks the workload
+(:func:`~repro.service.job.execute_job` compiles,
+:func:`~repro.service.evaluate.execute_eval_job` compiles + evaluates).
 
 Retries apply to transient faults (worker exceptions, broken pools,
 timeouts).  Deterministic rejections (``error_kind="invalid"`` — unknown
@@ -90,6 +98,23 @@ class BatchReport:
         """
         snap = self.telemetry.snapshot()
         prefix = "pass_ms."
+        return {
+            name[len(prefix):]: summary
+            for name, summary in snap["histograms"].items()
+            if name.startswith(prefix)
+        }
+
+    def eval_summary(self) -> dict:
+        """Per-evaluation-stage latency aggregation across the batch.
+
+        Returns ``{stage: {count, mean, min, max, p50, p95, p99}}`` in
+        milliseconds from the ``eval_ms.*`` histograms the engine feeds
+        from every executed evaluation job's ``eval_trace`` (stages:
+        ``diagonal``/``ideal``/``noisy``).  Empty for pure compile
+        batches and for cache hits.
+        """
+        snap = self.telemetry.snapshot()
+        prefix = "eval_ms."
         return {
             name[len(prefix):]: summary
             for name, summary in snap["histograms"].items()
@@ -308,6 +333,11 @@ class BatchEngine:
                 for record in result.metrics.get("pass_trace") or []:
                     self.telemetry.observe(
                         f"pass_ms.{record['name']}",
+                        float(record["seconds"]) * 1e3,
+                    )
+                for record in result.metrics.get("eval_trace") or []:
+                    self.telemetry.observe(
+                        f"eval_ms.{record['name']}",
                         float(record["seconds"]) * 1e3,
                     )
             if self.cache is not None and result.payload is not None:

@@ -1,6 +1,18 @@
 """Simulators: ideal statevector and noisy Monte-Carlo trajectory sampling."""
 
 from .density import DensityMatrixSimulator
+from .fastpath import (
+    CostDiagonal,
+    EvalOutcome,
+    FastPathPlan,
+    clear_diagonal_registry,
+    cost_diagonal,
+    diagonal_registry_stats,
+    evaluate_fast,
+    fastpath_plan,
+    logical_trajectory,
+    qaoa_statevector,
+)
 from .noise import NoiseModel, NoisySimulator
 from .sampler import (
     bitstring_to_index,
@@ -21,6 +33,16 @@ __all__ = [
     "NoiseModel",
     "NoisySimulator",
     "DensityMatrixSimulator",
+    "CostDiagonal",
+    "EvalOutcome",
+    "FastPathPlan",
+    "clear_diagonal_registry",
+    "cost_diagonal",
+    "diagonal_registry_stats",
+    "evaluate_fast",
+    "fastpath_plan",
+    "logical_trajectory",
+    "qaoa_statevector",
     "bitstring_to_index",
     "counts_to_probabilities",
     "expectation_from_counts",

@@ -52,7 +52,8 @@ def reference_compile(
     router="layered",
 ):
     """The pre-pipeline flow, from primitives, with identical rng order."""
-    placement, ordering = METHOD_PRESETS[method]
+    preset = METHOD_PRESETS[method]
+    placement, ordering = preset.placement, preset.ordering
     pairs = program.pairs()
     if placement == "qaim":
         mapping = qaim_placement(

@@ -105,7 +105,8 @@ class TestPipelineAssembly:
 
 class TestSpecCompat:
     def test_presets_unpack_as_tuples(self):
-        placement, ordering = METHOD_PRESETS["ic"]
+        with pytest.warns(DeprecationWarning, match="tuple-unpacking"):
+            placement, ordering = METHOD_PRESETS["ic"]
         assert (placement, ordering) == ("qaim", "ic")
 
     def test_method_label(self):

@@ -11,13 +11,16 @@ import pytest
 
 PACKAGES = [
     "repro",
+    "repro.api",
     "repro.circuits",
     "repro.hardware",
     "repro.sim",
+    "repro.sim.fastpath",
     "repro.compiler",
     "repro.qaoa",
     "repro.experiments",
     "repro.service",
+    "repro.service.evaluate",
 ]
 
 
