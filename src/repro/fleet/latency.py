@@ -1,0 +1,110 @@
+"""Per-device online models: EWMA latency and EWMA quality.
+
+The scheduler promises latency at admission time, before a job runs, so
+each device carries an exponentially weighted moving average of observed
+execution time per job kind (``compile`` is much cheaper than ``eval``,
+so the kinds never share a stream).  The same machinery tracks observed
+ARG per device: approximation-ratio gaps are only measurable after an
+evaluation, so the fleet *learns* each device's quality online and uses
+the running estimate to steer quality-constrained jobs away from devices
+that have demonstrated bad gaps (e.g. fault-injected variants).
+
+EWMA (rather than a percentile reservoir) because placement needs a
+point prediction that tracks drift quickly — a device that just slowed
+down (cold cache, noisy neighbour) should immediately look slower to the
+admission check, and one observation per job keeps this O(1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+__all__ = ["EwmaLatencyModel", "EwmaQualityModel"]
+
+#: Cold-start execution priors (ms) per job kind: roughly one paper-size
+#: compile and one fast-path evaluation on commodity hardware.  They only
+#: matter until the first observation lands.
+_DEFAULT_PRIORS_MS = {"compile": 50.0, "eval": 250.0}
+
+
+class EwmaLatencyModel:
+    """Per-kind EWMA of observed execution milliseconds.
+
+    Args:
+        alpha: Smoothing factor in (0, 1]; higher = faster tracking.
+        priors_ms: Cold-start predictions per job kind.
+    """
+
+    def __init__(
+        self,
+        alpha: float = 0.3,
+        priors_ms: Optional[Dict[str, float]] = None,
+    ) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must sit in (0, 1]")
+        self.alpha = float(alpha)
+        self.priors_ms = dict(priors_ms or _DEFAULT_PRIORS_MS)
+        self._mean: Dict[str, float] = {}
+        self._count: Dict[str, int] = {}
+
+    def predict_ms(self, kind: str) -> float:
+        """Predicted execution time; the prior until data arrives."""
+        value = self._mean.get(kind)
+        if value is not None:
+            return value
+        return self.priors_ms.get(kind, 100.0)
+
+    def observe(self, kind: str, value_ms: float) -> None:
+        value_ms = float(value_ms)
+        if value_ms < 0:
+            raise ValueError("latency observation must be >= 0")
+        current = self._mean.get(kind)
+        if current is None:
+            self._mean[kind] = value_ms  # first sample replaces the prior
+        else:
+            self._mean[kind] = (
+                self.alpha * value_ms + (1.0 - self.alpha) * current
+            )
+        self._count[kind] = self._count.get(kind, 0) + 1
+
+    def observations(self, kind: str) -> int:
+        return self._count.get(kind, 0)
+
+    def snapshot(self) -> dict:
+        return {
+            kind: {"ewma_ms": self._mean[kind], "count": self._count[kind]}
+            for kind in sorted(self._mean)
+        }
+
+
+class EwmaQualityModel:
+    """EWMA of an observed quality signal (ARG percent, lower = better).
+
+    ``predict()`` returns ``None`` until the first observation — the
+    scheduler treats an unknown device optimistically (admission cannot
+    reject on a number nobody has measured yet).
+    """
+
+    def __init__(self, alpha: float = 0.3) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must sit in (0, 1]")
+        self.alpha = float(alpha)
+        self._mean: Optional[float] = None
+        self._count = 0
+
+    def predict(self) -> Optional[float]:
+        return self._mean
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        if self._mean is None:
+            self._mean = value
+        else:
+            self._mean = self.alpha * value + (1.0 - self.alpha) * self._mean
+        self._count += 1
+
+    def observations(self) -> int:
+        return self._count
+
+    def snapshot(self) -> dict:
+        return {"ewma": self._mean, "count": self._count}

@@ -1,0 +1,136 @@
+"""Placement policies: pick one device from the SLO-feasible candidates.
+
+The scheduler does the hard filtering — building one
+:class:`Candidate` per eligible, unsaturated device whose *predicted*
+latency/fidelity/quality satisfy the job's SLO — and then delegates the
+final pick to a :class:`Policy`.  Policies are pure functions of the
+candidate list, so they can be scored against each other on identical
+job streams (``repro fleet --policy all``,
+``benchmarks/bench_fleet_slo.py``):
+
+* ``greedy`` — first feasible slot in fleet declaration order.  The
+  baseline: cheapest decision, piles load onto early slots until their
+  predicted latency blows the bound.
+* ``best-fidelity`` — highest predicted success probability, preferring
+  real-hardware slots on ties.  Hedges against estimation error on
+  quality-constrained jobs by always buying the best device available.
+* ``least-loaded`` — earliest predicted completion ("min-bounce"): the
+  load balancer, trading fidelity headroom for queue-wait smoothing.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Protocol
+
+__all__ = [
+    "Candidate",
+    "Policy",
+    "GreedyFirstFit",
+    "BestFidelity",
+    "LeastLoaded",
+    "POLICIES",
+    "get_policy",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class Candidate:
+    """One SLO-feasible placement option for one job.
+
+    Attributes:
+        label: Slot label.
+        order: Fleet declaration index (every policy's final tie-break).
+        hardware: Whether the slot models real IBM hardware.
+        backlog: Jobs placed on the device and not yet finished.
+        wait_ms: Predicted queue wait before the job would start.
+        exec_ms: EWMA-predicted execution time for the job's kind.
+        predicted_latency_ms: ``wait_ms + exec_ms`` — the promise the
+            scheduler records for the observed-vs-promised comparison.
+        predicted_success: Calibration-derived success estimate
+            (``None`` on uncalibrated slots).
+        predicted_arg: Online EWMA of observed ARG on this device
+            (``None`` until the device has evaluated something).
+    """
+
+    label: str
+    order: int
+    hardware: bool
+    backlog: int
+    wait_ms: float
+    exec_ms: float
+    predicted_latency_ms: float
+    predicted_success: Optional[float]
+    predicted_arg: Optional[float]
+
+
+class Policy(Protocol):
+    """A placement policy: choose among SLO-feasible candidates."""
+
+    name: str
+
+    def place(self, candidates: List[Candidate]) -> Candidate:
+        """Pick one candidate (the list is non-empty)."""
+        ...
+
+
+class GreedyFirstFit:
+    """First feasible device in fleet declaration order."""
+
+    name = "greedy"
+
+    def place(self, candidates: List[Candidate]) -> Candidate:
+        return min(candidates, key=lambda c: c.order)
+
+
+class BestFidelity:
+    """Highest predicted success probability, hardware-preferred.
+
+    Candidates without a fidelity estimate rank last; ties fall to real
+    hardware first (the paper's devices over synthetic topologies), then
+    declaration order.
+    """
+
+    name = "best-fidelity"
+
+    def place(self, candidates: List[Candidate]) -> Candidate:
+        return min(
+            candidates,
+            key=lambda c: (
+                -(c.predicted_success
+                  if c.predicted_success is not None
+                  else -1.0),
+                not c.hardware,
+                c.order,
+            ),
+        )
+
+
+class LeastLoaded:
+    """Earliest predicted completion, then smallest backlog."""
+
+    name = "least-loaded"
+
+    def place(self, candidates: List[Candidate]) -> Candidate:
+        return min(
+            candidates,
+            key=lambda c: (c.predicted_latency_ms, c.backlog, c.order),
+        )
+
+
+POLICIES: Dict[str, type] = {
+    GreedyFirstFit.name: GreedyFirstFit,
+    BestFidelity.name: BestFidelity,
+    LeastLoaded.name: LeastLoaded,
+}
+
+
+def get_policy(name: str) -> Policy:
+    """Instantiate a policy by name."""
+    try:
+        return POLICIES[name]()
+    except KeyError:
+        known = ", ".join(sorted(POLICIES))
+        raise ValueError(
+            f"unknown policy {name!r}; known: {known}"
+        ) from None

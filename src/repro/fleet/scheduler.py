@@ -1,0 +1,483 @@
+"""The SLO-aware fleet scheduler: admission control, placement, accounting.
+
+One :class:`Scheduler` owns a :class:`~repro.fleet.spec.FleetSpec`, a
+placement :class:`~repro.fleet.policy.Policy`, and per-device runtime
+state — a serial :class:`~repro.service.engine.BatchEngine` (cache,
+retries, and telemetry all apply per slot), an EWMA latency model per
+job kind, an online ARG quality model, and a virtual-clock backlog.
+
+**The clock.**  Jobs arrive on a deterministic virtual timeline
+(``interarrival_ms`` apart); each device is a serial server whose
+virtual clock advances by the *measured* execution time of every job
+placed on it.  Queue waits, backlogs, promised and observed latencies,
+utilization and makespan are all derived from this timeline, so a run
+is a faithful discrete-event simulation of the fleet serving the stream
+concurrently — while the work itself really executes (real compiles,
+real evaluations, real cache hits) one job at a time in submission
+order, keeping runs reproducible and the accounting honest.
+
+**Admission.**  Every job is admitted or rejected *with a structured
+reason* (:data:`~repro.fleet.report.REJECTION_KINDS`): an empty fleet,
+no eligible device left (devices lose eligibility after repeated
+failures — a fault-injected slot that keeps crashing drops out of the
+candidate set mid-stream), a full fleet-wide queue, every device
+saturated at its backlog limit, or an SLO no device is predicted to
+satisfy — in which case the detail names each device's shortfall.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from collections import deque
+from typing import Deque, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..service.cache import ResultCache
+from ..service.engine import BatchEngine
+from ..service.evaluate import EvalJob, execute_eval_job
+from ..service.job import (
+    JobResult,
+    decode_envelope,
+    encode_envelope,
+    execute_job,
+)
+from ..service.telemetry import Telemetry
+from .estimate import estimate_success_probability
+from .jobs import FleetJob, bind_job
+from .latency import EwmaLatencyModel, EwmaQualityModel
+from .policy import Candidate, Policy, get_policy
+from .report import (
+    DeviceSnapshot,
+    FleetReport,
+    PlacementRecord,
+    Rejection,
+)
+from .spec import FleetSpec
+
+__all__ = ["Scheduler", "run_fleet"]
+
+
+def _execute_fleet_job(job) -> JobResult:
+    """Kind-dispatching executor: one engine serves both workloads."""
+    if isinstance(job, EvalJob):
+        return execute_eval_job(job)
+    return execute_job(job)
+
+
+@dataclasses.dataclass
+class _DeviceState:
+    """Runtime accounting for one fleet slot."""
+
+    label: str
+    order: int
+    hardware: bool
+    degraded: bool
+    target: object
+    engine: BatchEngine
+    latency: EwmaLatencyModel
+    quality: EwmaQualityModel
+    available_at_ms: float = 0.0
+    busy_ms: float = 0.0
+    placed: int = 0
+    ok: int = 0
+    failed: int = 0
+    cached: int = 0
+    consecutive_failures: int = 0
+    eligible: bool = True
+    ineligible_reason: Optional[str] = None
+    pending: Deque[float] = dataclasses.field(default_factory=deque)
+
+    def backlog(self, now_ms: float) -> int:
+        """Jobs placed here whose virtual finish is still in the future."""
+        while self.pending and self.pending[0] <= now_ms:
+            self.pending.popleft()
+        return len(self.pending)
+
+
+class Scheduler:
+    """Place a stream of :class:`FleetJob` across a device fleet.
+
+    Args:
+        fleet: The device slots to schedule onto.
+        policy: Placement policy name or instance (see
+            :data:`repro.fleet.policy.POLICIES`).
+        queue_depth: Fleet-wide bound on admitted-but-unfinished jobs;
+            admission rejects ``queue_full`` beyond it.
+        device_backlog_limit: Per-device pending-job bound; a device at
+            the limit is *saturated* and drops out of the candidate set.
+        interarrival_ms: Virtual gap between consecutive job arrivals.
+        max_consecutive_failures: Failures in a row before a device
+            loses eligibility for the rest of the stream.
+        max_eval_qubits: Largest device an *eval* job may be placed on.
+            Evaluation materialises probability vectors in the physical
+            index space (``2**num_qubits`` doubles), so a 36-qubit slot
+            would ask for 512 GiB; such devices stay compile-only.
+        cache: Optional shared :class:`ResultCache` for all per-device
+            engines.
+        retries: Per-device engine retry budget for transient faults.
+        execute_fn: Job executor override (tests inject fakes); defaults
+            to the kind-dispatching compile/eval executor.
+        seed: Retry-jitter seed for the per-device engines.
+    """
+
+    def __init__(
+        self,
+        fleet: FleetSpec,
+        policy: Union[str, Policy] = "least-loaded",
+        *,
+        queue_depth: int = 256,
+        device_backlog_limit: int = 32,
+        interarrival_ms: float = 0.0,
+        max_consecutive_failures: int = 3,
+        max_eval_qubits: int = 24,
+        cache: Optional[ResultCache] = None,
+        retries: int = 0,
+        execute_fn=None,
+        seed: int = 0,
+    ) -> None:
+        if queue_depth < 1:
+            raise ValueError("queue_depth must be >= 1")
+        if device_backlog_limit < 1:
+            raise ValueError("device_backlog_limit must be >= 1")
+        if interarrival_ms < 0:
+            raise ValueError("interarrival_ms must be >= 0")
+        if max_consecutive_failures < 1:
+            raise ValueError("max_consecutive_failures must be >= 1")
+        self.fleet = fleet
+        self.policy: Policy = (
+            get_policy(policy) if isinstance(policy, str) else policy
+        )
+        self.queue_depth = queue_depth
+        self.device_backlog_limit = device_backlog_limit
+        self.interarrival_ms = float(interarrival_ms)
+        self.max_consecutive_failures = max_consecutive_failures
+        self.max_eval_qubits = max_eval_qubits
+        self._states: Dict[str, _DeviceState] = {}
+        for order, slot in enumerate(fleet):
+            target = fleet.target(slot.label)
+            self._states[slot.label] = _DeviceState(
+                label=slot.label,
+                order=order,
+                hardware=bool(slot.hardware),
+                degraded=bool(slot.faults),
+                target=target,
+                engine=BatchEngine(
+                    workers=0,
+                    retries=retries,
+                    cache=cache,
+                    telemetry=Telemetry(),
+                    seed=seed,
+                    execute_fn=execute_fn or _execute_fleet_job,
+                ),
+                latency=EwmaLatencyModel(),
+                quality=EwmaQualityModel(),
+            )
+
+    # ------------------------------------------------------------------
+    # eligibility
+    # ------------------------------------------------------------------
+    def mark_ineligible(self, label: str, reason: str) -> None:
+        """Remove a device from the candidate set for the rest of the
+        stream (mid-stream fault handling; also called automatically
+        after ``max_consecutive_failures``)."""
+        state = self._states[label]
+        state.eligible = False
+        state.ineligible_reason = reason
+
+    # ------------------------------------------------------------------
+    # admission control
+    # ------------------------------------------------------------------
+    def admit(
+        self, job: FleetJob, now_ms: float = 0.0
+    ) -> Tuple[Optional[Candidate], Optional[Rejection]]:
+        """Admission decision for one job at one virtual instant.
+
+        Returns ``(candidate, None)`` on admission — the policy's pick —
+        or ``(None, rejection)`` with a structured reason.
+        """
+        if not self._states:
+            return None, Rejection(
+                job.job_id, "empty_fleet",
+                "fleet has no device slots", now_ms,
+            )
+        eligible = [s for s in self._states.values() if s.eligible]
+        if not eligible:
+            why = "; ".join(
+                f"{s.label}: {s.ineligible_reason}"
+                for s in self._states.values()
+            )
+            return None, Rejection(
+                job.job_id, "no_eligible_device",
+                f"all {len(self._states)} devices ineligible ({why})",
+                now_ms,
+            )
+        pending_total = sum(s.backlog(now_ms) for s in eligible)
+        if pending_total >= self.queue_depth:
+            return None, Rejection(
+                job.job_id, "queue_full",
+                f"{pending_total} jobs pending >= queue depth "
+                f"{self.queue_depth}",
+                now_ms,
+            )
+        unsaturated = [
+            s for s in eligible
+            if s.backlog(now_ms) < self.device_backlog_limit
+        ]
+        if not unsaturated:
+            return None, Rejection(
+                job.job_id, "saturated",
+                f"all {len(eligible)} eligible devices at backlog limit "
+                f"{self.device_backlog_limit}",
+                now_ms,
+            )
+
+        if job.kind == "eval":
+            feasible = [
+                s for s in unsaturated
+                if s.target.num_qubits <= self.max_eval_qubits
+            ]
+            if not feasible:
+                oversized = ", ".join(
+                    f"{s.label} ({s.target.num_qubits}q)"
+                    for s in sorted(unsaturated, key=lambda s: s.order)
+                )
+                return None, Rejection(
+                    job.job_id, "no_eligible_device",
+                    "eval needs a statevector-simulable device "
+                    f"(<= {self.max_eval_qubits} qubits); only {oversized} "
+                    "available",
+                    now_ms,
+                )
+        else:
+            feasible = unsaturated
+
+        slo = job.slo
+        candidates: List[Candidate] = []
+        shortfalls: List[str] = []
+        for state in sorted(feasible, key=lambda s: s.order):
+            wait_ms = max(0.0, state.available_at_ms - now_ms)
+            exec_ms = state.latency.predict_ms(job.kind)
+            latency_ms = wait_ms + exec_ms
+            success = estimate_success_probability(
+                job.num_edges, job.levels, state.target
+            )
+            arg = state.quality.predict()
+            reasons: List[str] = []
+            if (
+                slo.max_latency_ms is not None
+                and latency_ms > slo.max_latency_ms
+            ):
+                reasons.append(
+                    f"predicted latency {latency_ms:.1f}ms > "
+                    f"{slo.max_latency_ms:.1f}ms"
+                )
+            if slo.min_success_prob is not None:
+                if success is None:
+                    reasons.append("no calibration, no fidelity promise")
+                elif success < slo.min_success_prob:
+                    reasons.append(
+                        f"predicted success {success:.3e} < "
+                        f"{slo.min_success_prob:.3e}"
+                    )
+            if (
+                slo.max_arg is not None
+                and arg is not None
+                and arg > slo.max_arg
+            ):
+                reasons.append(
+                    f"observed ARG ewma {arg:.2f}% > {slo.max_arg:.2f}%"
+                )
+            if reasons:
+                shortfalls.append(f"{state.label}: {'; '.join(reasons)}")
+            else:
+                candidates.append(
+                    Candidate(
+                        label=state.label,
+                        order=state.order,
+                        hardware=state.hardware,
+                        backlog=state.backlog(now_ms),
+                        wait_ms=wait_ms,
+                        exec_ms=exec_ms,
+                        predicted_latency_ms=latency_ms,
+                        predicted_success=success,
+                        predicted_arg=arg,
+                    )
+                )
+        if not candidates:
+            return None, Rejection(
+                job.job_id, "slo_unsatisfiable",
+                "no device predicted to satisfy SLO "
+                f"{slo.to_dict()}: {' | '.join(shortfalls)}",
+                now_ms,
+            )
+        return self.policy.place(candidates), None
+
+    # ------------------------------------------------------------------
+    # the run loop
+    # ------------------------------------------------------------------
+    def run(self, jobs: Sequence[FleetJob]) -> FleetReport:
+        """Serve a job stream; one placement record or rejection per job."""
+        start = time.perf_counter()
+        records: List[PlacementRecord] = []
+        rejections: List[Rejection] = []
+        for index, job in enumerate(jobs):
+            now_ms = index * self.interarrival_ms
+            candidate, rejection = self.admit(job, now_ms)
+            if rejection is not None:
+                rejections.append(rejection)
+                continue
+            records.append(self._place(job, candidate, now_ms))
+        elapsed = time.perf_counter() - start
+        makespan = max(
+            (s.available_at_ms for s in self._states.values()), default=0.0
+        )
+        return FleetReport(
+            policy=self.policy.name,
+            records=records,
+            rejections=rejections,
+            devices=self._snapshot_devices(makespan),
+            elapsed_s=elapsed,
+            makespan_ms=makespan,
+        )
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _place(
+        self, job: FleetJob, candidate: Candidate, now_ms: float
+    ) -> PlacementRecord:
+        state = self._states[candidate.label]
+        bound = bind_job(job, state.target)
+        result = state.engine.run([bound]).results[0]
+        exec_ms = result.latency * 1e3
+
+        begin = max(now_ms, state.available_at_ms)
+        finish = begin + exec_ms
+        observed_ms = finish - now_ms
+        state.available_at_ms = finish
+        state.pending.append(finish)
+        state.busy_ms += exec_ms
+        state.placed += 1
+        state.latency.observe(job.kind, exec_ms)
+
+        metrics = result.metrics or {}
+        success_prob = metrics.get("success_probability")
+        arg = metrics.get("arg")
+        if arg is not None:
+            state.quality.observe(float(arg))
+
+        if result.ok:
+            state.ok += 1
+            state.consecutive_failures = 0
+            if result.cached:
+                state.cached += 1
+        else:
+            state.failed += 1
+            state.consecutive_failures += 1
+            if (
+                state.eligible
+                and state.consecutive_failures
+                >= self.max_consecutive_failures
+            ):
+                self.mark_ineligible(
+                    state.label,
+                    f"{state.consecutive_failures} consecutive failures "
+                    f"(last: {result.error_kind})",
+                )
+
+        placement = {
+            "device_label": state.label,
+            "policy": self.policy.name,
+            "wait_ms": round(candidate.wait_ms, 3),
+            "promised_latency_ms": round(
+                candidate.predicted_latency_ms, 3
+            ),
+        }
+        _stamp_placement(result, placement, cache=state.engine.cache)
+
+        if result.ok:
+            misses = job.slo.misses(observed_ms, success_prob, arg)
+        else:
+            misses = [f"failed: {result.error_kind}"]
+        return PlacementRecord(
+            job_id=job.job_id,
+            kind=job.kind,
+            device_label=state.label,
+            arrival_ms=now_ms,
+            wait_ms=candidate.wait_ms,
+            exec_ms=exec_ms,
+            observed_ms=observed_ms,
+            promised_ms=candidate.predicted_latency_ms,
+            ok=result.ok,
+            cached=result.cached,
+            constrained=not job.slo.is_trivial,
+            attained=result.ok and not misses,
+            slo=job.slo.to_dict(),
+            misses=misses,
+            success_probability=success_prob,
+            arg=arg,
+            error=result.error,
+            error_kind=result.error_kind,
+        )
+
+    def _snapshot_devices(self, makespan_ms: float) -> List[DeviceSnapshot]:
+        out = []
+        for state in sorted(self._states.values(), key=lambda s: s.order):
+            out.append(
+                DeviceSnapshot(
+                    label=state.label,
+                    device=state.target.name,
+                    num_qubits=state.target.num_qubits,
+                    hardware=state.hardware,
+                    degraded=state.degraded,
+                    placed=state.placed,
+                    ok=state.ok,
+                    failed=state.failed,
+                    cached=state.cached,
+                    busy_ms=state.busy_ms,
+                    utilization=(
+                        state.busy_ms / makespan_ms if makespan_ms > 0 else 0.0
+                    ),
+                    eligible=state.eligible,
+                    ineligible_reason=state.ineligible_reason,
+                    latency_model=state.latency.snapshot(),
+                    quality_model=state.quality.snapshot(),
+                )
+            )
+        return out
+
+
+def _stamp_placement(
+    result: JobResult, placement: dict, cache: Optional[ResultCache]
+) -> None:
+    """Thread the placement into the result and its cached envelope.
+
+    The envelope format is unchanged (an extra ``metrics`` key, same
+    ``format_version``), so stamped and unstamped entries interoperate —
+    no cache break.  Cache hits get re-stamped with the *current*
+    placement: the cached circuit is placement-agnostic, the audit trail
+    is per-run.
+    """
+    result.placement = placement
+    if result.metrics is not None:
+        result.metrics["placement"] = placement
+    if result.payload is None:
+        return
+    try:
+        metrics, compiled_json = decode_envelope(result.payload)
+    except ValueError:
+        return
+    metrics["placement"] = placement
+    result.payload = encode_envelope(compiled_json, metrics)
+    if cache is not None:
+        cache.put(result.key, result.payload)
+
+
+def run_fleet(
+    jobs: Sequence[FleetJob],
+    fleet: FleetSpec,
+    policy: Union[str, Policy] = "least-loaded",
+    **scheduler_kwargs,
+) -> FleetReport:
+    """One-shot convenience: ``Scheduler(fleet, policy, ...).run(jobs)``."""
+    return Scheduler(fleet, policy, **scheduler_kwargs).run(jobs)

@@ -1,0 +1,160 @@
+"""Per-job service-level objectives for fleet placement.
+
+A fleet job carries an :class:`SLO` naming what the requester is owed:
+
+* ``max_latency_ms`` — end-to-end latency bound (queue wait + execution),
+  the time side of the promise.  The scheduler compares it against the
+  device's EWMA-predicted completion time at admission and against the
+  observed completion afterwards.
+* ``min_success_prob`` — minimum predicted circuit success probability,
+  the fidelity side.  Admission uses the calibration-derived estimate
+  (:mod:`repro.fleet.estimate`); attainment uses the compiled circuit's
+  measured ``success_probability``.
+* ``max_arg`` — maximum tolerated approximation-ratio gap
+  (``100 * (r0 - rh) / r0``, percent; lower is better).  The ROADMAP
+  phrases this bound "min ARG" — a minimum *quality* bar — but ARG is a
+  gap, so the bound is a maximum.  ARG is only measurable post-hoc, so
+  admission filters on the per-device online EWMA of observed gaps
+  (optimistic until a device has produced one) while attainment uses the
+  job's own measured gap.
+
+``None`` disables a dimension; ``SLO()`` is the best-effort job.  The
+tier presets (``gold``/``silver``/``bronze``) are what the synthetic
+stream generator and the benchmarks hand out.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+__all__ = ["SLO", "SLO_TIERS", "slo_from_dict"]
+
+
+@dataclasses.dataclass(frozen=True)
+class SLO:
+    """What one fleet job is owed (``None`` disables a dimension)."""
+
+    max_latency_ms: Optional[float] = None
+    min_success_prob: Optional[float] = None
+    max_arg: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max_latency_ms is not None and self.max_latency_ms <= 0:
+            raise ValueError("max_latency_ms must be positive or None")
+        if self.min_success_prob is not None and not (
+            0.0 <= self.min_success_prob <= 1.0
+        ):
+            raise ValueError("min_success_prob must sit in [0, 1] or None")
+        if self.max_arg is not None and self.max_arg < 0:
+            raise ValueError("max_arg must be >= 0 or None")
+
+    @property
+    def is_trivial(self) -> bool:
+        """True for the best-effort job (no dimension constrained)."""
+        return (
+            self.max_latency_ms is None
+            and self.min_success_prob is None
+            and self.max_arg is None
+        )
+
+    def misses(
+        self,
+        observed_latency_ms: float,
+        success_prob: Optional[float],
+        arg: Optional[float],
+    ) -> List[str]:
+        """The post-hoc attainment check: one entry per violated
+        dimension (empty list = SLO attained).
+
+        A constrained dimension the result could not measure (no
+        calibration → no success probability; a compile-only job → no
+        ARG) counts as a miss: the promise was not demonstrably kept.
+        """
+        out: List[str] = []
+        if (
+            self.max_latency_ms is not None
+            and observed_latency_ms > self.max_latency_ms
+        ):
+            out.append(
+                f"latency {observed_latency_ms:.1f}ms > "
+                f"{self.max_latency_ms:.1f}ms"
+            )
+        if self.min_success_prob is not None:
+            if success_prob is None:
+                out.append("success probability unmeasured")
+            elif success_prob < self.min_success_prob:
+                out.append(
+                    f"success {success_prob:.3e} < "
+                    f"{self.min_success_prob:.3e}"
+                )
+        if self.max_arg is not None:
+            if arg is None:
+                out.append("ARG unmeasured")
+            elif arg > self.max_arg:
+                out.append(f"ARG {arg:.2f}% > {self.max_arg:.2f}%")
+        return out
+
+    def to_dict(self) -> dict:
+        return {
+            "max_latency_ms": self.max_latency_ms,
+            "min_success_prob": self.min_success_prob,
+            "max_arg": self.max_arg,
+        }
+
+
+#: Tiered presets for the synthetic streams and benchmarks.  Gold buys a
+#: tight latency bound *and* a quality bar; silver a looser latency bound
+#: plus a fidelity floor; bronze is latency-only; best-effort is free.
+#: Gold's ARG bar (8%) sits between the clean 20-qubit topologies
+#: (typically 2-5% on 8-node problems) and the sparse/degraded slots
+#: (often 7-18%), so where a gold job lands genuinely decides whether
+#: the quality promise holds.
+SLO_TIERS: Dict[str, SLO] = {
+    "gold": SLO(max_latency_ms=250.0, min_success_prob=1e-4, max_arg=8.0),
+    "silver": SLO(max_latency_ms=1000.0, min_success_prob=1e-6),
+    "bronze": SLO(max_latency_ms=4000.0),
+    "best-effort": SLO(),
+}
+
+
+def slo_from_dict(spec) -> SLO:
+    """Parse an SLO from a JSONL job line.
+
+    Accepts a tier name (``"gold"``), a dict of bounds, or ``None``
+    (best-effort).
+    """
+    if spec is None:
+        return SLO()
+    if isinstance(spec, str):
+        try:
+            return SLO_TIERS[spec]
+        except KeyError:
+            known = ", ".join(sorted(SLO_TIERS))
+            raise ValueError(
+                f"unknown SLO tier {spec!r}; known: {known}"
+            ) from None
+    if isinstance(spec, dict):
+        unknown = set(spec) - {
+            "max_latency_ms", "min_success_prob", "max_arg",
+        }
+        if unknown:
+            raise ValueError(f"unknown SLO field(s): {sorted(unknown)}")
+        return SLO(
+            max_latency_ms=(
+                None
+                if spec.get("max_latency_ms") is None
+                else float(spec["max_latency_ms"])
+            ),
+            min_success_prob=(
+                None
+                if spec.get("min_success_prob") is None
+                else float(spec["min_success_prob"])
+            ),
+            max_arg=(
+                None
+                if spec.get("max_arg") is None
+                else float(spec["max_arg"])
+            ),
+        )
+    raise ValueError(f"unsupported SLO spec {spec!r}")

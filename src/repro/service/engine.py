@@ -308,6 +308,7 @@ class BatchEngine:
             metrics=metrics,
             payload=payload,
             warnings=warnings,
+            placement=metrics.get("placement") if metrics else None,
         )
 
     def _finish(
