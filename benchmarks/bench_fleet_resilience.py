@@ -1,0 +1,184 @@
+"""Fleet resilience bench: SLO attainment under injected fleet faults.
+
+The resilience layer (:mod:`repro.fleet.resilience`) exists so a fleet
+keeps its SLO promises *through* operational faults — a device dying
+mid-stream, a latency spike window, a calibration that flaps between
+broken and healthy.  This bench drives the scripted fleet chaos
+scenarios (:mod:`repro.experiments.chaos`) twice each on the identical
+stream, fleet, and virtual clock:
+
+* **baseline** — the pre-resilience scheduler: permanent ineligibility
+  after repeated failures, no migration, no degraded recompile;
+* **resilient** — circuit breakers with half-open recovery probes,
+  failure-triggered migration, and the SLO-aware degrade ladder.
+
+and reports the attainment margin, failed-job delta, and breaker /
+migration activity per scenario.  It also checks the crash-safety
+claim: a journalled run interrupted mid-stream and resumed must produce
+byte-identical placements to an uninterrupted run.
+
+Run it through pytest-benchmark with the suite, or standalone::
+
+    PYTHONPATH=src python benchmarks/bench_fleet_resilience.py --quick
+
+The standalone quick mode is the CI smoke step: it asserts the
+device-death scenario's resilient attainment beats the breaker-less
+baseline, that resilience never serves fewer jobs, and that
+journal-resume equality holds exactly.
+"""
+
+import os
+import sys
+import tempfile
+
+from repro.experiments.chaos import (
+    ScriptedFleetExecutor,
+    chaos_fleet,
+    chaos_stream,
+    default_fleet_scenarios,
+    render_fleet_chaos,
+    run_fleet_chaos,
+    run_fleet_chaos_suite,
+)
+from repro.experiments.figures.common import FigureResult
+
+JOBS = 90
+QUICK_JOBS = 60
+SEED = 5
+#: Interrupt the journalled run after this many executor calls; the
+#: resumed continuation must reproduce the uninterrupted run exactly.
+CRASH_AFTER_CALLS = 25
+
+
+def run_bench(jobs=JOBS):
+    comparisons = run_fleet_chaos_suite(jobs=jobs, seed=SEED)
+
+    rows = []
+    raw = {}
+    headline = {"jobs": float(jobs)}
+    for comp in comparisons:
+        base, res = comp.baseline.summary(), comp.resilient.summary()
+        name = comp.scenario.name
+        raw[name] = {"baseline": base, "resilient": res}
+        prefix = name.replace("-", "_")
+        headline[f"{prefix}_margin"] = comp.margin
+        headline[f"{prefix}_baseline_attainment"] = base["attainment_rate"]
+        headline[f"{prefix}_resilient_attainment"] = res["attainment_rate"]
+        headline[f"{prefix}_baseline_failed"] = float(base["failed"])
+        headline[f"{prefix}_resilient_failed"] = float(res["failed"])
+        headline[f"{prefix}_migrations"] = float(res["migrations"])
+        rows.append([name, base, res, comp.margin])
+
+    headline["resume_equal"] = float(_resume_equality(jobs))
+    return FigureResult(
+        figure="fleet_resilience",
+        description=(
+            f"attainment under {len(comparisons)} fleet fault scenarios, "
+            f"{jobs}-job stream, resilience layer vs breaker-less baseline"
+        ),
+        table=render_fleet_chaos(comparisons),
+        headline=headline,
+        raw=raw,
+    )
+
+
+def _resume_equality(jobs):
+    """Interrupt a journalled device-death run mid-stream, resume it,
+    and compare against an uninterrupted run of the same stream."""
+    scenario = default_fleet_scenarios(jobs)[0]
+    stream = chaos_stream(jobs, SEED)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        journal = os.path.join(tmp, "crash.jsonl")
+        full = run_fleet_chaos(
+            scenario, fleet=chaos_fleet(), stream=stream,
+            journal=os.path.join(tmp, "full.jsonl"),
+        )
+
+        fleet = chaos_fleet()
+        scripted = ScriptedFleetExecutor(fleet, stream, scenario)
+        calls = {"n": 0}
+
+        def interrupted(job):
+            calls["n"] += 1
+            if calls["n"] > CRASH_AFTER_CALLS:
+                raise KeyboardInterrupt
+            return scripted(job)
+
+        try:
+            run_fleet_chaos(
+                scenario, fleet=fleet, stream=stream,
+                journal=journal, execute_fn=interrupted,
+            )
+            raise AssertionError("interrupting executor never fired")
+        except KeyboardInterrupt:
+            pass
+
+        resumed = run_fleet_chaos(
+            scenario, fleet=chaos_fleet(), stream=stream,
+            journal=journal, resume=True,
+        )
+
+    assert resumed.resumed > 0, "resume replayed nothing"
+    full_seq = [(r.job_id, r.device_label) for r in full.records]
+    resumed_seq = [(r.job_id, r.device_label) for r in resumed.records]
+    assert full_seq == resumed_seq, (
+        "journal resume diverged from the uninterrupted run: "
+        f"{len(full_seq)} vs {len(resumed_seq)} placements"
+    )
+    full_counts = {d.label: d.placed for d in full.devices}
+    resumed_counts = {d.label: d.placed for d in resumed.devices}
+    assert full_counts == resumed_counts, (
+        f"per-device placement counts diverged: {full_counts} "
+        f"vs {resumed_counts}"
+    )
+    assert full.makespan_ms == resumed.makespan_ms, (
+        f"makespan diverged: {full.makespan_ms} vs {resumed.makespan_ms}"
+    )
+    return full_seq == resumed_seq
+
+
+def _check(result):
+    h = result.headline
+    # The headline claim: when a device dies mid-stream, breakers plus
+    # migration must beat permanent ineligibility on SLO attainment.
+    assert h["device_death_margin"] > 0, (
+        "device-death: resilience did not improve attainment "
+        f"({h['device_death_baseline_attainment']:.3f} -> "
+        f"{h['device_death_resilient_attainment']:.3f})"
+    )
+    assert h["device_death_migrations"] > 0, (
+        "device-death: no migrations recorded — the recovery path "
+        "never fired"
+    )
+    for prefix in ("device_death", "latency_spike", "flapping_calibration"):
+        assert (
+            h[f"{prefix}_resilient_failed"] <= h[f"{prefix}_baseline_failed"]
+        ), f"{prefix}: resilience increased failed jobs"
+        assert h[f"{prefix}_margin"] >= -0.005, (
+            f"{prefix}: resilience regressed attainment by "
+            f"{-100 * h[f'{prefix}_margin']:.1f}pp"
+        )
+    assert h["resume_equal"] == 1.0, "journal resume equality failed"
+
+
+def test_fleet_resilience(benchmark, record_figure):
+    result = benchmark.pedantic(run_bench, rounds=1, iterations=1)
+    record_figure(result)
+    _check(result)
+
+
+def main(argv):
+    quick = "--quick" in argv
+    result = run_bench(jobs=QUICK_JOBS if quick else JOBS)
+    print(result.render())
+    _check(result)
+    print(
+        "OK: resilience layer beats the breaker-less baseline under "
+        "device death and journal resume is exact"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -284,6 +284,38 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fleet.add_argument("--seed", type=int, default=0)
     fleet.add_argument(
+        "--journal",
+        default=None,
+        metavar="PATH",
+        help="crash-safe scheduler journal (append-only JSONL, fsynced); "
+        "requires a single --policy",
+    )
+    fleet.add_argument(
+        "--resume",
+        action="store_true",
+        help="replay settled jobs from --journal and serve only the "
+        "remainder (exact continuation of an interrupted run)",
+    )
+    fleet.add_argument(
+        "--no-resilience",
+        action="store_true",
+        help="disable the recovery layer: permanent ineligibility after "
+        "repeated failures, no migration, no degraded recompile",
+    )
+    fleet.add_argument(
+        "--breaker-cooldown-ms",
+        type=float,
+        default=2000.0,
+        help="virtual-clock cooldown before a tripped device half-opens "
+        "for a recovery probe",
+    )
+    fleet.add_argument(
+        "--max-migrations",
+        type=int,
+        default=2,
+        help="re-placements allowed after a terminal device failure",
+    )
+    fleet.add_argument(
         "-o", "--out", default=None,
         help="write JSONL placement/rejection records here",
     )
@@ -316,6 +348,19 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--nodes", type=int, default=8)
     chaos.add_argument("--edge-prob", type=float, default=0.5)
     chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument(
+        "--fleet",
+        action="store_true",
+        help="run the scripted *fleet* chaos suite instead (device death, "
+        "latency spikes, flapping calibration) comparing the resilience "
+        "layer against a breaker-less baseline",
+    )
+    chaos.add_argument(
+        "--jobs",
+        type=int,
+        default=90,
+        help="stream length for --fleet scenarios",
+    )
     chaos.add_argument(
         "--json",
         action="store_true",
@@ -854,6 +899,27 @@ def _cmd_fleet(args, out) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.journal and len(policies) > 1:
+        # One journal records one run; a policy comparison would
+        # overwrite it three times and resume against the wrong stream.
+        print(
+            "error: --journal needs a single --policy (not 'all')",
+            file=sys.stderr,
+        )
+        return 2
+    if args.resume and not args.journal:
+        print("error: --resume requires --journal", file=sys.stderr)
+        return 2
+
+    if args.no_resilience:
+        recovery = dict(
+            breaker_cooldown_ms=None, max_migrations=0, degrade_ladder=()
+        )
+    else:
+        recovery = dict(
+            breaker_cooldown_ms=args.breaker_cooldown_ms,
+            max_migrations=args.max_migrations,
+        )
 
     reports = []
     for policy in policies:
@@ -876,8 +942,14 @@ def _cmd_fleet(args, out) -> int:
             interarrival_ms=args.interarrival_ms,
             cache=cache,
             seed=args.seed,
+            journal=args.journal,
+            **recovery,
         )
-        reports.append(scheduler.run(jobs))
+        try:
+            reports.append(scheduler.run(jobs, resume=args.resume))
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
 
     if args.json:
         print(
@@ -944,6 +1016,8 @@ def _cmd_fleet(args, out) -> int:
 def _cmd_chaos(args, out) -> int:
     from .experiments.chaos import default_scenarios, run_chaos
 
+    if args.fleet:
+        return _cmd_chaos_fleet(args, out)
     scenarios = default_scenarios()
     if args.scenarios:
         wanted = [name.strip() for name in args.scenarios.split(",") if name.strip()]
@@ -994,6 +1068,62 @@ def _cmd_chaos(args, out) -> int:
         print(report.render(), file=out)
     bad = report.contract_violations()
     return 0 if not bad else 1
+
+
+def _cmd_chaos_fleet(args, out) -> int:
+    from .experiments.chaos import (
+        default_fleet_scenarios,
+        render_fleet_chaos,
+        run_fleet_chaos_suite,
+    )
+
+    scenarios = default_fleet_scenarios(args.jobs)
+    if args.scenarios:
+        wanted = [
+            name.strip() for name in args.scenarios.split(",") if name.strip()
+        ]
+        known = {s.name: s for s in scenarios}
+        unknown = [name for name in wanted if name not in known]
+        if unknown:
+            print(
+                f"error: unknown fleet scenario(s) {', '.join(unknown)}; "
+                f"known: {', '.join(known)}",
+                file=sys.stderr,
+            )
+            return 2
+        scenarios = [known[name] for name in wanted]
+    comparisons = run_fleet_chaos_suite(
+        scenarios, jobs=args.jobs, seed=args.seed
+    )
+    if args.json:
+        document = {
+            comp.scenario.name: {
+                "description": comp.scenario.description,
+                "baseline": comp.baseline.summary(),
+                "resilient": comp.resilient.summary(),
+                "margin": comp.margin,
+            }
+            for comp in comparisons
+        }
+        print(json.dumps(document, indent=2), file=out)
+    else:
+        print(render_fleet_chaos(comparisons), file=out)
+    # The resilience layer must never make a faulted fleet *worse* off
+    # in served jobs; a regression here fails the run.
+    worse = [
+        comp.scenario.name
+        for comp in comparisons
+        if comp.resilient.summary()["failed"]
+        > comp.baseline.summary()["failed"]
+    ]
+    if worse:
+        print(
+            "resilience regression (more failed jobs than baseline): "
+            + ", ".join(worse),
+            file=sys.stderr,
+        )
+        return 1
+    return 0
 
 
 def _cmd_cache(args, out) -> int:

@@ -17,6 +17,13 @@ caching, retries, and telemetry apply unchanged; fleet-level outcomes —
 SLO attainment, per-device utilization, p95 observed-vs-promised
 latency, rejection counts — land in a :class:`~repro.fleet.report.
 FleetReport` (also behind ``repro fleet`` on the CLI).
+
+The resilience layer (:mod:`~repro.fleet.resilience`) closes the
+recovery loop: per-device circuit breakers (closed → open → half-open
+with a virtual-clock cooldown and a recovery probe), failure-triggered
+job migration with the attempt trail stamped into placements, an
+SLO-aware degraded-recompile ladder, and a crash-safe append-only
+scheduler journal behind ``repro fleet --journal`` / ``--resume``.
 """
 
 from .estimate import estimate_native_cnots, estimate_success_probability
@@ -26,7 +33,7 @@ from .jobs import (
     fleet_jobs_from_jsonl,
     synthetic_stream,
 )
-from .latency import EwmaLatencyModel, EwmaQualityModel
+from .latency import METHOD_COST_FACTORS, EwmaLatencyModel, EwmaQualityModel
 from .policy import (
     POLICIES,
     BestFidelity,
@@ -42,6 +49,17 @@ from .report import (
     FleetReport,
     PlacementRecord,
     Rejection,
+)
+from .resilience import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    DEFAULT_DEGRADE_LADDER,
+    BreakerTransition,
+    CircuitBreaker,
+    SchedulerJournal,
+    downgrade_job,
+    stream_fingerprint,
 )
 from .scheduler import Scheduler, run_fleet
 from .slo import SLO, SLO_TIERS, slo_from_dict
@@ -70,6 +88,7 @@ __all__ = [
     "synthetic_stream",
     "EwmaLatencyModel",
     "EwmaQualityModel",
+    "METHOD_COST_FACTORS",
     "estimate_native_cnots",
     "estimate_success_probability",
     "Candidate",
@@ -86,4 +105,13 @@ __all__ = [
     "FleetReport",
     "Scheduler",
     "run_fleet",
+    "BREAKER_CLOSED",
+    "BREAKER_OPEN",
+    "BREAKER_HALF_OPEN",
+    "BreakerTransition",
+    "CircuitBreaker",
+    "DEFAULT_DEGRADE_LADDER",
+    "SchedulerJournal",
+    "downgrade_job",
+    "stream_fingerprint",
 ]

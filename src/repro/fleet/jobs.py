@@ -60,6 +60,11 @@ class FleetJob:
         return self.job.job_id
 
     @property
+    def method(self) -> Optional[str]:
+        """Compile method preset (EvalJob proxies its compile job's)."""
+        return getattr(self.job, "method", None)
+
+    @property
     def program(self):
         return self.job.program
 

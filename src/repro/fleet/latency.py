@@ -19,16 +19,40 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
-__all__ = ["EwmaLatencyModel", "EwmaQualityModel"]
+__all__ = ["EwmaLatencyModel", "EwmaQualityModel", "METHOD_COST_FACTORS"]
 
 #: Cold-start execution priors (ms) per job kind: roughly one paper-size
 #: compile and one fast-path evaluation on commodity hardware.  They only
 #: matter until the first observation lands.
 _DEFAULT_PRIORS_MS = {"compile": 50.0, "eval": 250.0}
 
+#: Cold-start *relative* cost of the paper's method presets against the
+#: kind prior, from the bench_service_throughput / pass-trace numbers:
+#: random ordering is nearly free, IP adds routing over a random order,
+#: IC interleaves, QAIM adds placement, VIC pays the variation-aware
+#: distance resolution.  These scale the prior until a per-method stream
+#: has real observations, which is what makes an SLO-aware *degraded
+#: recompile* (retry admission with a cheaper method) predict cheaper
+#: before the method has ever run on that device.
+METHOD_COST_FACTORS = {
+    "random": 0.5,
+    "ip": 0.7,
+    "ic": 1.0,
+    "qaim": 1.1,
+    "vic": 1.4,
+}
+
 
 class EwmaLatencyModel:
-    """Per-kind EWMA of observed execution milliseconds.
+    """Per-kind (and optionally per-method) EWMA of execution ms.
+
+    Predictions resolve most-specific-first: a ``"{kind}:{method}"``
+    stream once that method has run on the device, then the plain kind
+    stream, then the cold-start prior (scaled by
+    :data:`METHOD_COST_FACTORS` when a method is named).  Observations
+    feed both the kind stream and — when the method is known — the
+    method stream, so kind-level predictions stay exactly as before for
+    callers that never pass a method.
 
     Args:
         alpha: Smoothing factor in (0, 1]; higher = faster tracking.
@@ -47,25 +71,38 @@ class EwmaLatencyModel:
         self._mean: Dict[str, float] = {}
         self._count: Dict[str, int] = {}
 
-    def predict_ms(self, kind: str) -> float:
+    def predict_ms(self, kind: str, method: Optional[str] = None) -> float:
         """Predicted execution time; the prior until data arrives."""
+        if method is not None:
+            value = self._mean.get(f"{kind}:{method}")
+            if value is not None:
+                return value
         value = self._mean.get(kind)
         if value is not None:
             return value
-        return self.priors_ms.get(kind, 100.0)
+        prior = self.priors_ms.get(kind, 100.0)
+        if method is not None:
+            prior *= METHOD_COST_FACTORS.get(method, 1.0)
+        return prior
 
-    def observe(self, kind: str, value_ms: float) -> None:
+    def observe(
+        self, kind: str, value_ms: float, method: Optional[str] = None
+    ) -> None:
         value_ms = float(value_ms)
         if value_ms < 0:
             raise ValueError("latency observation must be >= 0")
-        current = self._mean.get(kind)
-        if current is None:
-            self._mean[kind] = value_ms  # first sample replaces the prior
-        else:
-            self._mean[kind] = (
-                self.alpha * value_ms + (1.0 - self.alpha) * current
-            )
-        self._count[kind] = self._count.get(kind, 0) + 1
+        streams = [kind]
+        if method is not None:
+            streams.append(f"{kind}:{method}")
+        for stream in streams:
+            current = self._mean.get(stream)
+            if current is None:
+                self._mean[stream] = value_ms  # first sample beats the prior
+            else:
+                self._mean[stream] = (
+                    self.alpha * value_ms + (1.0 - self.alpha) * current
+                )
+            self._count[stream] = self._count.get(stream, 0) + 1
 
     def observations(self, kind: str) -> int:
         return self._count.get(kind, 0)

@@ -51,6 +51,12 @@ class Candidate:
             (``None`` on uncalibrated slots).
         predicted_arg: Online EWMA of observed ARG on this device
             (``None`` until the device has evaluated something).
+        probe: The device's circuit breaker is half-open: placing here
+            is the recovery probe that decides whether it re-earns
+            traffic.  The scheduler routes best-effort jobs to probe
+            candidates preferentially and keeps SLO-constrained jobs on
+            proven devices whenever one exists, so policies themselves
+            never need to look at this flag.
     """
 
     label: str
@@ -62,6 +68,7 @@ class Candidate:
     predicted_latency_ms: float
     predicted_success: Optional[float]
     predicted_arg: Optional[float]
+    probe: bool = False
 
 
 class Policy(Protocol):

@@ -63,10 +63,31 @@ class Rejection:
             "arrival_ms": round(self.arrival_ms, 3),
         }
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "Rejection":
+        """Rebuild from :meth:`to_dict` output (journal replay)."""
+        names = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in names})
+
 
 @dataclasses.dataclass
 class PlacementRecord:
-    """One placed job's full audit trail."""
+    """One placed job's full audit trail.
+
+    Resilience fields (all defaulted, so pre-resilience constructors
+    keep working):
+
+    * ``method`` — the compile method that actually ran (differs from
+      the submitted one after a degraded recompile).
+    * ``migrations`` / ``original_device`` / ``attempts`` — how many
+      times the job was re-placed after a terminal device failure, where
+      it started, and one entry per attempt (device, virtual exec time,
+      outcome) — enough to replay the run's accounting from a journal.
+    * ``downgrades`` — structured degraded-recompile warnings (empty
+      when the job ran as submitted).
+    * ``probe`` — the final placement was a half-open circuit-breaker
+      recovery probe.
+    """
 
     job_id: Optional[str]
     kind: str
@@ -86,6 +107,12 @@ class PlacementRecord:
     arg: Optional[float] = None
     error: Optional[str] = None
     error_kind: Optional[str] = None
+    method: Optional[str] = None
+    migrations: int = 0
+    original_device: Optional[str] = None
+    attempts: List[dict] = dataclasses.field(default_factory=list)
+    downgrades: List[str] = dataclasses.field(default_factory=list)
+    probe: bool = False
 
     def to_dict(self) -> dict:
         out = dataclasses.asdict(self)
@@ -93,6 +120,16 @@ class PlacementRecord:
                     "promised_ms"):
             out[key] = round(out[key], 3)
         return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PlacementRecord":
+        """Rebuild from :meth:`to_dict` output (journal replay).
+
+        Unknown keys are dropped so a journal written by a slightly
+        newer minor version still replays.
+        """
+        names = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in names})
 
 
 @dataclasses.dataclass
@@ -114,6 +151,7 @@ class DeviceSnapshot:
     ineligible_reason: Optional[str]
     latency_model: dict
     quality_model: dict
+    breaker: dict = dataclasses.field(default_factory=dict)
 
     def to_dict(self) -> dict:
         out = dataclasses.asdict(self)
@@ -132,6 +170,11 @@ class FleetReport:
     devices: List[DeviceSnapshot]
     elapsed_s: float
     makespan_ms: float
+    #: Jobs whose outcome was replayed from a scheduler journal rather
+    #: than served in this process (``Scheduler.run(..., resume=True)``).
+    resumed: int = 0
+    #: Corrupt cache entries quarantined by the per-device engines.
+    cache_quarantined: int = 0
 
     # ------------------------------------------------------------------
     # headline metrics
@@ -185,6 +228,22 @@ class FleetReport:
     def utilization(self) -> Dict[str, float]:
         return {d.label: d.utilization for d in self.devices}
 
+    def migrations(self) -> int:
+        """Total failure-triggered re-placements across the run."""
+        return sum(r.migrations for r in self.records)
+
+    def downgrades(self) -> int:
+        """Jobs served via an SLO-aware degraded recompile."""
+        return sum(1 for r in self.records if r.downgrades)
+
+    def breaker_counts(self) -> Dict[str, int]:
+        """Fleet-wide circuit-breaker trips/recoveries/probes."""
+        totals = {"trips": 0, "recoveries": 0, "probes": 0}
+        for device in self.devices:
+            for key in totals:
+                totals[key] += int((device.breaker or {}).get(key, 0))
+        return totals
+
     def summary(self) -> dict:
         return {
             "policy": self.policy,
@@ -199,6 +258,11 @@ class FleetReport:
             "rejected": len(self.rejections),
             "rejections": self.rejection_counts(),
             "misses": self.miss_counts(),
+            "migrations": self.migrations(),
+            "downgrades": self.downgrades(),
+            "breaker": self.breaker_counts(),
+            "resumed": self.resumed,
+            "cache_quarantined": self.cache_quarantined,
             "p95_observed_ms": self.p95_observed_ms(),
             "p95_promised_ms": self.p95_promised_ms(),
             "makespan_ms": self.makespan_ms,
@@ -219,6 +283,7 @@ class FleetReport:
         from ..experiments.reporting import format_table
 
         s = self.summary()
+        breaker = s["breaker"]
         headline = [
             ["policy", s["policy"]],
             ["jobs", s["jobs"]],
@@ -230,11 +295,22 @@ class FleetReport:
                 f"{s['attained']}/{s['constrained']} "
                 f"({100 * s['attainment_rate']:.1f}%)",
             ],
+            ["migrations", s["migrations"]],
+            ["degraded recompiles", s["downgrades"]],
+            [
+                "breaker",
+                f"{breaker['trips']} trips, "
+                f"{breaker['recoveries']} recoveries",
+            ],
             ["p95 observed", f"{s['p95_observed_ms']:.1f} ms"],
             ["p95 promised", f"{s['p95_promised_ms']:.1f} ms"],
             ["makespan", f"{s['makespan_ms']:.1f} ms"],
             ["wall elapsed", f"{s['elapsed_s']:.3f} s"],
         ]
+        if s["resumed"]:
+            headline.insert(2, ["resumed from journal", s["resumed"]])
+        if s["cache_quarantined"]:
+            headline.append(["cache quarantined", s["cache_quarantined"]])
         blocks = [format_table(["fleet", "value"], headline)]
 
         rows = [

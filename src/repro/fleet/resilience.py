@@ -1,0 +1,408 @@
+"""Fleet fault recovery: circuit breakers, degraded recompile, the journal.
+
+PR 6's scheduler handled a failing device with *permanent* ineligibility:
+after ``max_consecutive_failures`` the slot left the candidate set "for
+the rest of the stream", its jobs were recorded as failures, and nothing
+could ever send it traffic again — so the documented "recovery on
+success" was unreachable.  This module supplies the recovery layer the
+scheduler threads through placement:
+
+* :class:`CircuitBreaker` — the classic closed → open → half-open state
+  machine on the fleet's *virtual* clock.  ``failure_threshold``
+  consecutive failures open the breaker; after ``cooldown_ms`` of
+  virtual time it half-opens and admits one probe job; a probe success
+  closes it (the device re-earns traffic), a probe failure re-opens it
+  for a fresh cooldown.  ``cooldown_ms=None`` reproduces the legacy
+  open-forever semantics and is what the resilience-off baseline uses.
+* :func:`downgrade_job` — the SLO-aware degraded-recompile ladder: when
+  *no* device is predicted to satisfy a job's SLO, the scheduler retries
+  admission with a cheaper method preset or a relaxed packing limit
+  before rejecting, recording the downgrade as a structured warning
+  (the same ``warnings`` plumbing calibration repairs use).
+* :class:`SchedulerJournal` — an append-only JSONL log of admissions,
+  placements, completions, migrations, and breaker transitions.  Every
+  record is one line, flushed and fsynced before the scheduler moves on,
+  so a ``SIGKILL``'d run leaves at worst one torn trailing line — which
+  :meth:`SchedulerJournal.read` tolerates — and
+  ``Scheduler.run(jobs, resume=True)`` replays the settled prefix to a
+  consistent state (device clocks, EWMA models, breaker states) and
+  continues with the unserved remainder.  The :class:`~repro.service.
+  cache.ResultCache` disk tier gets atomicity from a temp-file rename;
+  a journal is append-only, so its crash-safety idiom is the dual:
+  fsynced whole-line appends plus torn-tail-tolerant replay.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pathlib
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from .jobs import FleetJob
+
+__all__ = [
+    "BREAKER_CLOSED",
+    "BREAKER_OPEN",
+    "BREAKER_HALF_OPEN",
+    "BreakerTransition",
+    "CircuitBreaker",
+    "DEFAULT_DEGRADE_LADDER",
+    "downgrade_job",
+    "JOURNAL_VERSION",
+    "SchedulerJournal",
+    "stream_fingerprint",
+]
+
+BREAKER_CLOSED = "closed"
+BREAKER_OPEN = "open"
+BREAKER_HALF_OPEN = "half-open"
+
+#: Journal format version; bumped when record shapes change so a resume
+#: against an incompatible journal fails loudly instead of replaying junk.
+JOURNAL_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# circuit breaker
+# ----------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class BreakerTransition:
+    """One breaker state change (journaled and kept for the audit trail)."""
+
+    device: str
+    from_state: str
+    to_state: str
+    at_ms: float
+    reason: str
+
+    def to_dict(self) -> dict:
+        return {
+            "device": self.device,
+            "from": self.from_state,
+            "to": self.to_state,
+            "at_ms": round(self.at_ms, 3),
+            "reason": self.reason,
+        }
+
+
+class CircuitBreaker:
+    """Closed → open → half-open failure gate for one fleet device.
+
+    All timing is the scheduler's deterministic virtual clock, so breaker
+    behaviour replays exactly from a journal.  State promotion from open
+    to half-open is lazy: the first ``allows``/``record_*`` call at or
+    after ``open_until_ms`` performs the transition.
+
+    Args:
+        device: Slot label (stamped into transitions).
+        failure_threshold: Consecutive failures that open the breaker.
+        cooldown_ms: Virtual milliseconds an open breaker waits before
+            half-opening for a probe; ``None`` never half-opens (the
+            legacy permanent-ineligibility semantics).
+        on_transition: Optional hook called with each
+            :class:`BreakerTransition` (the scheduler journals them).
+    """
+
+    def __init__(
+        self,
+        device: str = "",
+        failure_threshold: int = 3,
+        cooldown_ms: Optional[float] = 2000.0,
+        on_transition: Optional[Callable[[BreakerTransition], None]] = None,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if cooldown_ms is not None and cooldown_ms <= 0:
+            raise ValueError("cooldown_ms must be positive or None")
+        self.device = device
+        self.failure_threshold = failure_threshold
+        self.cooldown_ms = cooldown_ms
+        self.on_transition = on_transition
+        self.state = BREAKER_CLOSED
+        self.consecutive_failures = 0
+        self.open_until_ms: Optional[float] = None
+        self.last_reason: Optional[str] = None
+        self.trips = 0
+        self.recoveries = 0
+        self.probes = 0
+        self.transitions: List[BreakerTransition] = []
+
+    # ------------------------------------------------------------------
+    def poll(self, now_ms: float) -> str:
+        """Current state at ``now_ms`` (promotes open → half-open)."""
+        if (
+            self.state == BREAKER_OPEN
+            and self.open_until_ms is not None
+            and now_ms >= self.open_until_ms
+        ):
+            self._transition(
+                BREAKER_HALF_OPEN, now_ms,
+                f"cooldown elapsed after {self.cooldown_ms:.0f}ms",
+            )
+        return self.state
+
+    def allows(self, now_ms: float) -> bool:
+        """Whether a job may be placed on this device right now."""
+        return self.poll(now_ms) != BREAKER_OPEN
+
+    def record_success(self, now_ms: float) -> None:
+        self.consecutive_failures = 0
+        if self.poll(now_ms) == BREAKER_HALF_OPEN:
+            self.recoveries += 1
+            self._transition(
+                BREAKER_CLOSED, now_ms, "half-open probe succeeded"
+            )
+
+    def record_failure(self, now_ms: float, reason: str) -> None:
+        state = self.poll(now_ms)
+        if state == BREAKER_HALF_OPEN:
+            self.consecutive_failures += 1
+            self.last_reason = f"half-open probe failed ({reason})"
+            self._open(now_ms, self.last_reason)
+            return
+        self.consecutive_failures += 1
+        if state == BREAKER_CLOSED and (
+            self.consecutive_failures >= self.failure_threshold
+        ):
+            self.last_reason = (
+                f"{self.consecutive_failures} consecutive failures "
+                f"(last: {reason})"
+            )
+            self._open(now_ms, self.last_reason)
+
+    # ------------------------------------------------------------------
+    def _open(self, now_ms: float, reason: str) -> None:
+        self.trips += 1
+        self.open_until_ms = (
+            None if self.cooldown_ms is None else now_ms + self.cooldown_ms
+        )
+        self._transition(BREAKER_OPEN, now_ms, reason)
+
+    def _transition(self, to_state: str, now_ms: float, reason: str) -> None:
+        transition = BreakerTransition(
+            device=self.device,
+            from_state=self.state,
+            to_state=to_state,
+            at_ms=now_ms,
+            reason=reason,
+        )
+        self.state = to_state
+        if to_state == BREAKER_HALF_OPEN:
+            self.probes += 1
+        self.transitions.append(transition)
+        if self.on_transition is not None:
+            self.on_transition(transition)
+
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        """Human-readable account of a non-closed breaker."""
+        if self.state == BREAKER_OPEN:
+            return f"breaker open ({self.last_reason})"
+        if self.state == BREAKER_HALF_OPEN:
+            return "breaker half-open (awaiting probe)"
+        return "breaker closed"
+
+    def snapshot(self) -> dict:
+        return {
+            "state": self.state,
+            "consecutive_failures": self.consecutive_failures,
+            "trips": self.trips,
+            "recoveries": self.recoveries,
+            "probes": self.probes,
+            "open_until_ms": self.open_until_ms,
+            "last_reason": self.last_reason,
+        }
+
+
+# ----------------------------------------------------------------------
+# SLO-aware degraded recompile
+# ----------------------------------------------------------------------
+#: The default downgrade ladder, tried in order when a job's SLO is
+#: predicted unsatisfiable on every device: first a cheaper method
+#: preset (IP's random ordering + routing is the cheapest paper flow —
+#: see METHOD_COST_FACTORS in :mod:`repro.fleet.latency`), then the
+#: same preset with the packing limit relaxed (unbounded layer packing
+#: minimises depth, recovering some of the quality the cheaper method
+#: gives up).
+DEFAULT_DEGRADE_LADDER: Tuple[dict, ...] = (
+    {"method": "ip"},
+    {"method": "ip", "packing_limit": None},
+)
+
+_UNSET = object()
+
+
+def downgrade_job(
+    fleet_job: FleetJob, rung: dict
+) -> Optional[Tuple[FleetJob, str]]:
+    """Apply one degrade-ladder rung to a fleet job.
+
+    Returns ``(downgraded_job, note)`` where ``note`` is the structured
+    warning the scheduler stamps into the result (e.g. ``"slo degraded
+    recompile: method vic->ip"``), or ``None`` when the rung would not
+    change the job (already at that method/packing) so re-admission
+    would be pointless.
+    """
+    unknown = set(rung) - {"method", "packing_limit"}
+    if unknown:
+        raise ValueError(
+            f"unknown degrade knob(s) {sorted(unknown)}; "
+            "known: method, packing_limit"
+        )
+    compile_job = (
+        fleet_job.job.compile_job
+        if hasattr(fleet_job.job, "compile_job")
+        else fleet_job.job
+    )
+    changes = {}
+    notes = []
+    method = rung.get("method")
+    if method is not None and method != compile_job.method:
+        changes["method"] = method
+        notes.append(f"method {compile_job.method}->{method}")
+    packing = rung.get("packing_limit", _UNSET)
+    if packing is not _UNSET and packing != compile_job.packing_limit:
+        changes["packing_limit"] = packing
+        notes.append(
+            f"packing_limit {compile_job.packing_limit}->{packing}"
+        )
+    if not changes:
+        return None
+    new_compile = dataclasses.replace(compile_job, **changes)
+    if hasattr(fleet_job.job, "compile_job"):
+        new_job = dataclasses.replace(
+            fleet_job.job, compile_job=new_compile
+        )
+    else:
+        new_job = new_compile
+    note = "slo degraded recompile: " + ", ".join(notes)
+    return dataclasses.replace(fleet_job, job=new_job), note
+
+
+# ----------------------------------------------------------------------
+# crash-safe scheduler journal
+# ----------------------------------------------------------------------
+def stream_fingerprint(jobs: Sequence[FleetJob]) -> str:
+    """Cheap identity of a job stream (ids + kinds, order-sensitive).
+
+    A resumed run must serve the *same* stream the journal was written
+    against; this fingerprint catches the common mistakes (different
+    ``--synthetic`` count or seed, edited job file) without paying for
+    full content hashes on every start.
+    """
+    text = json.dumps(
+        [[j.job_id, j.kind] for j in jobs], separators=(",", ":")
+    )
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
+
+
+class SchedulerJournal:
+    """Append-only JSONL journal with fsynced whole-line appends.
+
+    Record kinds written by the scheduler:
+
+    * ``meta`` — run configuration (policy, interarrival, fleet labels,
+      stream fingerprint); always the first line of a fresh journal.
+    * ``admit`` — a job reached admission control.
+    * ``place`` — a job (or a migration attempt) started executing on a
+      device; a ``place`` with no matching ``complete`` marks the job
+      that was in flight when the process died.
+    * ``migrate`` — a failed job re-entered admission and was re-placed.
+    * ``breaker`` — a circuit-breaker transition.
+    * ``complete`` — the job's final :class:`~repro.fleet.report.
+      PlacementRecord` (the replay unit: it carries every attempt's
+      device, virtual execution time and outcome).
+    * ``reject`` — the job's structured :class:`~repro.fleet.report.
+      Rejection`.
+
+    Appends are flushed and fsynced before returning, so after a crash
+    at most the final line is torn; :meth:`read` drops a torn tail and
+    raises on corruption anywhere else.
+    """
+
+    def __init__(self, path: Union[str, pathlib.Path]) -> None:
+        self.path = pathlib.Path(path)
+        self._fh = None
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Truncate the journal (a fresh, non-resumed run)."""
+        self.close()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = open(self.path, "w")
+
+    def append(self, record: dict) -> None:
+        if self._fh is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = open(self.path, "a")
+        self._fh.write(json.dumps(record, separators=(",", ":")) + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "SchedulerJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def read(self) -> List[dict]:
+        """All journal records, tolerating one torn trailing line.
+
+        A line that fails to decode anywhere *except* the tail means the
+        file was corrupted (not merely crash-truncated) and raises
+        ``ValueError`` naming the line.
+        """
+        if not self.path.exists():
+            return []
+        records: List[dict] = []
+        lines = self.path.read_text().split("\n")
+        # A well-formed journal ends with "\n", so the final split piece
+        # is empty; anything non-empty there is a torn tail candidate.
+        for lineno, line in enumerate(lines, start=1):
+            if not line.strip():
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError:
+                if lineno == len(lines) or all(
+                    not rest.strip() for rest in lines[lineno:]
+                ):
+                    break  # torn tail from a mid-append crash: ignore
+                raise ValueError(
+                    f"corrupt journal {self.path}: undecodable line "
+                    f"{lineno} is not the tail"
+                ) from None
+        return records
+
+    @staticmethod
+    def settled(
+        records: Sequence[dict],
+    ) -> Tuple[Optional[dict], Dict[int, Tuple[str, dict]]]:
+        """Split records into ``(meta, {index: (kind, payload)})``.
+
+        Only ``complete``/``reject`` records settle a job; a trailing
+        ``place`` without its ``complete`` (the in-flight job at crash
+        time) is deliberately absent so resume re-executes it.
+        """
+        meta = None
+        outcomes: Dict[int, Tuple[str, dict]] = {}
+        for record in records:
+            kind = record.get("kind")
+            if kind == "meta":
+                meta = record
+            elif kind == "complete":
+                outcomes[int(record["index"])] = ("record", record["record"])
+            elif kind == "reject":
+                outcomes[int(record["index"])] = (
+                    "rejection", record["rejection"],
+                )
+        return meta, outcomes

@@ -1,36 +1,75 @@
-"""The SLO-aware fleet scheduler: admission control, placement, accounting.
+"""The SLO-aware fleet scheduler: admission, placement, recovery.
 
 One :class:`Scheduler` owns a :class:`~repro.fleet.spec.FleetSpec`, a
 placement :class:`~repro.fleet.policy.Policy`, and per-device runtime
 state — a serial :class:`~repro.service.engine.BatchEngine` (cache,
 retries, and telemetry all apply per slot), an EWMA latency model per
-job kind, an online ARG quality model, and a virtual-clock backlog.
+job kind and method, an online ARG quality model, a virtual-clock
+backlog, and a :class:`~repro.fleet.resilience.CircuitBreaker`.
 
 **The clock.**  Jobs arrive on a deterministic virtual timeline
 (``interarrival_ms`` apart); each device is a serial server whose
-virtual clock advances by the *measured* execution time of every job
-placed on it.  Queue waits, backlogs, promised and observed latencies,
-utilization and makespan are all derived from this timeline, so a run
-is a faithful discrete-event simulation of the fleet serving the stream
-concurrently — while the work itself really executes (real compiles,
-real evaluations, real cache hits) one job at a time in submission
-order, keeping runs reproducible and the accounting honest.
+virtual clock advances by the execution time of every job placed on it
+— the *measured* wall time, unless the result carries a
+``virtual_exec_ms`` metric, in which case that scripted value is used
+instead (what the chaos fleet scenarios and journal-resume tests rely
+on for exact determinism).  Queue waits, backlogs, promised and
+observed latencies, utilization and makespan all derive from this
+timeline, so a run is a faithful discrete-event simulation of the fleet
+serving the stream concurrently — while the work itself really executes
+one job at a time in submission order.
 
 **Admission.**  Every job is admitted or rejected *with a structured
 reason* (:data:`~repro.fleet.report.REJECTION_KINDS`): an empty fleet,
-no eligible device left (devices lose eligibility after repeated
-failures — a fault-injected slot that keeps crashing drops out of the
-candidate set mid-stream), a full fleet-wide queue, every device
-saturated at its backlog limit, or an SLO no device is predicted to
-satisfy — in which case the detail names each device's shortfall.
+no available device (administratively ineligible or circuit-breaker
+open), a full fleet-wide queue, every device saturated at its backlog
+limit, or an SLO no device is predicted to satisfy — in which case the
+detail names each device's shortfall.
+
+**Recovery.**  Three mechanisms close the loop that PR 6 left open
+(a failing device was ineligible *forever*, so "recovers on success"
+was unreachable):
+
+* a per-device **circuit breaker** — after ``max_consecutive_failures``
+  the device opens for ``breaker_cooldown_ms`` of virtual time, then
+  half-opens and admits one probe job (best-effort traffic is routed
+  there preferentially); a probe success closes the breaker and the
+  device re-earns traffic, a probe failure re-opens it;
+* **failure-triggered migration** — a job whose placement fails
+  terminally re-enters admission with the devices it already burned
+  excluded and is re-placed on a survivor, up to ``max_migrations``
+  times, with the full attempt trail in its
+  :class:`~repro.fleet.report.PlacementRecord`;
+* **SLO-aware degraded recompile** — when *no* device is predicted to
+  satisfy the SLO, admission retries with the ``degrade_ladder``'s
+  cheaper method presets / relaxed packing before rejecting, stamping
+  the downgrade as a structured warning.
+
+**The journal.**  With ``journal=`` set, every admission, placement,
+migration, breaker transition, and final record is appended (fsynced,
+one JSON line each) to a :class:`~repro.fleet.resilience.
+SchedulerJournal`; ``run(jobs, resume=True)`` replays the settled
+prefix — device clocks, models, breakers, counts — and continues with
+the unserved remainder, so a ``SIGKILL``'d ``repro fleet`` run picks up
+where it died instead of restarting.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import pathlib
 import time
 from collections import deque
-from typing import Deque, Dict, List, Optional, Sequence, Tuple, Union
+from typing import (
+    Deque,
+    Dict,
+    FrozenSet,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from ..service.cache import ResultCache
 from ..service.engine import BatchEngine
@@ -51,6 +90,16 @@ from .report import (
     FleetReport,
     PlacementRecord,
     Rejection,
+)
+from .resilience import (
+    BREAKER_HALF_OPEN,
+    JOURNAL_VERSION,
+    BreakerTransition,
+    CircuitBreaker,
+    DEFAULT_DEGRADE_LADDER,
+    SchedulerJournal,
+    downgrade_job,
+    stream_fingerprint,
 )
 from .spec import FleetSpec
 
@@ -76,13 +125,13 @@ class _DeviceState:
     engine: BatchEngine
     latency: EwmaLatencyModel
     quality: EwmaQualityModel
+    breaker: CircuitBreaker
     available_at_ms: float = 0.0
     busy_ms: float = 0.0
     placed: int = 0
     ok: int = 0
     failed: int = 0
     cached: int = 0
-    consecutive_failures: int = 0
     eligible: bool = True
     ineligible_reason: Optional[str] = None
     pending: Deque[float] = dataclasses.field(default_factory=deque)
@@ -92,6 +141,12 @@ class _DeviceState:
         while self.pending and self.pending[0] <= now_ms:
             self.pending.popleft()
         return len(self.pending)
+
+    def unavailable_reason(self, now_ms: float) -> str:
+        """Why this device is out of the candidate set right now."""
+        if not self.eligible:
+            return self.ineligible_reason or "marked ineligible"
+        return self.breaker.describe()
 
 
 class Scheduler:
@@ -106,8 +161,20 @@ class Scheduler:
         device_backlog_limit: Per-device pending-job bound; a device at
             the limit is *saturated* and drops out of the candidate set.
         interarrival_ms: Virtual gap between consecutive job arrivals.
-        max_consecutive_failures: Failures in a row before a device
-            loses eligibility for the rest of the stream.
+        max_consecutive_failures: Failures in a row before the device's
+            circuit breaker opens.
+        breaker_cooldown_ms: Virtual cooldown before an open breaker
+            half-opens for a recovery probe; ``None`` keeps the device
+            out for the rest of the stream (the pre-resilience
+            semantics, and what the chaos baseline measures against).
+        max_migrations: How many times a terminally failed placement may
+            re-enter admission and be re-placed on another device (``0``
+            disables migration).
+        degrade_ladder: Downgrade rungs (dicts with ``method`` /
+            ``packing_limit`` keys) tried in order when an SLO is
+            predicted unsatisfiable on every device; ``None`` uses
+            :data:`~repro.fleet.resilience.DEFAULT_DEGRADE_LADDER`, an
+            empty tuple disables degraded recompiles.
         max_eval_qubits: Largest device an *eval* job may be placed on.
             Evaluation materialises probability vectors in the physical
             index space (``2**num_qubits`` doubles), so a 36-qubit slot
@@ -118,6 +185,10 @@ class Scheduler:
         execute_fn: Job executor override (tests inject fakes); defaults
             to the kind-dispatching compile/eval executor.
         seed: Retry-jitter seed for the per-device engines.
+        journal: Path (or :class:`SchedulerJournal`) for the crash-safe
+            run journal; ``None`` disables journaling.
+        sleep: Backoff-sleep hook forwarded to the per-device engines
+            (tests inject a no-op for deterministic retry runs).
     """
 
     def __init__(
@@ -129,11 +200,16 @@ class Scheduler:
         device_backlog_limit: int = 32,
         interarrival_ms: float = 0.0,
         max_consecutive_failures: int = 3,
+        breaker_cooldown_ms: Optional[float] = 2000.0,
+        max_migrations: int = 2,
+        degrade_ladder: Optional[Sequence[dict]] = None,
         max_eval_qubits: int = 24,
         cache: Optional[ResultCache] = None,
         retries: int = 0,
         execute_fn=None,
         seed: int = 0,
+        journal: Union[str, pathlib.Path, SchedulerJournal, None] = None,
+        sleep=None,
     ) -> None:
         if queue_depth < 1:
             raise ValueError("queue_depth must be >= 1")
@@ -143,6 +219,8 @@ class Scheduler:
             raise ValueError("interarrival_ms must be >= 0")
         if max_consecutive_failures < 1:
             raise ValueError("max_consecutive_failures must be >= 1")
+        if max_migrations < 0:
+            raise ValueError("max_migrations must be >= 0")
         self.fleet = fleet
         self.policy: Policy = (
             get_policy(policy) if isinstance(policy, str) else policy
@@ -151,7 +229,17 @@ class Scheduler:
         self.device_backlog_limit = device_backlog_limit
         self.interarrival_ms = float(interarrival_ms)
         self.max_consecutive_failures = max_consecutive_failures
+        self.max_migrations = max_migrations
+        self.degrade_ladder: Tuple[dict, ...] = tuple(
+            DEFAULT_DEGRADE_LADDER if degrade_ladder is None
+            else degrade_ladder
+        )
         self.max_eval_qubits = max_eval_qubits
+        if journal is None or isinstance(journal, SchedulerJournal):
+            self._journal = journal
+        else:
+            self._journal = SchedulerJournal(journal)
+        self._replaying = False
         self._states: Dict[str, _DeviceState] = {}
         for order, slot in enumerate(fleet):
             target = fleet.target(slot.label)
@@ -168,18 +256,26 @@ class Scheduler:
                     telemetry=Telemetry(),
                     seed=seed,
                     execute_fn=execute_fn or _execute_fleet_job,
+                    sleep=sleep,
                 ),
                 latency=EwmaLatencyModel(),
                 quality=EwmaQualityModel(),
+                breaker=CircuitBreaker(
+                    device=slot.label,
+                    failure_threshold=max_consecutive_failures,
+                    cooldown_ms=breaker_cooldown_ms,
+                    on_transition=self._on_breaker_transition,
+                ),
             )
 
     # ------------------------------------------------------------------
     # eligibility
     # ------------------------------------------------------------------
     def mark_ineligible(self, label: str, reason: str) -> None:
-        """Remove a device from the candidate set for the rest of the
-        stream (mid-stream fault handling; also called automatically
-        after ``max_consecutive_failures``)."""
+        """Administratively remove a device from the candidate set for
+        the rest of the stream (maintenance windows, operator action).
+        Transient failures are the circuit breaker's job — they open the
+        breaker and the device re-earns traffic via a half-open probe."""
         state = self._states[label]
         state.eligible = False
         state.ineligible_reason = reason
@@ -188,27 +284,43 @@ class Scheduler:
     # admission control
     # ------------------------------------------------------------------
     def admit(
-        self, job: FleetJob, now_ms: float = 0.0
+        self,
+        job: FleetJob,
+        now_ms: float = 0.0,
+        *,
+        exclude: FrozenSet[str] = frozenset(),
     ) -> Tuple[Optional[Candidate], Optional[Rejection]]:
         """Admission decision for one job at one virtual instant.
 
         Returns ``(candidate, None)`` on admission — the policy's pick —
-        or ``(None, rejection)`` with a structured reason.
+        or ``(None, rejection)`` with a structured reason.  ``exclude``
+        removes devices a migrating job already failed on.
         """
         if not self._states:
             return None, Rejection(
                 job.job_id, "empty_fleet",
                 "fleet has no device slots", now_ms,
             )
-        eligible = [s for s in self._states.values() if s.eligible]
-        if not eligible:
+        available: List[_DeviceState] = []
+        for state in self._states.values():
+            if state.eligible and state.breaker.allows(now_ms):
+                available.append(state)
+        if not available:
             why = "; ".join(
-                f"{s.label}: {s.ineligible_reason}"
+                f"{s.label}: {s.unavailable_reason(now_ms)}"
                 for s in self._states.values()
             )
             return None, Rejection(
                 job.job_id, "no_eligible_device",
                 f"all {len(self._states)} devices ineligible ({why})",
+                now_ms,
+            )
+        eligible = [s for s in available if s.label not in exclude]
+        if not eligible:
+            return None, Rejection(
+                job.job_id, "no_eligible_device",
+                "all surviving devices already tried by this job "
+                f"({', '.join(sorted(exclude))})",
                 now_ms,
             )
         pending_total = sum(s.backlog(now_ms) for s in eligible)
@@ -256,7 +368,7 @@ class Scheduler:
         shortfalls: List[str] = []
         for state in sorted(feasible, key=lambda s: s.order):
             wait_ms = max(0.0, state.available_at_ms - now_ms)
-            exec_ms = state.latency.predict_ms(job.kind)
+            exec_ms = state.latency.predict_ms(job.kind, method=job.method)
             latency_ms = wait_ms + exec_ms
             success = estimate_success_probability(
                 job.num_edges, job.levels, state.target
@@ -301,6 +413,9 @@ class Scheduler:
                         predicted_latency_ms=latency_ms,
                         predicted_success=success,
                         predicted_arg=arg,
+                        probe=(
+                            state.breaker.poll(now_ms) == BREAKER_HALF_OPEN
+                        ),
                     )
                 )
         if not candidates:
@@ -310,23 +425,91 @@ class Scheduler:
                 f"{slo.to_dict()}: {' | '.join(shortfalls)}",
                 now_ms,
             )
-        return self.policy.place(candidates), None
+        # Half-open devices need exactly one probe to decide recovery:
+        # volunteer best-effort traffic for probing, and keep
+        # SLO-constrained jobs off unproven devices entirely — a probe
+        # that fails would burn the job's promise on a device that just
+        # tripped, so a constrained job with only probe candidates is
+        # reported unsatisfiable (giving the degrade ladder a chance to
+        # fit it on a proven survivor instead).
+        probes = [c for c in candidates if c.probe]
+        solid = [c for c in candidates if not c.probe]
+        if probes and job.slo.is_trivial:
+            return min(probes, key=lambda c: c.order), None
+        if solid:
+            return self.policy.place(solid), None
+        return None, Rejection(
+            job.job_id, "slo_unsatisfiable",
+            "only half-open probe devices "
+            f"({', '.join(sorted(c.label for c in probes))}) predict SLO "
+            f"{slo.to_dict()}; constrained jobs are not risked on "
+            "recovery probes",
+            now_ms,
+        )
 
     # ------------------------------------------------------------------
     # the run loop
     # ------------------------------------------------------------------
-    def run(self, jobs: Sequence[FleetJob]) -> FleetReport:
-        """Serve a job stream; one placement record or rejection per job."""
+    def run(
+        self, jobs: Sequence[FleetJob], *, resume: bool = False
+    ) -> FleetReport:
+        """Serve a job stream; one placement record or rejection per job.
+
+        With a journal configured, ``resume=True`` first replays every
+        settled job from the journal (verifying it was written for this
+        policy, pacing, and exact job stream) and then serves only the
+        remainder; ``resume=False`` truncates the journal and starts
+        fresh.
+        """
+        jobs = list(jobs)
         start = time.perf_counter()
         records: List[PlacementRecord] = []
         rejections: List[Rejection] = []
-        for index, job in enumerate(jobs):
-            now_ms = index * self.interarrival_ms
-            candidate, rejection = self.admit(job, now_ms)
-            if rejection is not None:
-                rejections.append(rejection)
-                continue
-            records.append(self._place(job, candidate, now_ms))
+        start_index = 0
+        if self._journal is not None:
+            if resume:
+                start_index, records, rejections = self._replay(jobs)
+            else:
+                self._journal.reset()
+                self._journal.append(self._meta_record(jobs))
+        elif resume:
+            raise ValueError("resume=True requires a journal")
+        try:
+            for index in range(start_index, len(jobs)):
+                job = jobs[index]
+                now_ms = index * self.interarrival_ms
+                self._jlog({
+                    "kind": "admit", "index": index,
+                    "job_id": job.job_id, "at_ms": round(now_ms, 3),
+                })
+                candidate, rejection = self.admit(job, now_ms)
+                downgrades: List[str] = []
+                if (
+                    rejection is not None
+                    and rejection.kind == "slo_unsatisfiable"
+                ):
+                    job, candidate, rejection, downgrades = self._degrade(
+                        job, rejection, now_ms
+                    )
+                if rejection is not None:
+                    self._jlog({
+                        "kind": "reject", "index": index,
+                        "rejection": rejection.to_dict(),
+                    })
+                    rejections.append(rejection)
+                    continue
+                record = self._place(
+                    job, candidate, now_ms,
+                    index=index, downgrades=downgrades,
+                )
+                self._jlog({
+                    "kind": "complete", "index": index,
+                    "record": record.to_dict(),
+                })
+                records.append(record)
+        finally:
+            if self._journal is not None:
+                self._journal.close()
         elapsed = time.perf_counter() - start
         makespan = max(
             (s.available_at_ms for s in self._states.values()), default=0.0
@@ -338,62 +521,175 @@ class Scheduler:
             devices=self._snapshot_devices(makespan),
             elapsed_s=elapsed,
             makespan_ms=makespan,
+            resumed=start_index,
+            cache_quarantined=sum(
+                s.engine.telemetry.counter("cache_quarantined")
+                for s in self._states.values()
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # degraded recompile
+    # ------------------------------------------------------------------
+    def _degrade(
+        self, job: FleetJob, rejection: Rejection, now_ms: float
+    ) -> Tuple[
+        FleetJob, Optional[Candidate], Optional[Rejection], List[str]
+    ]:
+        """Walk the degrade ladder after an ``slo_unsatisfiable``.
+
+        Returns the (possibly downgraded) job plus the first rung's
+        admission result that produced a candidate; the original
+        rejection stands when no rung helps.
+        """
+        for rung in self.degrade_ladder:
+            downgraded = downgrade_job(job, rung)
+            if downgraded is None:
+                continue  # rung would not change the job
+            alt_job, note = downgraded
+            candidate, _ = self.admit(alt_job, now_ms)
+            if candidate is not None:
+                return alt_job, candidate, None, [note]
+        return job, None, rejection, []
+
+    def _rescue_candidate(
+        self, job: FleetJob, now_ms: float, exclude: FrozenSet[str]
+    ) -> Optional[Candidate]:
+        """Best-effort migration target when no survivor honours the SLO.
+
+        Admission promises are for *new* jobs; a job that already failed
+        mid-run is better served late (and recorded as an SLO miss) than
+        dropped, so the promise checks are waived and the fastest
+        untried device that can physically run the job is chosen.
+        """
+        states = [
+            s for s in self._states.values()
+            if s.label not in exclude
+            and s.eligible
+            and s.breaker.allows(now_ms)
+            and s.backlog(now_ms) < self.device_backlog_limit
+        ]
+        if job.kind == "eval":
+            states = [
+                s for s in states
+                if s.target.num_qubits <= self.max_eval_qubits
+            ]
+        if not states:
+            return None
+
+        def latency(state: _DeviceState) -> float:
+            wait = max(0.0, state.available_at_ms - now_ms)
+            return wait + state.latency.predict_ms(
+                job.kind, method=job.method
+            )
+
+        best = min(states, key=lambda s: (latency(s), s.order))
+        wait_ms = max(0.0, best.available_at_ms - now_ms)
+        exec_ms = best.latency.predict_ms(job.kind, method=job.method)
+        return Candidate(
+            label=best.label,
+            order=best.order,
+            hardware=best.hardware,
+            backlog=best.backlog(now_ms),
+            wait_ms=wait_ms,
+            exec_ms=exec_ms,
+            predicted_latency_ms=wait_ms + exec_ms,
+            predicted_success=None,
+            predicted_arg=None,
+            probe=(best.breaker.poll(now_ms) == BREAKER_HALF_OPEN),
         )
 
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
     def _place(
-        self, job: FleetJob, candidate: Candidate, now_ms: float
+        self,
+        job: FleetJob,
+        candidate: Candidate,
+        now_ms: float,
+        *,
+        index: Optional[int] = None,
+        downgrades: Sequence[str] = (),
     ) -> PlacementRecord:
-        state = self._states[candidate.label]
-        bound = bind_job(job, state.target)
-        result = state.engine.run([bound]).results[0]
-        exec_ms = result.latency * 1e3
+        downgrades = list(downgrades)
+        attempts: List[dict] = []
+        tried: List[str] = []
+        current = candidate
+        result: Optional[JobResult] = None
+        final_state: Optional[_DeviceState] = None
+        last_finish = now_ms
+        final_exec_ms = 0.0
+        while True:
+            state = self._states[current.label]
+            final_state = state
+            tried.append(state.label)
+            self._jlog({
+                "kind": "place", "index": index, "job_id": job.job_id,
+                "device": state.label, "at_ms": round(now_ms, 3),
+                "attempt": len(attempts), "probe": bool(current.probe),
+            })
+            result, exec_ms, finish = self._execute_on(state, job, now_ms)
+            last_finish = finish
+            final_exec_ms = exec_ms
+            metrics = result.metrics or {}
+            attempts.append({
+                "device_label": state.label,
+                "exec_ms": round(exec_ms, 6),
+                "ok": result.ok,
+                "cached": result.cached,
+                "probe": bool(current.probe),
+                "error_kind": result.error_kind,
+                "arg": metrics.get("arg"),
+            })
+            if result.ok or len(attempts) > self.max_migrations:
+                break
+            # Terminal failure with migration budget left: re-enter
+            # admission, excluding every device this job already burned.
+            next_candidate, _why = self.admit(
+                job, now_ms, exclude=frozenset(tried)
+            )
+            if next_candidate is None:
+                # No survivor can honour the SLO any more — but the job
+                # was already accepted, so serve it late rather than
+                # drop it: any untried device that can run it at all.
+                next_candidate = self._rescue_candidate(
+                    job, now_ms, frozenset(tried)
+                )
+            if next_candidate is None:
+                break
+            self._jlog({
+                "kind": "migrate", "index": index, "job_id": job.job_id,
+                "from": state.label, "to": next_candidate.label,
+                "at_ms": round(now_ms, 3),
+            })
+            current = next_candidate
 
-        begin = max(now_ms, state.available_at_ms)
-        finish = begin + exec_ms
-        observed_ms = finish - now_ms
-        state.available_at_ms = finish
-        state.pending.append(finish)
-        state.busy_ms += exec_ms
-        state.placed += 1
-        state.latency.observe(job.kind, exec_ms)
-
+        observed_ms = last_finish - now_ms
         metrics = result.metrics or {}
         success_prob = metrics.get("success_probability")
         arg = metrics.get("arg")
-        if arg is not None:
-            state.quality.observe(float(arg))
 
-        if result.ok:
-            state.ok += 1
-            state.consecutive_failures = 0
-            if result.cached:
-                state.cached += 1
-        else:
-            state.failed += 1
-            state.consecutive_failures += 1
-            if (
-                state.eligible
-                and state.consecutive_failures
-                >= self.max_consecutive_failures
-            ):
-                self.mark_ineligible(
-                    state.label,
-                    f"{state.consecutive_failures} consecutive failures "
-                    f"(last: {result.error_kind})",
-                )
+        if downgrades and result.ok:
+            for note in downgrades:
+                if note not in result.warnings:
+                    result.warnings.append(note)
 
         placement = {
-            "device_label": state.label,
+            "device_label": final_state.label,
             "policy": self.policy.name,
-            "wait_ms": round(candidate.wait_ms, 3),
+            "wait_ms": round(current.wait_ms, 3),
             "promised_latency_ms": round(
                 candidate.predicted_latency_ms, 3
             ),
         }
-        _stamp_placement(result, placement, cache=state.engine.cache)
+        if len(attempts) > 1:
+            placement["migrations"] = len(attempts) - 1
+            placement["original_device"] = attempts[0]["device_label"]
+        if downgrades:
+            placement["downgrades"] = list(downgrades)
+        if current.probe:
+            placement["probe"] = True
+        _stamp_placement(result, placement, cache=final_state.engine.cache)
 
         if result.ok:
             misses = job.slo.misses(observed_ms, success_prob, arg)
@@ -402,10 +698,10 @@ class Scheduler:
         return PlacementRecord(
             job_id=job.job_id,
             kind=job.kind,
-            device_label=state.label,
+            device_label=final_state.label,
             arrival_ms=now_ms,
-            wait_ms=candidate.wait_ms,
-            exec_ms=exec_ms,
+            wait_ms=current.wait_ms,
+            exec_ms=final_exec_ms,
             observed_ms=observed_ms,
             promised_ms=candidate.predicted_latency_ms,
             ok=result.ok,
@@ -418,11 +714,157 @@ class Scheduler:
             arg=arg,
             error=result.error,
             error_kind=result.error_kind,
+            method=job.method,
+            migrations=len(attempts) - 1,
+            original_device=(
+                attempts[0]["device_label"] if len(attempts) > 1 else None
+            ),
+            attempts=attempts,
+            downgrades=downgrades,
+            probe=bool(current.probe),
         )
+
+    def _execute_on(
+        self, state: _DeviceState, job: FleetJob, now_ms: float
+    ) -> Tuple[JobResult, float, float]:
+        """Run one placement attempt and account it on the device.
+
+        Returns ``(result, exec_ms, virtual_finish_ms)``.  The virtual
+        service time is the measured wall latency unless the result
+        carries a scripted ``virtual_exec_ms`` metric (chaos scenarios,
+        resume-equality tests).
+        """
+        bound = bind_job(job, state.target)
+        result = state.engine.run([bound]).results[0]
+        metrics = result.metrics or {}
+        if "virtual_exec_ms" in metrics:
+            exec_ms = float(metrics["virtual_exec_ms"])
+        else:
+            exec_ms = result.latency * 1e3
+
+        begin = max(now_ms, state.available_at_ms)
+        finish = begin + exec_ms
+        state.available_at_ms = finish
+        state.pending.append(finish)
+        state.busy_ms += exec_ms
+        state.placed += 1
+        state.latency.observe(job.kind, exec_ms, method=job.method)
+        arg = metrics.get("arg")
+        if arg is not None:
+            state.quality.observe(float(arg))
+        if result.ok:
+            state.ok += 1
+            if result.cached:
+                state.cached += 1
+            state.breaker.record_success(now_ms)
+        else:
+            state.failed += 1
+            state.breaker.record_failure(
+                now_ms, result.error_kind or "unknown"
+            )
+        return result, exec_ms, finish
+
+    # ------------------------------------------------------------------
+    # journal + resume
+    # ------------------------------------------------------------------
+    def _jlog(self, record: dict) -> None:
+        if self._journal is not None and not self._replaying:
+            self._journal.append(record)
+
+    def _on_breaker_transition(self, transition: BreakerTransition) -> None:
+        self._jlog({"kind": "breaker", **transition.to_dict()})
+
+    def _meta_record(self, jobs: Sequence[FleetJob]) -> dict:
+        ordered = sorted(self._states.values(), key=lambda s: s.order)
+        return {
+            "kind": "meta",
+            "journal_version": JOURNAL_VERSION,
+            "policy": self.policy.name,
+            "interarrival_ms": self.interarrival_ms,
+            "labels": [s.label for s in ordered],
+            "job_count": len(jobs),
+            "fingerprint": stream_fingerprint(jobs),
+        }
+
+    def _replay(
+        self, jobs: Sequence[FleetJob]
+    ) -> Tuple[int, List[PlacementRecord], List[Rejection]]:
+        """Rebuild scheduler state from the journal's settled prefix.
+
+        Returns ``(next_index, records, rejections)``.  An absent or
+        empty journal degrades to a fresh run.  A journal written for a
+        different stream, policy, or pacing raises — resuming it would
+        silently produce a report that corresponds to no real run.
+        """
+        entries = self._journal.read()
+        meta, outcomes = SchedulerJournal.settled(entries)
+        if meta is None:
+            self._journal.reset()
+            self._journal.append(self._meta_record(jobs))
+            return 0, [], []
+        if meta.get("journal_version") != JOURNAL_VERSION:
+            raise ValueError(
+                f"journal {self._journal.path} has version "
+                f"{meta.get('journal_version')}, expected {JOURNAL_VERSION}"
+            )
+        expected = self._meta_record(jobs)
+        for field in ("policy", "interarrival_ms", "labels", "fingerprint"):
+            if meta.get(field) != expected[field]:
+                raise ValueError(
+                    f"journal {self._journal.path} was written for a "
+                    f"different run: {field} is {meta.get(field)!r}, this "
+                    f"run has {expected[field]!r}"
+                )
+        records: List[PlacementRecord] = []
+        rejections: List[Rejection] = []
+        self._replaying = True
+        try:
+            next_index = 0
+            while next_index in outcomes:
+                kind, payload = outcomes[next_index]
+                if kind == "rejection":
+                    rejections.append(Rejection.from_dict(payload))
+                else:
+                    record = PlacementRecord.from_dict(payload)
+                    self._apply_replayed(record)
+                    records.append(record)
+                next_index += 1
+        finally:
+            self._replaying = False
+        return next_index, records, rejections
+
+    def _apply_replayed(self, record: PlacementRecord) -> None:
+        """Re-run one settled placement's accounting (no execution)."""
+        now_ms = record.arrival_ms
+        for attempt in record.attempts:
+            state = self._states[attempt["device_label"]]
+            exec_ms = float(attempt["exec_ms"])
+            begin = max(now_ms, state.available_at_ms)
+            finish = begin + exec_ms
+            state.available_at_ms = finish
+            state.pending.append(finish)
+            state.busy_ms += exec_ms
+            state.placed += 1
+            state.latency.observe(record.kind, exec_ms, method=record.method)
+            arg = attempt.get("arg")
+            if arg is not None:
+                state.quality.observe(float(arg))
+            if attempt["ok"]:
+                state.ok += 1
+                if attempt.get("cached"):
+                    state.cached += 1
+                state.breaker.record_success(now_ms)
+            else:
+                state.failed += 1
+                state.breaker.record_failure(
+                    now_ms, attempt.get("error_kind") or "unknown"
+                )
 
     def _snapshot_devices(self, makespan_ms: float) -> List[DeviceSnapshot]:
         out = []
         for state in sorted(self._states.values(), key=lambda s: s.order):
+            breaker = state.breaker.snapshot()
+            available = state.eligible and breaker["state"] != "open"
             out.append(
                 DeviceSnapshot(
                     label=state.label,
@@ -438,10 +880,14 @@ class Scheduler:
                     utilization=(
                         state.busy_ms / makespan_ms if makespan_ms > 0 else 0.0
                     ),
-                    eligible=state.eligible,
-                    ineligible_reason=state.ineligible_reason,
+                    eligible=available,
+                    ineligible_reason=(
+                        None if available
+                        else state.unavailable_reason(makespan_ms)
+                    ),
                     latency_model=state.latency.snapshot(),
                     quality_model=state.quality.snapshot(),
+                    breaker=breaker,
                 )
             )
         return out
@@ -468,6 +914,12 @@ def _stamp_placement(
     except ValueError:
         return
     metrics["placement"] = placement
+    if result.warnings:
+        merged = list(metrics.get("warnings") or [])
+        for note in result.warnings:
+            if note not in merged:
+                merged.append(note)
+        metrics["warnings"] = merged
     result.payload = encode_envelope(compiled_json, metrics)
     if cache is not None:
         cache.put(result.key, result.payload)

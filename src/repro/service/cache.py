@@ -38,6 +38,7 @@ class CacheStats:
         "misses",
         "evictions",
         "invalidations",
+        "quarantines",
         "puts",
     )
 
@@ -48,6 +49,7 @@ class CacheStats:
         self.misses = 0
         self.evictions = 0
         self.invalidations = 0
+        self.quarantines = 0
         self.puts = 0
 
     @property
@@ -67,6 +69,7 @@ class CacheStats:
             "misses": self.misses,
             "evictions": self.evictions,
             "invalidations": self.invalidations,
+            "quarantines": self.quarantines,
             "puts": self.puts,
             "hit_rate": self.hit_rate,
         }
@@ -277,13 +280,14 @@ class ResultCache:
             return None
         return payload
 
-    @staticmethod
-    def _quarantine(path: pathlib.Path) -> None:
+    def _quarantine(self, path: pathlib.Path) -> None:
         """Move a corrupt entry aside (delete if even that fails)."""
         try:
             path.replace(path.with_name(path.name + ".corrupt"))
         except OSError:
             path.unlink(missing_ok=True)
+        with self._lock:
+            self.stats.quarantines += 1
 
     def _check_version(self, payload: str) -> Optional[bool]:
         """``None`` when unchecked, else whether the version matches."""

@@ -150,6 +150,7 @@ class BatchReport:
                 len(self.results) / self.elapsed if self.elapsed > 0 else 0.0
             ),
             "cache_hit_rate": self.cache_stats.get("hit_rate", 0.0),
+            "cache_quarantined": int(self.cache_stats.get("quarantines", 0)),
             "latency_p50_ms": latency.get("p50", 0.0),
             "latency_p95_ms": latency.get("p95", 0.0),
             "latency_p99_ms": latency.get("p99", 0.0),
@@ -209,6 +210,10 @@ class BatchEngine:
         seed: Seed for the jitter rng (determinism in tests).
         execute_fn: Job executor (pooled mode requires it picklable);
             defaults to :func:`repro.service.job.execute_job`.
+        sleep: Hook for every wall-clock wait the engine takes (retry
+            backoff, pooled backoff coalescing); defaults to
+            :func:`time.sleep`.  Tests and simulation harnesses inject
+            a no-op so retry-heavy runs are deterministic and fast.
     """
 
     def __init__(
@@ -222,6 +227,7 @@ class BatchEngine:
         telemetry: Optional[Telemetry] = None,
         seed: int = 0,
         execute_fn: Callable[[CompileJob], JobResult] = execute_job,
+        sleep: Optional[Callable[[float], None]] = None,
     ) -> None:
         if workers < 0:
             raise ValueError("workers must be >= 0")
@@ -238,6 +244,7 @@ class BatchEngine:
         self.telemetry = telemetry if telemetry is not None else Telemetry()
         self._rng = np.random.default_rng(seed)
         self._execute_fn = execute_fn
+        self._sleep = sleep if sleep is not None else time.sleep
 
     # ------------------------------------------------------------------
     # public API
@@ -284,7 +291,14 @@ class BatchEngine:
     def _try_cache(self, state: _JobState) -> Optional[JobResult]:
         if self.cache is None:
             return None
+        quarantines_before = self.cache.stats.quarantines
         payload = self.cache.get(state.key)
+        quarantined = self.cache.stats.quarantines - quarantines_before
+        if quarantined > 0:
+            # The lookup tripped over a corrupt disk entry; the cache
+            # already moved it aside — surface the event so operators see
+            # quarantines in batch/fleet telemetry, not just cache stats.
+            self.telemetry.incr("cache_quarantined", quarantined)
         if payload is None:
             return None
         try:
@@ -391,7 +405,7 @@ class BatchEngine:
                     self._finish(state, result, results)
                     break
                 self.telemetry.incr("jobs.retries")
-                time.sleep(self._backoff(state.attempts))
+                self._sleep(self._backoff(state.attempts))
 
     # ------------------------------------------------------------------
     # pooled mode
@@ -435,7 +449,7 @@ class BatchEngine:
                 if not inflight:
                     if waiting:
                         next_ready = min(s.ready_at for s in waiting)
-                        time.sleep(max(0.0, next_ready - time.monotonic()))
+                        self._sleep(max(0.0, next_ready - time.monotonic()))
                     continue
 
                 wait_for = 0.1

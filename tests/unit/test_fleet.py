@@ -495,3 +495,59 @@ class TestStreams:
     def test_fleet_jobs_from_jsonl_bad_line(self):
         with pytest.raises(ValueError, match="line 1"):
             fleet_jobs_from_jsonl([json.dumps({"slo": "no-such-tier"})])
+
+
+# ----------------------------------------------------------------------
+# fidelity estimates on repaired (fault-injected) targets
+# ----------------------------------------------------------------------
+class TestEstimateOnRepairedTargets:
+    """`estimate_success_probability` must keep working on targets whose
+    calibration went through fault injection and `repair_calibration` —
+    dead couplers pruned out of the coupling, inflated error rates."""
+
+    def _targets(self):
+        clean = FleetSpec(
+            [DeviceSlot("clean", "ibmq_16_melbourne")]
+        ).target("clean")
+        hurt = FleetSpec(
+            [
+                DeviceSlot(
+                    "hurt", "ibmq_16_melbourne",
+                    faults={"dead_edges": 2, "inflate": 3.0},
+                    fault_seed=11,
+                ),
+            ]
+        ).target("hurt")
+        return clean, hurt
+
+    def test_pruned_couplers_leave_the_graph(self):
+        clean, hurt = self._targets()
+        assert hurt.warnings  # repair provenance attached
+        assert len(hurt.coupling.edges) == len(clean.coupling.edges) - 2
+
+    def test_estimate_survives_pruning_and_ranks_damage_lower(self):
+        from repro.fleet import estimate_success_probability
+
+        clean, hurt = self._targets()
+        est_clean = estimate_success_probability(10, 1, clean)
+        est_hurt = estimate_success_probability(10, 1, hurt)
+        assert est_clean is not None and 0.0 < est_clean < 1.0
+        assert est_hurt is not None and 0.0 <= est_hurt < 1.0
+        # inflated error rates must push the promise down
+        assert est_hurt < est_clean
+
+    def test_estimate_monotone_in_workload(self):
+        from repro.fleet import estimate_success_probability
+
+        _, hurt = self._targets()
+        small = estimate_success_probability(5, 1, hurt)
+        large = estimate_success_probability(20, 2, hurt)
+        assert large <= small
+
+    def test_uncalibrated_target_gives_no_promise(self):
+        from repro.fleet import estimate_success_probability
+
+        bare = FleetSpec(
+            [DeviceSlot("bare", "ring_8", calibration=None)]
+        ).target("bare")
+        assert estimate_success_probability(5, 1, bare) is None

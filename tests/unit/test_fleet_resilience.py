@@ -1,0 +1,541 @@
+"""Unit tests for the fleet resilience layer.
+
+Covers the circuit-breaker state machine, failure-triggered migration,
+the SLO-aware degraded-recompile ladder, the crash-safe scheduler
+journal (including torn-tail tolerance and exact resume equality after
+both an in-process interrupt and a real SIGKILL), and the regression
+the layer exists to fix: a device that trips its breaker must re-earn
+traffic after the cooldown instead of staying ineligible forever.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.experiments.chaos import (
+    FleetScenario,
+    ScriptedFleetExecutor,
+    chaos_fleet,
+    chaos_profiles,
+    chaos_stream,
+    default_fleet_scenarios,
+    run_fleet_chaos,
+)
+from repro.fleet import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    DEFAULT_DEGRADE_LADDER,
+    SLO,
+    CircuitBreaker,
+    DeviceSlot,
+    FleetJob,
+    FleetSpec,
+    Scheduler,
+    SchedulerJournal,
+    downgrade_job,
+    stream_fingerprint,
+)
+from repro.qaoa import MaxCutProblem
+from repro.service import CompileJob
+from repro.service.job import JobResult, encode_envelope
+
+
+def _program(n=5):
+    edges = [(i, (i + 1) % n) for i in range(n)]
+    return MaxCutProblem(n, edges).to_program([0.7], [0.35])
+
+
+def _fleet_job(i=0, slo=SLO(), method="ic"):
+    job = CompileJob(
+        program=_program(),
+        device="ibmq_20_tokyo",
+        method=method,
+        seed=i,
+        job_id=f"t-{i:03d}",
+    )
+    return FleetJob(job=job, slo=slo)
+
+
+class _VirtualExecute:
+    """Scripted executor stamping a fixed ``virtual_exec_ms``, so the
+    scheduler's clock — and breaker open/half-open windows — are exact."""
+
+    def __init__(self, fail_ids=(), exec_ms=1.0):
+        self.fail_ids = set(fail_ids)
+        self.exec_ms = float(exec_ms)
+        self.calls = []
+
+    def __call__(self, job):
+        self.calls.append(job.job_id)
+        key = job.content_hash()
+        metrics = {"virtual_exec_ms": self.exec_ms}
+        if job.job_id in self.fail_ids:
+            return JobResult(
+                job=job, key=key, ok=False, attempts=1,
+                error="scripted failure", error_kind="exception",
+                metrics=metrics,
+            )
+        return JobResult(
+            job=job, key=key, ok=True, attempts=1, metrics=metrics,
+            payload=encode_envelope("null", dict(metrics)),
+        )
+
+
+# ----------------------------------------------------------------------
+# circuit breaker state machine
+# ----------------------------------------------------------------------
+class TestCircuitBreaker:
+    def test_failures_below_threshold_stay_closed(self):
+        breaker = CircuitBreaker(failure_threshold=3, cooldown_ms=100.0)
+        breaker.record_failure(0.0, "boom")
+        breaker.record_failure(1.0, "boom")
+        assert breaker.state == BREAKER_CLOSED
+        assert breaker.allows(2.0)
+
+    def test_threshold_opens_with_reason(self):
+        breaker = CircuitBreaker(
+            device="d0", failure_threshold=2, cooldown_ms=100.0
+        )
+        breaker.record_failure(0.0, "timeout")
+        breaker.record_failure(10.0, "timeout")
+        assert breaker.state == BREAKER_OPEN
+        assert not breaker.allows(50.0)
+        assert "consecutive failures" in breaker.last_reason
+        assert breaker.trips == 1
+
+    def test_success_resets_failure_count(self):
+        breaker = CircuitBreaker(failure_threshold=2, cooldown_ms=100.0)
+        breaker.record_failure(0.0, "boom")
+        breaker.record_success(1.0)
+        breaker.record_failure(2.0, "boom")
+        assert breaker.state == BREAKER_CLOSED
+
+    def test_cooldown_half_opens_then_probe_success_closes(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_ms=100.0)
+        breaker.record_failure(0.0, "boom")
+        assert breaker.poll(50.0) == BREAKER_OPEN
+        assert breaker.poll(100.0) == BREAKER_HALF_OPEN
+        assert breaker.allows(100.0)
+        breaker.record_success(101.0)
+        assert breaker.state == BREAKER_CLOSED
+        assert breaker.recoveries == 1
+
+    def test_probe_failure_reopens_for_another_cooldown(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_ms=100.0)
+        breaker.record_failure(0.0, "boom")
+        breaker.poll(100.0)
+        breaker.record_failure(100.0, "still broken")
+        assert breaker.state == BREAKER_OPEN
+        assert breaker.poll(150.0) == BREAKER_OPEN
+        assert breaker.poll(200.0) == BREAKER_HALF_OPEN
+        assert breaker.trips == 2
+
+    def test_none_cooldown_is_permanent_open(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_ms=None)
+        breaker.record_failure(0.0, "boom")
+        assert breaker.poll(1e12) == BREAKER_OPEN
+        assert not breaker.allows(1e12)
+
+    def test_transitions_are_recorded(self):
+        seen = []
+        breaker = CircuitBreaker(
+            device="d0", failure_threshold=1, cooldown_ms=50.0,
+            on_transition=seen.append,
+        )
+        breaker.record_failure(0.0, "boom")
+        breaker.poll(50.0)
+        breaker.record_success(51.0)
+        states = [(t.from_state, t.to_state) for t in breaker.transitions]
+        assert states == [
+            (BREAKER_CLOSED, BREAKER_OPEN),
+            (BREAKER_OPEN, BREAKER_HALF_OPEN),
+            (BREAKER_HALF_OPEN, BREAKER_CLOSED),
+        ]
+        assert [t.to_dict()["to"] for t in seen] == [
+            BREAKER_OPEN, BREAKER_HALF_OPEN, BREAKER_CLOSED,
+        ]
+
+
+# ----------------------------------------------------------------------
+# degraded recompile primitives
+# ----------------------------------------------------------------------
+class TestDowngradeJob:
+    def test_method_rung_produces_note(self):
+        job = _fleet_job(method="vic")
+        downgraded = downgrade_job(job, {"method": "ip"})
+        assert downgraded is not None
+        alt, note = downgraded
+        assert alt.method == "ip"
+        assert "vic->ip" in note
+        assert job.method == "vic"  # original untouched
+
+    def test_noop_rung_returns_none(self):
+        job = _fleet_job(method="ip")
+        assert downgrade_job(job, {"method": "ip"}) is None
+
+    def test_unknown_rung_key_rejected(self):
+        with pytest.raises(ValueError):
+            downgrade_job(_fleet_job(), {"optimizer": "off"})
+
+    def test_default_ladder_shape(self):
+        assert DEFAULT_DEGRADE_LADDER[0] == {"method": "ip"}
+        assert "packing_limit" in DEFAULT_DEGRADE_LADDER[1]
+
+
+# ----------------------------------------------------------------------
+# breaker recovery through the scheduler (the PR's regression target)
+# ----------------------------------------------------------------------
+class TestBreakerRecovery:
+    def test_tripped_device_re_earns_traffic_after_cooldown(self):
+        """A device that trips its breaker must serve again after the
+        cooldown — the pre-resilience permanent ineligibility is gone."""
+        fleet = FleetSpec([DeviceSlot("solo", "ring_8")])
+        jobs = [_fleet_job(i) for i in range(8)]
+        execute = _VirtualExecute(
+            fail_ids={j.job_id for j in jobs[:3]}, exec_ms=1.0
+        )
+        scheduler = Scheduler(
+            fleet, "least-loaded",
+            interarrival_ms=50.0,
+            max_consecutive_failures=3,
+            breaker_cooldown_ms=100.0,
+            execute_fn=execute,
+        )
+        report = scheduler.run(jobs)
+
+        # jobs 0-2 fail (opening the breaker at t=100), the t=150 job
+        # arrives inside the cooldown and is rejected, the t=200 job is
+        # the half-open probe that closes the breaker, and the
+        # remainder are served normally.
+        assert report.placed == 7
+        assert len(report.rejections) == 1
+        for rejection in report.rejections:
+            assert rejection.kind == "no_eligible_device"
+            assert "breaker open" in rejection.detail
+        summary = report.summary()
+        assert summary["failed"] == 3
+        assert summary["ok"] == 4
+        breaker = report.devices[0].breaker
+        assert breaker["trips"] == 1
+        assert breaker["recoveries"] == 1
+        assert breaker["state"] == BREAKER_CLOSED
+        assert report.devices[0].eligible
+
+    def test_none_cooldown_keeps_legacy_permanent_ineligibility(self):
+        fleet = FleetSpec([DeviceSlot("solo", "ring_8")])
+        jobs = [_fleet_job(i) for i in range(6)]
+        execute = _VirtualExecute(
+            fail_ids={j.job_id for j in jobs[:3]}, exec_ms=1.0
+        )
+        scheduler = Scheduler(
+            fleet, "least-loaded",
+            interarrival_ms=50.0,
+            breaker_cooldown_ms=None,
+            execute_fn=execute,
+        )
+        report = scheduler.run(jobs)
+        assert report.placed == 3
+        assert len(report.rejections) == 3
+        assert all(
+            "consecutive failures" in r.detail for r in report.rejections
+        )
+        assert not report.devices[0].eligible
+
+
+# ----------------------------------------------------------------------
+# migration
+# ----------------------------------------------------------------------
+def _two_slot_fleet():
+    return FleetSpec(
+        [DeviceSlot("alpha", "ring_8"), DeviceSlot("beta", "linear_8")]
+    )
+
+
+def _scripted(fleet, stream, scenario):
+    profiles = {
+        k: v for k, v in chaos_profiles().items() if k in ("alpha", "beta")
+    }
+    return ScriptedFleetExecutor(fleet, stream, scenario, profiles=profiles)
+
+
+class TestMigration:
+    def test_failed_placement_migrates_to_survivor(self):
+        fleet = _two_slot_fleet()
+        jobs = [_fleet_job(0)]
+        scenario = FleetScenario(name="alpha-dead", dies_at={"alpha": 0})
+        scheduler = Scheduler(
+            fleet, "greedy",
+            interarrival_ms=10.0,
+            execute_fn=_scripted(fleet, jobs, scenario),
+        )
+        report = scheduler.run(jobs)
+
+        assert report.placed == 1
+        record = report.records[0]
+        assert record.ok
+        assert record.migrations == 1
+        assert record.original_device == "alpha"
+        assert record.device_label == "beta"
+        assert [a["device_label"] for a in record.attempts] == [
+            "alpha", "beta",
+        ]
+        assert [a["ok"] for a in record.attempts] == [False, True]
+        # the failed attempt's virtual time is part of the observed
+        # latency — migration is not a free retry
+        assert record.observed_ms >= record.exec_ms
+
+    def test_zero_migration_budget_records_failure(self):
+        fleet = _two_slot_fleet()
+        jobs = [_fleet_job(0)]
+        scenario = FleetScenario(name="alpha-dead", dies_at={"alpha": 0})
+        scheduler = Scheduler(
+            fleet, "greedy",
+            interarrival_ms=10.0,
+            max_migrations=0,
+            execute_fn=_scripted(fleet, jobs, scenario),
+        )
+        report = scheduler.run(jobs)
+        record = report.records[0]
+        assert not record.ok
+        assert record.migrations == 0
+        assert record.device_label == "alpha"
+
+    def test_migration_counts_in_fleet_report(self):
+        jobs = 45
+        report = run_fleet_chaos(
+            default_fleet_scenarios(jobs)[0], jobs=jobs
+        )
+        assert report.migrations() > 0
+        assert report.summary()["migrations"] == report.migrations()
+
+
+# ----------------------------------------------------------------------
+# SLO-aware degraded recompile
+# ----------------------------------------------------------------------
+class TestDegradedRecompile:
+    def test_degrades_to_cheaper_method_when_slo_at_risk(self):
+        """Cold-start vic predicts 50*1.4=70ms; an SLO of 50ms rejects
+        it everywhere, but the ip rung predicts 50*0.7=35ms and fits."""
+        fleet = FleetSpec([DeviceSlot("solo", "ring_8")])
+        jobs = [_fleet_job(0, slo=SLO(max_latency_ms=50.0), method="vic")]
+        execute = _VirtualExecute(exec_ms=30.0)
+        scheduler = Scheduler(
+            fleet, "least-loaded", execute_fn=execute
+        )
+        report = scheduler.run(jobs)
+
+        assert report.placed == 1
+        record = report.records[0]
+        assert record.ok
+        assert record.method == "ip"
+        assert record.downgrades
+        assert "slo degraded recompile" in record.downgrades[0]
+        assert report.summary()["downgrades"] == 1
+
+    def test_empty_ladder_keeps_rejection(self):
+        fleet = FleetSpec([DeviceSlot("solo", "ring_8")])
+        jobs = [_fleet_job(0, slo=SLO(max_latency_ms=50.0), method="vic")]
+        scheduler = Scheduler(
+            fleet, "least-loaded",
+            degrade_ladder=(),
+            execute_fn=_VirtualExecute(exec_ms=30.0),
+        )
+        report = scheduler.run(jobs)
+        assert report.placed == 0
+        assert report.rejections[0].kind == "slo_unsatisfiable"
+
+
+# ----------------------------------------------------------------------
+# journal
+# ----------------------------------------------------------------------
+class TestJournal:
+    def test_append_read_roundtrip(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with SchedulerJournal(path) as journal:
+            journal.append({"kind": "meta", "policy": "greedy"})
+            journal.append({"kind": "admit", "index": 0})
+        records = SchedulerJournal(path).read()
+        assert [r["kind"] for r in records] == ["meta", "admit"]
+
+    def test_torn_trailing_line_is_tolerated(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with SchedulerJournal(path) as journal:
+            journal.append({"kind": "meta"})
+            journal.append({"kind": "admit", "index": 0})
+        with open(path, "a") as fh:
+            fh.write('{"kind": "complete", "ind')  # the crash mid-write
+        records = SchedulerJournal(path).read()
+        assert len(records) == 2
+
+    def test_mid_file_corruption_raises(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text('not json at all\n{"kind": "meta"}\n')
+        with pytest.raises(ValueError):
+            SchedulerJournal(path).read()
+
+    def test_settled_maps_outcomes_by_index(self, tmp_path):
+        records = [
+            {"kind": "meta", "policy": "greedy"},
+            {"kind": "admit", "index": 0},
+            {"kind": "complete", "index": 0, "record": {"job_id": "a"}},
+            {"kind": "admit", "index": 1},
+            {"kind": "reject", "index": 1, "rejection": {"job_id": "b"}},
+            {"kind": "admit", "index": 2},  # crashed mid-flight
+        ]
+        meta, outcomes = SchedulerJournal.settled(records)
+        assert meta["policy"] == "greedy"
+        assert outcomes[0] == ("record", {"job_id": "a"})
+        assert outcomes[1] == ("rejection", {"job_id": "b"})
+        assert 2 not in outcomes
+
+    def test_fingerprint_is_order_and_content_sensitive(self):
+        a = [_fleet_job(0), _fleet_job(1)]
+        assert stream_fingerprint(a) == stream_fingerprint(list(a))
+        assert stream_fingerprint(a) != stream_fingerprint(a[::-1])
+        assert stream_fingerprint(a) != stream_fingerprint(a[:1])
+
+    def test_resume_without_journal_raises(self):
+        fleet = FleetSpec([DeviceSlot("solo", "ring_8")])
+        scheduler = Scheduler(
+            fleet, "least-loaded", execute_fn=_VirtualExecute()
+        )
+        with pytest.raises(ValueError, match="journal"):
+            scheduler.run([_fleet_job(0)], resume=True)
+
+    def test_resume_rejects_mismatched_stream(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        fleet = FleetSpec([DeviceSlot("solo", "ring_8")])
+        jobs = [_fleet_job(i) for i in range(3)]
+        Scheduler(
+            fleet, "least-loaded", execute_fn=_VirtualExecute(),
+            journal=path,
+        ).run(jobs)
+        other = [_fleet_job(i + 100) for i in range(3)]
+        scheduler = Scheduler(
+            fleet, "least-loaded", execute_fn=_VirtualExecute(),
+            journal=path,
+        )
+        with pytest.raises(ValueError, match="fingerprint"):
+            scheduler.run(other, resume=True)
+
+
+# ----------------------------------------------------------------------
+# crash + resume equality
+# ----------------------------------------------------------------------
+JOBS = 40
+CRASH_AFTER = 14
+
+
+def _run_full(stream, scenario, journal=None):
+    return run_fleet_chaos(
+        scenario, fleet=chaos_fleet(), stream=stream, journal=journal
+    )
+
+
+def _report_signature(report):
+    return (
+        [(r.job_id, r.device_label) for r in report.records],
+        {d.label: d.placed for d in report.devices},
+        report.makespan_ms,
+        [r.job_id for r in report.rejections],
+    )
+
+
+class TestCrashResume:
+    def test_interrupted_run_resumes_to_identical_report(self, tmp_path):
+        scenario = default_fleet_scenarios(JOBS)[0]
+        stream = chaos_stream(JOBS)
+        full = _run_full(stream, scenario)
+
+        fleet = chaos_fleet()
+        scripted = ScriptedFleetExecutor(fleet, stream, scenario)
+        calls = {"n": 0}
+
+        def interrupted(job):
+            calls["n"] += 1
+            if calls["n"] > CRASH_AFTER:
+                raise KeyboardInterrupt
+            return scripted(job)
+
+        journal = tmp_path / "crash.jsonl"
+        with pytest.raises(KeyboardInterrupt):
+            run_fleet_chaos(
+                scenario, fleet=fleet, stream=stream,
+                journal=journal, execute_fn=interrupted,
+            )
+
+        resumed = run_fleet_chaos(
+            scenario, fleet=chaos_fleet(), stream=stream,
+            journal=journal, resume=True,
+        )
+        assert resumed.resumed > 0
+        assert _report_signature(resumed) == _report_signature(full)
+
+    def test_sigkilled_run_resumes_to_identical_report(self, tmp_path):
+        """The real thing: SIGKILL mid-run (no atexit, no finally), then
+        resume from the fsynced journal in a fresh process."""
+        journal = tmp_path / "kill.jsonl"
+        script = f"""
+import os, signal
+from repro.experiments.chaos import (
+    ScriptedFleetExecutor, chaos_fleet, chaos_stream,
+    default_fleet_scenarios, run_fleet_chaos,
+)
+scenario = default_fleet_scenarios({JOBS})[0]
+stream = chaos_stream({JOBS})
+fleet = chaos_fleet()
+scripted = ScriptedFleetExecutor(fleet, stream, scenario)
+calls = [0]
+def execute(job):
+    calls[0] += 1
+    if calls[0] > {CRASH_AFTER}:
+        os.kill(os.getpid(), signal.SIGKILL)
+    return scripted(job)
+run_fleet_chaos(
+    scenario, fleet=fleet, stream=stream,
+    journal={str(journal)!r}, execute_fn=execute,
+)
+raise SystemExit("SIGKILL never fired")
+"""
+        src = str(Path(repro.__file__).resolve().parents[1])
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run(
+            [sys.executable, "-c", script],
+            env=env, capture_output=True, text=True, timeout=120,
+        )
+        assert proc.returncode == -signal.SIGKILL, proc.stderr
+
+        journal_records = SchedulerJournal(journal).read()
+        assert any(r["kind"] == "complete" for r in journal_records)
+
+        scenario = default_fleet_scenarios(JOBS)[0]
+        stream = chaos_stream(JOBS)
+        full = _run_full(stream, scenario)
+        resumed = run_fleet_chaos(
+            scenario, fleet=chaos_fleet(), stream=stream,
+            journal=journal, resume=True,
+        )
+        assert resumed.resumed > 0
+        assert _report_signature(resumed) == _report_signature(full)
+
+    def test_journal_is_valid_jsonl_during_run(self, tmp_path):
+        journal = tmp_path / "j.jsonl"
+        scenario = default_fleet_scenarios(JOBS)[0]
+        stream = chaos_stream(JOBS)
+        run_fleet_chaos(
+            scenario, fleet=chaos_fleet(), stream=stream, journal=journal
+        )
+        lines = journal.read_text().splitlines()
+        kinds = [json.loads(line)["kind"] for line in lines]
+        assert kinds[0] == "meta"
+        assert "complete" in kinds
+        assert "place" in kinds
+        assert "breaker" in kinds

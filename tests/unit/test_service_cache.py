@@ -174,3 +174,20 @@ class TestDiskTier:
     def test_stats_snapshot_keys(self):
         snap = ResultCache().stats.snapshot()
         assert {"hits", "misses", "evictions", "hit_rate"} <= set(snap)
+
+
+class TestQuarantineCounter:
+    def test_quarantine_increments_dedicated_counter(self, tmp_path):
+        d = tmp_path / "cache"
+        d.mkdir()
+        (d / "bad.json").write_text('{"truncated": ')
+        cache = ResultCache(directory=str(d))
+        assert cache.stats.quarantines == 0
+        assert cache.get("bad") is None
+        assert cache.stats.quarantines == 1
+        assert cache.stats.snapshot()["quarantines"] == 1
+
+    def test_plain_miss_does_not_quarantine(self, tmp_path):
+        cache = ResultCache(directory=str(tmp_path / "cache"))
+        assert cache.get("absent") is None
+        assert cache.stats.quarantines == 0

@@ -249,3 +249,58 @@ class TestPooled:
         run_batch(jobs, workers=2, cache=cache)
         warm = run_batch(jobs, cache=cache)
         assert all(r.cached for r in warm.results)
+
+
+class TestSleepHook:
+    def test_injected_sleep_replaces_wall_clock_backoff(self):
+        delays = []
+        engine = BatchEngine(
+            retries=2,
+            retry_base_delay=0.5,
+            execute_fn=_FlakyExecute(failures=1),
+            sleep=delays.append,
+        )
+        start = time.perf_counter()
+        report = engine.run(_jobs(1))
+        elapsed = time.perf_counter() - start
+        assert report.results[0].ok
+        assert delays and all(d > 0 for d in delays)
+        # The 0.5s base backoff went through the hook, not time.sleep.
+        assert elapsed < 0.4
+
+    def test_default_sleep_still_backs_off(self):
+        engine = BatchEngine(
+            retries=1, retry_base_delay=0.001,
+            execute_fn=_FlakyExecute(failures=1),
+        )
+        assert engine.run(_jobs(1)).results[0].ok
+
+
+class TestCacheQuarantineTelemetry:
+    def test_truncated_entry_counts_as_quarantined(self, tmp_path):
+        import pathlib
+
+        directory = str(tmp_path / "cache")
+        jobs = _jobs(1)
+        run_batch(
+            jobs,
+            cache=ResultCache(
+                directory=directory, expected_version=FORMAT_VERSION
+            ),
+        )
+        entries = list(pathlib.Path(directory).glob("*.json"))
+        assert entries
+        for entry in entries:
+            entry.write_text('{"truncated": ')  # the crash mid-write
+
+        cache = ResultCache(
+            directory=directory, expected_version=FORMAT_VERSION
+        )
+        engine = BatchEngine(cache=cache)
+        report = engine.run(jobs)
+        assert report.results[0].ok
+        assert not report.results[0].cached
+        assert engine.telemetry.counter("cache_quarantined") == 1
+        assert report.summary()["cache_quarantined"] == 1
+        # the poisoned file was moved aside, not silently deleted
+        assert list(pathlib.Path(directory).glob("*.json.corrupt"))
