@@ -175,6 +175,11 @@ class FleetReport:
     resumed: int = 0
     #: Corrupt cache entries quarantined by the per-device engines.
     cache_quarantined: int = 0
+    #: Artifact-store activity for the run: ``"process"`` — the
+    #: :func:`repro.store.diff_store_stats` delta of this process's
+    #: registries and shared-memory tier; ``"jobs"`` — summed per-job
+    #: ``store.*`` counters from every device engine's telemetry.
+    store: dict = dataclasses.field(default_factory=dict)
 
     # ------------------------------------------------------------------
     # headline metrics
@@ -263,6 +268,7 @@ class FleetReport:
             "breaker": self.breaker_counts(),
             "resumed": self.resumed,
             "cache_quarantined": self.cache_quarantined,
+            "store": self.store.get("jobs", {}),
             "p95_observed_ms": self.p95_observed_ms(),
             "p95_promised_ms": self.p95_promised_ms(),
             "makespan_ms": self.makespan_ms,
@@ -311,6 +317,15 @@ class FleetReport:
             headline.insert(2, ["resumed from journal", s["resumed"]])
         if s["cache_quarantined"]:
             headline.append(["cache quarantined", s["cache_quarantined"]])
+        store = s["store"]
+        if store:
+            headline.append(
+                [
+                    "store shm hits/publishes",
+                    f"{store.get('shm_hits', 0)}/"
+                    f"{store.get('shm_publishes', 0)}",
+                ]
+            )
         blocks = [format_table(["fleet", "value"], headline)]
 
         rows = [

@@ -81,6 +81,7 @@ from ..service.job import (
     execute_job,
 )
 from ..service.telemetry import Telemetry
+from ..store import diff_store_stats, store_stats
 from .estimate import estimate_success_probability
 from .jobs import FleetJob, bind_job
 from .latency import EwmaLatencyModel, EwmaQualityModel
@@ -463,6 +464,7 @@ class Scheduler:
         """
         jobs = list(jobs)
         start = time.perf_counter()
+        store_before = store_stats()
         records: List[PlacementRecord] = []
         rejections: List[Rejection] = []
         start_index = 0
@@ -526,6 +528,10 @@ class Scheduler:
                 s.engine.telemetry.counter("cache_quarantined")
                 for s in self._states.values()
             ),
+            store={
+                "process": diff_store_stats(store_before, store_stats()),
+                "jobs": self._sum_store_counters(),
+            },
         )
 
     # ------------------------------------------------------------------
@@ -859,6 +865,19 @@ class Scheduler:
                 state.breaker.record_failure(
                     now_ms, attempt.get("error_kind") or "unknown"
                 )
+
+    def _sum_store_counters(self) -> Dict[str, int]:
+        """Total per-job artifact-store events (``store.*`` counters)
+        across every device engine's telemetry."""
+        prefix = "store."
+        totals: Dict[str, int] = {}
+        for state in self._states.values():
+            counters = state.engine.telemetry.snapshot().get("counters", {})
+            for name, value in counters.items():
+                if name.startswith(prefix):
+                    short = name[len(prefix):]
+                    totals[short] = totals.get(short, 0) + int(value)
+        return totals
 
     def _snapshot_devices(self, makespan_ms: float) -> List[DeviceSnapshot]:
         out = []

@@ -82,12 +82,65 @@ class CouplingGraph:
         self._adjacency: Dict[int, Tuple[int, ...]] = {
             q: tuple(sorted(self._neighbours_of(q))) for q in range(num_qubits)
         }
-        self._hop_distances = floyd_warshall(
-            num_qubits, {e: 1.0 for e in self._edges}
-        )
-        # Served directly by distance_matrix(); read-only so hot-path
-        # callers can share it without defensive copies.
-        self._hop_distances.setflags(write=False)
+        # Hop distances are O(n^3) to compute and O(n^2) to hold, so the
+        # table is built lazily: pool workers that resolve it zero-copy
+        # from the shared-memory store (via _install_hop_distances) never
+        # run Floyd-Warshall at all.
+        self._hop_distances: Optional[np.ndarray] = None
+
+    def _hop_table(self) -> np.ndarray:
+        """The hop-distance matrix, computed on first use (read-only).
+
+        Interned graphs carry a content key in ``_shm_key`` (set by
+        :func:`repro.hardware.target.intern_coupling`); those first try
+        to adopt the table zero-copy from the shared-memory store, and
+        publish it for other processes after computing.  Graphs built
+        directly never touch shared memory.
+        """
+        if self._hop_distances is None:
+            key = getattr(self, "_shm_key", None)
+            if key is not None:
+                from ..store.shm import shared_tier
+
+                arrays = shared_tier().resolve(key)
+                if arrays is not None:
+                    table = arrays.get("hop")
+                    if table is not None and table.shape == (
+                        self.num_qubits,
+                        self.num_qubits,
+                    ):
+                        self._hop_distances = table
+                        return table
+            dist = floyd_warshall(self.num_qubits, {e: 1.0 for e in self._edges})
+            # Served directly by distance_matrix(); read-only so hot-path
+            # callers can share it without defensive copies.
+            dist.setflags(write=False)
+            self._hop_distances = dist
+            if key is not None:
+                from ..store.shm import shared_tier
+
+                shared_tier().publish(key, {"hop": dist})
+        return self._hop_distances
+
+    def _install_hop_distances(self, matrix: np.ndarray) -> None:
+        """Adopt an externally resolved hop table (shared-memory tier).
+
+        The matrix must be the read-only Floyd-Warshall table for this
+        exact edge set — callers address it by coupling fingerprint, so
+        content addressing is the correctness argument.  No-op if a
+        table is already materialised.
+        """
+        if self._hop_distances is not None:
+            return
+        if matrix.shape != (self.num_qubits, self.num_qubits):
+            raise ValueError(
+                f"hop table shape {matrix.shape} != "
+                f"({self.num_qubits}, {self.num_qubits})"
+            )
+        if matrix.flags.writeable:
+            matrix = matrix.copy()
+            matrix.setflags(write=False)
+        self._hop_distances = matrix
 
     def _neighbours_of(self, qubit: int) -> List[int]:
         return [
@@ -122,14 +175,14 @@ class CouplingGraph:
 
     def is_connected(self) -> bool:
         """Whether every qubit can reach every other qubit."""
-        return bool(np.all(np.isfinite(self._hop_distances)))
+        return bool(np.all(np.isfinite(self._hop_table())))
 
     # ------------------------------------------------------------------
     # distances
     # ------------------------------------------------------------------
     def distance(self, a: int, b: int) -> int:
         """Hop distance (shortest-path length) between two physical qubits."""
-        d = self._hop_distances[a, b]
+        d = self._hop_table()[a, b]
         if not np.isfinite(d):
             raise ValueError(f"qubits {a} and {b} are disconnected")
         return int(d)
@@ -141,7 +194,7 @@ class CouplingGraph:
         consume it on the hot path, so no per-call O(n²) copy).  Callers
         that need to mutate must ``.copy()`` explicitly.
         """
-        return self._hop_distances
+        return self._hop_table()
 
     def weighted_distance_matrix(
         self, edge_weights: Dict[Edge, float]
@@ -177,7 +230,7 @@ class CouplingGraph:
         index so results are deterministic.
         """
         if dist is None:
-            dist = self._hop_distances
+            dist = self._hop_table()
             weight = {e: 1.0 for e in self._edges}
         else:
             # Recover consistent edge weights from the matrix itself: for a
@@ -226,7 +279,7 @@ class CouplingGraph:
         """
         if radius < 1:
             raise ValueError(f"radius must be >= 1, got {radius}")
-        within = self._hop_distances[qubit] <= radius
+        within = self._hop_table()[qubit] <= radius
         return int(np.count_nonzero(within)) - 1  # exclude self
 
     def connectivity_profile(self, radius: int = 2) -> Dict[int, int]:

@@ -36,8 +36,6 @@ from __future__ import annotations
 
 import hashlib
 import json
-import threading
-from collections import OrderedDict
 from types import MappingProxyType
 from typing import (
     Callable,
@@ -54,6 +52,8 @@ from typing import (
 import numpy as np
 
 from .coupling import CouplingGraph, Edge
+from ..store.registry import FingerprintRegistry
+from ..store.shm import shared_tier
 
 __all__ = [
     "Target",
@@ -63,6 +63,7 @@ __all__ = [
     "intern_coupling",
     "intern_target",
     "normalise_conflicts",
+    "set_registry_capacity",
     "target_registry_stats",
 ]
 
@@ -299,6 +300,13 @@ class Target:
 
             matrix, warnings = resolve_vic_distances(self.calibration)
             self._vic_resolved = (matrix, tuple(warnings))
+            # Publish clean resolutions for other processes to adopt
+            # zero-copy (degraded fallbacks carry warnings and stay
+            # private — adoption must reproduce (matrix, ()) exactly).
+            if matrix is not None and not warnings and self.fingerprint:
+                shared_tier().publish(
+                    f"vic:{self.fingerprint}", {"matrix": matrix}
+                )
         matrix, warnings = self._vic_resolved
         return matrix, list(warnings)
 
@@ -441,18 +449,41 @@ def _rebuild_target(coupling, calibration, conflicts, warnings) -> Target:
 
 
 # ----------------------------------------------------------------------
-# interning registries
+# interning registries (the store's in-process tier)
 # ----------------------------------------------------------------------
-_REGISTRY_CAPACITY = 256
-_REGISTRY_LOCK = threading.Lock()
-_TARGETS: "OrderedDict[str, Target]" = OrderedDict()
-_COUPLINGS: "OrderedDict[tuple, CouplingGraph]" = OrderedDict()
-_STATS = {
-    "target_hits": 0,
-    "target_misses": 0,
-    "coupling_hits": 0,
-    "coupling_misses": 0,
-}
+# One FingerprintRegistry per artifact kind replaces the two hand-rolled
+# OrderedDict LRU loops that used to live here.  Capacity comes from
+# REPRO_REGISTRY_CAPACITY (default 256) or set_registry_capacity().
+_TARGETS = FingerprintRegistry(
+    "targets", env_var="REPRO_REGISTRY_CAPACITY", default_capacity=256
+)
+_COUPLINGS = FingerprintRegistry(
+    "couplings", env_var="REPRO_REGISTRY_CAPACITY", default_capacity=256
+)
+
+
+def set_registry_capacity(capacity: Optional[int]) -> None:
+    """Re-bound both intern registries (``None`` = unbounded)."""
+    _TARGETS.set_capacity(capacity)
+    _COUPLINGS.set_capacity(capacity)
+
+
+def _adopt_shared_vic(target: Target) -> None:
+    """Resolve this target's VIC table from the shared-memory tier.
+
+    Keyed ``"vic:<target fingerprint>"`` — published by whichever process
+    resolved the table first (see :meth:`Target.vic_distances`).  Only
+    clean resolutions (matrix present, no degradation warnings) are ever
+    published, so adoption re-creates exactly ``(matrix, ())``.
+    """
+    if target.calibration is None or target._vic_resolved is not None:
+        return
+    arrays = shared_tier().resolve(f"vic:{target.fingerprint}")
+    if arrays is not None and "matrix" in arrays:
+        matrix = arrays["matrix"]
+        n = target.num_qubits
+        if matrix.shape == (n, n):
+            target._vic_resolved = (matrix, ())
 
 
 def intern_target(
@@ -469,6 +500,11 @@ def intern_target(
     without a fingerprint (duck-typed calibrations) are returned
     un-interned.  The registry is a bounded LRU — long-running services
     with unbounded device churn cannot leak.
+
+    On an intern miss the target additionally tries to adopt its heavy
+    tables (VIC distance matrix) zero-copy from the shared-memory tier,
+    so a pool worker unpickling a target another process already analysed
+    skips the O(n³) work entirely.
     """
     target = Target(
         coupling,
@@ -479,17 +515,10 @@ def intern_target(
     fp = target.fingerprint
     if fp is None:
         return target
-    with _REGISTRY_LOCK:
-        existing = _TARGETS.get(fp)
-        if existing is not None:
-            _TARGETS.move_to_end(fp)
-            _STATS["target_hits"] += 1
-            return existing
-        _TARGETS[fp] = target
-        _STATS["target_misses"] += 1
-        while len(_TARGETS) > _REGISTRY_CAPACITY:
-            _TARGETS.popitem(last=False)
-    return target
+    interned, hit = _TARGETS.intern(fp, lambda: target)
+    if not hit:
+        _adopt_shared_vic(interned)
+    return interned
 
 
 def intern_coupling(
@@ -497,34 +526,27 @@ def intern_coupling(
 ) -> CouplingGraph:
     """The shared :class:`CouplingGraph` for this topology content.
 
-    Constructing a coupling graph runs an eager Floyd–Warshall; interning
-    makes N identical inline device specs (batch job files, unpickled pool
-    jobs) pay for one.  This is also ``CouplingGraph.__reduce__``'s
-    constructor, so couplings cross process boundaries as edge lists and
-    re-intern on arrival.
+    Interning makes N identical inline device specs (batch job files,
+    unpickled pool jobs) share one graph — and one Floyd–Warshall table,
+    resolved zero-copy from the shared-memory tier when any process has
+    already computed it (the interned graph carries its content key in
+    ``_shm_key``; see ``CouplingGraph._hop_table``).  This is also
+    ``CouplingGraph.__reduce__``'s constructor, so couplings cross
+    process boundaries as edge lists and re-intern on arrival.
     """
     key = (
         str(name),
         int(num_qubits),
         tuple(sorted(_norm_edge(*e) for e in edges)),
     )
-    with _REGISTRY_LOCK:
-        existing = _COUPLINGS.get(key)
-        if existing is not None:
-            _COUPLINGS.move_to_end(key)
-            _STATS["coupling_hits"] += 1
-            return existing
-    built = CouplingGraph(key[1], key[2], name=key[0])
-    with _REGISTRY_LOCK:
-        existing = _COUPLINGS.get(key)
-        if existing is not None:
-            _STATS["coupling_hits"] += 1
-            return existing
-        _COUPLINGS[key] = built
-        _STATS["coupling_misses"] += 1
-        while len(_COUPLINGS) > _REGISTRY_CAPACITY:
-            _COUPLINGS.popitem(last=False)
-    return built
+
+    def _build() -> CouplingGraph:
+        built = CouplingGraph(key[1], key[2], name=key[0])
+        built._shm_key = f"coupling:{coupling_fingerprint(built)}"
+        return built
+
+    graph, _hit = _COUPLINGS.intern(key, _build)
+    return graph
 
 
 def as_target(obj) -> Target:
@@ -546,18 +568,27 @@ def as_target(obj) -> Target:
 def clear_target_registry() -> None:
     """Empty both intern registries and reset hit/miss counters (tests and
     cold-start benchmarking)."""
-    with _REGISTRY_LOCK:
-        _TARGETS.clear()
-        _COUPLINGS.clear()
-        for k in _STATS:
-            _STATS[k] = 0
+    _TARGETS.clear()
+    _COUPLINGS.clear()
 
 
 def target_registry_stats() -> dict:
-    """Registry sizes and hit/miss counters (telemetry)."""
-    with _REGISTRY_LOCK:
-        return {
-            **_STATS,
-            "targets": len(_TARGETS),
-            "couplings": len(_COUPLINGS),
-        }
+    """Registry sizes and hit/miss counters (telemetry).
+
+    Key names predate the store refactor and are kept stable for callers;
+    the same counters appear per-registry in
+    :func:`repro.store.store_stats` under ``targets``/``couplings``.
+    """
+    t = _TARGETS.stats()
+    c = _COUPLINGS.stats()
+    return {
+        "target_hits": t["hits"],
+        "target_misses": t["misses"],
+        "target_evictions": t["evictions"],
+        "coupling_hits": c["hits"],
+        "coupling_misses": c["misses"],
+        "coupling_evictions": c["evictions"],
+        "targets": t["size"],
+        "couplings": c["size"],
+        "capacity": t["capacity"],
+    }

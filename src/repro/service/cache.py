@@ -12,18 +12,23 @@ results).
 The memory tier is a straight LRU over an :class:`~collections.OrderedDict`
 with two eviction budgets — entry count and total payload bytes — so a
 long-running service bounds both object churn and resident size.  The disk
-tier (one ``<key>.json`` file per entry under ``directory``) is
-write-through and unbounded; ``repro cache`` manages it from the CLI.
+tier is a :class:`repro.store.disk.ShardedDiskTier`: entries fan out over
+256 shard directories keyed by the SHA-256 of the key (a pre-refactor
+flat-layout directory is still read, and entries migrate into their shard
+on first hit), writes are atomic, corrupt entries are quarantined, and an
+optional ``max_disk_bytes`` budget evicts oldest-first.  ``repro cache``
+and ``repro store`` manage it from the CLI.
 """
 
 from __future__ import annotations
 
 import json
-import os
 import pathlib
 import threading
 from collections import OrderedDict
 from typing import Dict, Optional
+
+from ..store.disk import ShardedDiskTier
 
 __all__ = ["CacheStats", "ResultCache"]
 
@@ -87,6 +92,9 @@ class ResultCache:
             disables the tier.
         expected_version: When set, payloads must carry this top-level
             ``"format_version"``; mismatching disk entries are deleted.
+        max_disk_bytes: Disk-tier byte budget; exceeding it evicts the
+            oldest entries across shards (``None`` = unbounded, the
+            pre-refactor behaviour).
     """
 
     def __init__(
@@ -95,11 +103,14 @@ class ResultCache:
         max_bytes: Optional[int] = 64 * 1024 * 1024,
         directory: Optional[str] = None,
         expected_version: Optional[int] = None,
+        max_disk_bytes: Optional[int] = None,
     ) -> None:
         if max_entries is not None and max_entries < 1:
             raise ValueError("max_entries must be positive or None")
         if max_bytes is not None and max_bytes < 1:
             raise ValueError("max_bytes must be positive or None")
+        if max_disk_bytes is not None and max_disk_bytes < 1:
+            raise ValueError("max_disk_bytes must be positive or None")
         self.max_entries = max_entries
         self.max_bytes = max_bytes
         self.directory = (
@@ -110,6 +121,11 @@ class ResultCache:
         self._lock = threading.Lock()
         self._entries: "OrderedDict[str, str]" = OrderedDict()
         self._bytes = 0
+        self._disk: Optional[ShardedDiskTier] = (
+            ShardedDiskTier(self.directory, max_bytes=max_disk_bytes)
+            if self.directory is not None
+            else None
+        )
 
     # ------------------------------------------------------------------
     # core operations
@@ -143,26 +159,14 @@ class ResultCache:
         with self._lock:
             self.stats.puts += 1
             self._memory_put(key, payload)
-        if self.directory is not None:
-            self.directory.mkdir(parents=True, exist_ok=True)
-            path = self._path(key)
-            # Unique temp name per writer: two processes/threads racing on
-            # the same key must never interleave writes into one temp file.
-            tmp = path.with_name(
-                f"{key}.{os.getpid()}.{threading.get_ident()}.tmp"
-            )
-            try:
-                tmp.write_text(payload)
-                os.replace(tmp, path)
-            except OSError:
-                tmp.unlink(missing_ok=True)
-                raise
+        if self._disk is not None:
+            self._disk.put_text(key, payload)
 
     def __contains__(self, key: str) -> bool:
         with self._lock:
             if key in self._entries:
                 return True
-        return self.directory is not None and self._path(key).exists()
+        return self._disk is not None and self._disk.contains(key)
 
     def __len__(self) -> int:
         with self._lock:
@@ -179,52 +183,52 @@ class ResultCache:
         with self._lock:
             self._entries.clear()
             self._bytes = 0
-        if disk and self.directory is not None and self.directory.exists():
-            for pattern in ("*.json", "*.tmp", "*.json.corrupt"):
-                for path in self.directory.glob(pattern):
-                    path.unlink(missing_ok=True)
+        if disk and self._disk is not None:
+            self._disk.clear(debris=True)
 
     # ------------------------------------------------------------------
     # disk-tier maintenance (used by ``repro cache``)
     # ------------------------------------------------------------------
     def disk_entries(self) -> int:
-        if self.directory is None or not self.directory.exists():
+        """Entry count — a shard-aware scan (existing shard dirs plus the
+        legacy root only, not a full directory walk)."""
+        if self._disk is None:
             return 0
-        return sum(1 for _ in self.directory.glob("*.json"))
+        return self._disk.entries()
 
     def disk_bytes(self) -> int:
-        if self.directory is None or not self.directory.exists():
+        if self._disk is None:
             return 0
-        return sum(
-            p.stat().st_size for p in self.directory.glob("*.json")
-        )
+        return self._disk.bytes_used(refresh=True)
+
+    def shard_stats(self) -> Dict[str, Dict[str, int]]:
+        """Per-shard hit/miss/eviction/quarantine counters (the ``""``
+        shard is the legacy flat root)."""
+        if self._disk is None:
+            return {}
+        return {
+            shard: stats.as_dict()
+            for shard, stats in self._disk.shard_stats().items()
+        }
 
     def prune_stale(self) -> int:
         """Delete stale/corrupt disk entries and writer debris; return count.
 
         Removes entries whose format version is stale, entries that are
         not valid JSON (truncated writes), quarantined ``.corrupt`` files,
-        and orphaned ``.tmp`` files left by crashed writers.
+        and orphaned ``.tmp`` files left by crashed writers — walking only
+        shard directories that exist (plus the legacy root).
         """
-        if self.directory is None or not self.directory.exists():
+        if self._disk is None:
             return 0
-        pruned = 0
-        for path in self.directory.glob("*.json"):
-            try:
-                payload = path.read_text()
-                json.loads(payload)
-                ok = self._check_version(payload)
-            except OSError:
-                ok = False
-            except json.JSONDecodeError:
-                ok = False
-            if ok is False:
-                path.unlink(missing_ok=True)
-                pruned += 1
-        for pattern in ("*.tmp", "*.json.corrupt"):
-            for path in self.directory.glob(pattern):
-                path.unlink(missing_ok=True)
-                pruned += 1
+
+        def _stale(payload: dict) -> bool:
+            if self.expected_version is None:
+                return False
+            return payload.get("format_version") != self.expected_version
+
+        pruned = self._disk.prune(_stale, quarantine_corrupt=False)
+        pruned += self._disk.sweep_debris()
         self.stats.invalidations += pruned
         return pruned
 
@@ -251,43 +255,26 @@ class ResultCache:
             self._bytes -= len(evicted.encode("utf-8"))
             self.stats.evictions += 1
 
-    def _path(self, key: str) -> pathlib.Path:
-        assert self.directory is not None
-        return self.directory / f"{key}.json"
-
     def _disk_get(self, key: str) -> Optional[str]:
-        if self.directory is None:
+        if self._disk is None:
             return None
-        path = self._path(key)
-        try:
-            payload = path.read_text()
-        except (FileNotFoundError, OSError):
-            return None
-        try:
-            json.loads(payload)
-        except json.JSONDecodeError:
+        lookup = self._disk.get(key)
+        if lookup.quarantined:
             # Corrupt or truncated entry (e.g. a crash mid-write by a
-            # pre-atomic-rename writer, bit rot, manual tampering):
-            # quarantine it and report a miss instead of raising.
-            self._quarantine(path)
+            # pre-atomic-rename writer, bit rot, manual tampering): the
+            # tier moved it to ``.corrupt``; report a miss.
+            with self._lock:
+                self.stats.quarantines += 1
+                self.stats.invalidations += 1
+            return None
+        if not lookup.hit:
+            return None
+        if self._check_version(lookup.text) is False:
+            self._disk.delete(key)
             with self._lock:
                 self.stats.invalidations += 1
             return None
-        if self._check_version(payload) is False:
-            path.unlink(missing_ok=True)
-            with self._lock:
-                self.stats.invalidations += 1
-            return None
-        return payload
-
-    def _quarantine(self, path: pathlib.Path) -> None:
-        """Move a corrupt entry aside (delete if even that fails)."""
-        try:
-            path.replace(path.with_name(path.name + ".corrupt"))
-        except OSError:
-            path.unlink(missing_ok=True)
-        with self._lock:
-            self.stats.quarantines += 1
+        return lookup.text
 
     def _check_version(self, payload: str) -> Optional[bool]:
         """``None`` when unchecked, else whether the version matches."""

@@ -49,6 +49,7 @@ from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
+from ..store import diff_store_stats, store_stats
 from .cache import ResultCache
 from .job import CompileJob, JobResult, decode_envelope, execute_job
 from .telemetry import Telemetry
@@ -56,6 +57,22 @@ from .telemetry import Telemetry
 __all__ = ["BatchEngine", "BatchReport", "run_batch"]
 
 _RETRYABLE = ("exception", "timeout", "pool")
+
+
+def _sum_store_events(results: Sequence[JobResult]) -> dict:
+    """Total per-job ``store_events`` over the *executed* results.
+
+    Cache hits are excluded: their envelopes carry the store events of
+    whichever run originally produced them, so counting those would
+    double-report work no process did this run.
+    """
+    totals: dict = {}
+    for result in results:
+        if result.cached or not result.metrics:
+            continue
+        for name, value in (result.metrics.get("store_events") or {}).items():
+            totals[name] = totals.get(name, 0) + int(value)
+    return totals
 
 
 @dataclasses.dataclass
@@ -68,12 +85,19 @@ class BatchReport:
         elapsed: Wall-clock seconds for the whole batch.
         cache_stats: Snapshot of the cache counters (empty dict when the
             run was uncached).
+        store_stats: Artifact-store activity for this run, two sections:
+            ``"process"`` — :func:`repro.store.diff_store_stats` delta of
+            this process's registries and shared-memory tier across the
+            run; ``"jobs"`` — summed per-job ``store_events`` from the
+            executed (non-cached) results, which is the only view that
+            sees activity inside pool worker processes.
     """
 
     results: List[JobResult]
     telemetry: Telemetry
     elapsed: float
     cache_stats: dict
+    store_stats: dict = dataclasses.field(default_factory=dict)
 
     @property
     def ok(self) -> List[JobResult]:
@@ -137,6 +161,7 @@ class BatchReport:
         """Headline numbers: throughput, hit rate, latency percentiles."""
         snap = self.telemetry.snapshot()
         latency = snap["histograms"].get("job_latency_ms", {})
+        job_events = self.store_stats.get("jobs", {})
         return {
             "jobs": len(self.results),
             "ok": len(self.ok),
@@ -151,6 +176,9 @@ class BatchReport:
             ),
             "cache_hit_rate": self.cache_stats.get("hit_rate", 0.0),
             "cache_quarantined": int(self.cache_stats.get("quarantines", 0)),
+            "store_shm_hits": int(job_events.get("shm_hits", 0)),
+            "store_shm_publishes": int(job_events.get("shm_publishes", 0)),
+            "store_registry_hits": int(job_events.get("registry_hits", 0)),
             "latency_p50_ms": latency.get("p50", 0.0),
             "latency_p95_ms": latency.get("p95", 0.0),
             "latency_p99_ms": latency.get("p99", 0.0),
@@ -171,6 +199,11 @@ class BatchReport:
             ["elapsed", f"{s['elapsed_s']:.3f} s"],
             ["throughput", f"{s['jobs_per_s']:.1f} jobs/s"],
             ["cache hit rate", f"{100 * s['cache_hit_rate']:.1f}%"],
+            [
+                "store shm hits/publishes",
+                f"{s['store_shm_hits']}/{s['store_shm_publishes']}",
+            ],
+            ["store registry hits", s["store_registry_hits"]],
             ["latency p50", f"{s['latency_p50_ms']:.2f} ms"],
             ["latency p95", f"{s['latency_p95_ms']:.2f} ms"],
             ["latency p99", f"{s['latency_p99_ms']:.2f} ms"],
@@ -252,6 +285,7 @@ class BatchEngine:
     def run(self, jobs: Sequence[CompileJob]) -> BatchReport:
         """Run a batch; returns one result per job, input order."""
         start = time.perf_counter()
+        store_before = store_stats()
         results: List[Optional[JobResult]] = [None] * len(jobs)
         states = deque()
         now = time.monotonic()
@@ -283,6 +317,10 @@ class BatchEngine:
             cache_stats=(
                 self.cache.stats.snapshot() if self.cache is not None else {}
             ),
+            store_stats={
+                "process": diff_store_stats(store_before, store_stats()),
+                "jobs": _sum_store_events(final),
+            },
         )
 
     # ------------------------------------------------------------------
@@ -355,6 +393,13 @@ class BatchEngine:
                         f"eval_ms.{record['name']}",
                         float(record["seconds"]) * 1e3,
                     )
+                # Artifact-store activity from inside the worker (shm
+                # resolves, registry interning) — only executed results
+                # reach _finish, so cached envelopes never double-count.
+                for name, value in (
+                    result.metrics.get("store_events") or {}
+                ).items():
+                    self.telemetry.incr(f"store.{name}", int(value))
             if self.cache is not None and result.payload is not None:
                 self.cache.put(state.key, result.payload)
         else:

@@ -124,9 +124,11 @@ def execute_eval_job(job: EvalJob) -> JobResult:
     from ..hardware.target import intern_target
     from ..sim.fastpath import cost_diagonal, evaluate_fast
     from ..sim.noise import NoiseModel
+    from ..store import flatten_store_events, store_stats
 
     key = job.content_hash()
     start = time.perf_counter()
+    store_before = store_stats()
     try:
         cjob = job.compile_job
         device, calibration, warnings = resolve_job_environment(cjob)
@@ -185,6 +187,9 @@ def execute_eval_job(job: EvalJob) -> JobResult:
             "target_fingerprint": compiled.target_fingerprint,
             "diagonal_fingerprint": cost_diagonal(cjob.program).fingerprint,
         }
+        events = flatten_store_events(store_before, store_stats())
+        if events:
+            metrics["store_events"] = events
         payload = encode_envelope("null", metrics)
     except (KeyError, ValueError) as exc:
         return JobResult(

@@ -291,9 +291,11 @@ def execute_job(job: CompileJob) -> JobResult:
     from ..compiler.flow import compile_with_method
     from ..compiler.metrics import measure_compiled
     from ..compiler.serialize import to_json
+    from ..store import flatten_store_events, store_stats
 
     key = job.content_hash()
     start = time.perf_counter()
+    store_before = store_stats()
     try:
         device, calibration, warnings = resolve_job_environment(job)
         # One interned Target per distinct device+calibration (repair
@@ -325,6 +327,12 @@ def execute_job(job: CompileJob) -> JobResult:
             "pass_trace": [r.to_dict() for r in compiled.pass_trace],
             "target_fingerprint": compiled.target_fingerprint,
         }
+        # Per-job artifact-store activity (shm hits/publishes, registry
+        # hits) — rides in the envelope so the engine sees what happened
+        # inside pool workers.
+        events = flatten_store_events(store_before, store_stats())
+        if events:
+            metrics["store_events"] = events
         payload = encode_envelope(to_json(compiled), metrics)
     except (KeyError, ValueError) as exc:
         return JobResult(

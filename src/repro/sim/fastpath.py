@@ -47,14 +47,15 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
-import threading
 import time
-from collections import Counter, OrderedDict
+from collections import Counter
 from typing import Dict, Mapping, Optional, Tuple
 
 import numpy as np
 
 from .noise import _ONE_QUBIT_PAULIS, _TWO_QUBIT_PAULIS, NoiseModel
+from ..store.registry import FingerprintRegistry
+from ..store.shm import shared_tier
 
 __all__ = [
     "CostDiagonal",
@@ -242,12 +243,47 @@ class CostDiagonal:
 
 
 # ----------------------------------------------------------------------
-# interning registry (mirrors repro.hardware.target.intern_target)
+# interning registry (the store's in-process tier)
 # ----------------------------------------------------------------------
-_DIAGONAL_CAPACITY = 128
-_DIAGONAL_LOCK = threading.Lock()
-_DIAGONALS: "OrderedDict[str, CostDiagonal]" = OrderedDict()
-_DIAGONAL_STATS = {"hits": 0, "misses": 0}
+_DIAGONALS = FingerprintRegistry(
+    "diagonals", env_var="REPRO_DIAGONAL_CAPACITY", default_capacity=128
+)
+
+#: Don't publish diagonals above this many qubits into shared memory:
+#: cut+phase are 2 * 2^n * 8 bytes, and one 2^24 pair is already 256 MiB.
+_SHM_DIAGONAL_MAX_QUBITS = 20
+
+
+def _adopt_shared_tables(diagonal: CostDiagonal) -> None:
+    """Resolve cut/phase vectors zero-copy from the shared-memory tier."""
+    arrays = shared_tier().resolve(f"diag:{diagonal.fingerprint}")
+    if arrays is None:
+        return
+    cut = arrays.get("cut")
+    phase = arrays.get("phase")
+    if (
+        cut is not None
+        and phase is not None
+        and cut.shape == (diagonal.dim,)
+        and phase.shape == (diagonal.dim,)
+    ):
+        diagonal._cut = cut
+        diagonal._phase = phase
+
+
+def _publish_shared_tables(diagonal: CostDiagonal) -> None:
+    """Compute and publish cut/phase for other processes to adopt.
+
+    The tables are forced eagerly here — on the intern-miss path only —
+    so pool workers that later adopt them never materialise their own
+    2^n vectors.  Oversized diagonals stay process-private.
+    """
+    if diagonal.num_qubits > _SHM_DIAGONAL_MAX_QUBITS:
+        return
+    shared_tier().publish(
+        f"diag:{diagonal.fingerprint}",
+        {"cut": diagonal.cut, "phase": diagonal.phase},
+    )
 
 
 def cost_diagonal(problem) -> CostDiagonal:
@@ -258,7 +294,11 @@ def cost_diagonal(problem) -> CostDiagonal:
     ``num_qubits``/``num_nodes``, ``edges`` and optional ``linear``).
     Content-equal problems — even across distinct objects, edge orders or
     QAOA parameter sets — return the *same* diagonal, so its tables are
-    computed once.  The registry is a bounded LRU.
+    computed once.  The registry is a bounded LRU
+    (``REPRO_DIAGONAL_CAPACITY``, default 128); on an intern miss the
+    2^n cut/phase tables are adopted zero-copy from the shared-memory
+    tier when any process already published them, and published
+    otherwise.
     """
     num_qubits = getattr(problem, "num_qubits", None)
     if num_qubits is None:
@@ -266,32 +306,32 @@ def cost_diagonal(problem) -> CostDiagonal:
     candidate = CostDiagonal(
         num_qubits, problem.edges, getattr(problem, "linear", None)
     )
-    with _DIAGONAL_LOCK:
-        existing = _DIAGONALS.get(candidate.fingerprint)
-        if existing is not None:
-            _DIAGONALS.move_to_end(candidate.fingerprint)
-            _DIAGONAL_STATS["hits"] += 1
-            return existing
-        _DIAGONALS[candidate.fingerprint] = candidate
-        _DIAGONAL_STATS["misses"] += 1
-        while len(_DIAGONALS) > _DIAGONAL_CAPACITY:
-            _DIAGONALS.popitem(last=False)
-    return candidate
+    diagonal, hit = _DIAGONALS.intern(candidate.fingerprint, lambda: candidate)
+    if not hit:
+        _adopt_shared_tables(diagonal)
+        if diagonal._cut is None:
+            _publish_shared_tables(diagonal)
+    return diagonal
 
 
 def clear_diagonal_registry() -> None:
     """Empty the diagonal registry and reset its counters (tests and
     cold-start benchmarking)."""
-    with _DIAGONAL_LOCK:
-        _DIAGONALS.clear()
-        for k in _DIAGONAL_STATS:
-            _DIAGONAL_STATS[k] = 0
+    _DIAGONALS.clear()
 
 
 def diagonal_registry_stats() -> dict:
-    """Registry size and hit/miss counters (telemetry)."""
-    with _DIAGONAL_LOCK:
-        return {**_DIAGONAL_STATS, "diagonals": len(_DIAGONALS)}
+    """Registry size and hit/miss counters (telemetry).  The same
+    counters appear in :func:`repro.store.store_stats` under
+    ``diagonals``."""
+    stats = _DIAGONALS.stats()
+    return {
+        "hits": stats["hits"],
+        "misses": stats["misses"],
+        "evictions": stats["evictions"],
+        "diagonals": stats["size"],
+        "capacity": stats["capacity"],
+    }
 
 
 # ----------------------------------------------------------------------

@@ -6,6 +6,7 @@ import pathlib
 import pytest
 
 from repro.service import ResultCache
+from repro.store import shard_for
 
 
 def _payload(tag: str, size: int = 0, version: int = 1) -> str:
@@ -133,7 +134,8 @@ class TestDiskTier:
         cache = ResultCache(directory=str(d), max_entries=1)
         cache.put("k", _payload("first"))
         cache.put("k", _payload("second"))
-        assert (pathlib.Path(d) / "k.json").read_text() == _payload("second")
+        entry = pathlib.Path(d) / shard_for("k") / "k.json"
+        assert entry.read_text() == _payload("second")
 
     def test_put_rejects_wrong_version(self, tmp_path):
         cache = ResultCache(
@@ -174,6 +176,58 @@ class TestDiskTier:
     def test_stats_snapshot_keys(self):
         snap = ResultCache().stats.snapshot()
         assert {"hits", "misses", "evictions", "hit_rate"} <= set(snap)
+
+
+class TestShardedFacade:
+    """ResultCache as a facade over repro.store.ShardedDiskTier."""
+
+    def test_legacy_flat_entry_still_readable_and_migrates(self, tmp_path):
+        d = tmp_path / "cache"
+        d.mkdir()
+        (d / "old.json").write_text(_payload("legacy"))
+        cache = ResultCache(directory=str(d), expected_version=1)
+        assert json.loads(cache.get("old"))["tag"] == "legacy"
+        # The hit moved the entry into its shard.
+        assert not (d / "old.json").exists()
+        assert (d / shard_for("old") / "old.json").exists()
+
+    def test_legacy_payload_byte_identical_after_migration(self, tmp_path):
+        d = tmp_path / "cache"
+        d.mkdir()
+        text = _payload("exact")
+        (d / "k.json").write_text(text)
+        cache = ResultCache(directory=str(d), expected_version=1)
+        assert cache.get("k") == text
+        # Warm read from the sharded path returns the same bytes.
+        fresh = ResultCache(directory=str(d), expected_version=1)
+        assert fresh.get("k") == text
+
+    def test_shard_stats_exposed(self, tmp_path):
+        cache = ResultCache(directory=str(tmp_path / "cache"))
+        cache.put("k", _payload("a"))
+        fresh = ResultCache(directory=str(tmp_path / "cache"))
+        fresh.get("k")
+        stats = fresh.shard_stats()
+        assert stats[shard_for("k")]["hits"] == 1
+
+    def test_max_disk_bytes_evicts(self, tmp_path):
+        one = _payload("a", size=400)
+        budget = 2 * len(one.encode()) + 10
+        cache = ResultCache(
+            directory=str(tmp_path / "cache"),
+            max_entries=None,
+            max_bytes=None,
+            max_disk_bytes=budget,
+        )
+        cache.put("a", _payload("a", size=400))
+        cache.put("b", _payload("b", size=400))
+        cache.put("c", _payload("c", size=400))
+        assert cache.disk_entries() <= 2
+        assert cache.disk_bytes() <= budget
+
+    def test_max_disk_bytes_validated(self, tmp_path):
+        with pytest.raises(ValueError):
+            ResultCache(directory=str(tmp_path), max_disk_bytes=0)
 
 
 class TestQuarantineCounter:

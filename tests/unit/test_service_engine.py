@@ -288,7 +288,7 @@ class TestCacheQuarantineTelemetry:
                 directory=directory, expected_version=FORMAT_VERSION
             ),
         )
-        entries = list(pathlib.Path(directory).glob("*.json"))
+        entries = list(pathlib.Path(directory).glob("**/*.json"))
         assert entries
         for entry in entries:
             entry.write_text('{"truncated": ')  # the crash mid-write
@@ -303,4 +303,4 @@ class TestCacheQuarantineTelemetry:
         assert engine.telemetry.counter("cache_quarantined") == 1
         assert report.summary()["cache_quarantined"] == 1
         # the poisoned file was moved aside, not silently deleted
-        assert list(pathlib.Path(directory).glob("*.json.corrupt"))
+        assert list(pathlib.Path(directory).glob("**/*.json.corrupt"))

@@ -1,0 +1,484 @@
+"""Unit tests for the content-addressed artifact store (repro.store)."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.store import (
+    ArtifactStore,
+    FingerprintRegistry,
+    ShardedDiskTier,
+    SharedArrayTier,
+    all_registries,
+    diff_store_stats,
+    flatten_store_events,
+    registry_capacity,
+    shard_for,
+    store_stats,
+)
+from repro.store.shm import segment_name
+
+
+# ----------------------------------------------------------------------
+# FingerprintRegistry
+# ----------------------------------------------------------------------
+class TestFingerprintRegistry:
+    def test_intern_builds_once(self):
+        reg = FingerprintRegistry("t-intern", capacity=4)
+        calls = []
+
+        def factory():
+            calls.append(1)
+            return object()
+
+        first, hit1 = reg.intern("k", factory)
+        second, hit2 = reg.intern("k", factory)
+        assert first is second
+        assert (hit1, hit2) == (False, True)
+        assert len(calls) == 1
+
+    def test_lru_eviction_bound(self):
+        """The eviction-bound regression: size never exceeds capacity."""
+        reg = FingerprintRegistry("t-bound", capacity=3)
+        for i in range(10):
+            reg.put(f"k{i}", i)
+            assert len(reg) <= 3
+        stats = reg.stats()
+        assert stats["size"] == 3
+        assert stats["evictions"] == 7
+        # LRU order: the three most recent survive.
+        assert "k9" in reg and "k8" in reg and "k7" in reg
+        assert "k0" not in reg
+
+    def test_get_promotes(self):
+        reg = FingerprintRegistry("t-promote", capacity=2)
+        reg.put("a", 1)
+        reg.put("b", 2)
+        assert reg.get("a") == 1  # promote a over b
+        reg.put("c", 3)
+        assert "a" in reg
+        assert "b" not in reg
+
+    def test_peek_is_telemetry_neutral(self):
+        reg = FingerprintRegistry("t-peek", capacity=2)
+        reg.put("a", 1)
+        reg.peek("a")
+        reg.peek("absent")
+        stats = reg.stats()
+        assert stats["hits"] == 0
+        assert stats["misses"] == 0
+
+    def test_set_capacity_evicts_immediately(self):
+        reg = FingerprintRegistry("t-recap", capacity=4)
+        for i in range(4):
+            reg.put(f"k{i}", i)
+        reg.set_capacity(2)
+        assert len(reg) == 2
+        assert reg.capacity == 2
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            FingerprintRegistry("t-bad", capacity=0)
+
+    def test_clear_resets_counters(self):
+        reg = FingerprintRegistry("t-clear", capacity=2)
+        reg.put("a", 1)
+        reg.get("a")
+        reg.get("absent")
+        reg.clear()
+        assert len(reg) == 0
+        assert reg.stats() == {
+            "hits": 0,
+            "misses": 0,
+            "evictions": 0,
+            "size": 0,
+            "capacity": 2,
+        }
+
+    def test_self_registers_for_aggregate_stats(self):
+        reg = FingerprintRegistry("t-registered", capacity=2)
+        assert all_registries()["t-registered"] is reg
+
+    def test_env_capacity(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_CAP", "7")
+        reg = FingerprintRegistry(
+            "t-env", env_var="REPRO_TEST_CAP", default_capacity=256
+        )
+        assert reg.capacity == 7
+
+    def test_env_capacity_helper(self, monkeypatch):
+        assert registry_capacity(None, 5) == 5
+        monkeypatch.setenv("REPRO_TEST_CAP", "")
+        assert registry_capacity("REPRO_TEST_CAP", 5) == 5
+        monkeypatch.setenv("REPRO_TEST_CAP", "12")
+        assert registry_capacity("REPRO_TEST_CAP", 5) == 12
+        monkeypatch.setenv("REPRO_TEST_CAP", "junk")
+        with pytest.raises(ValueError):
+            registry_capacity("REPRO_TEST_CAP", 5)
+        monkeypatch.setenv("REPRO_TEST_CAP", "0")
+        with pytest.raises(ValueError):
+            registry_capacity("REPRO_TEST_CAP", 5)
+
+    def test_explicit_capacity_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_CAP", "7")
+        reg = FingerprintRegistry(
+            "t-explicit", capacity=3, env_var="REPRO_TEST_CAP"
+        )
+        assert reg.capacity == 3
+
+
+class TestRegistryCapacityKnobs:
+    """The configurable-capacity satellite: the live registries honour
+    their environment variables and the runtime setter."""
+
+    def test_target_registry_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_REGISTRY_CAPACITY", "11")
+        reg = FingerprintRegistry(
+            "t-target-env",
+            env_var="REPRO_REGISTRY_CAPACITY",
+            default_capacity=256,
+        )
+        assert reg.capacity == 11
+
+    def test_set_registry_capacity_setter(self):
+        from repro.hardware.target import (
+            _COUPLINGS,
+            _TARGETS,
+            set_registry_capacity,
+        )
+
+        before_t = _TARGETS.capacity
+        before_c = _COUPLINGS.capacity
+        try:
+            set_registry_capacity(33)
+            assert _TARGETS.capacity == 33
+            assert _COUPLINGS.capacity == 33
+        finally:
+            _TARGETS.set_capacity(before_t)
+            _COUPLINGS.set_capacity(before_c)
+
+
+# ----------------------------------------------------------------------
+# SharedArrayTier
+# ----------------------------------------------------------------------
+@pytest.fixture
+def tier():
+    t = SharedArrayTier(max_segments=8, max_bytes=1 << 20)
+    yield t
+    t.cleanup()
+
+
+class TestSharedArrayTier:
+    def test_publish_then_resolve_roundtrip(self, tier):
+        arrays = {
+            "m": np.arange(12, dtype=np.float64).reshape(3, 4),
+            "v": np.array([1, 2, 3], dtype=np.int64),
+        }
+        assert tier.publish("k1", arrays)
+        out = tier.resolve("k1")
+        assert set(out) == {"m", "v"}
+        np.testing.assert_array_equal(out["m"], arrays["m"])
+        np.testing.assert_array_equal(out["v"], arrays["v"])
+        assert not out["m"].flags.writeable
+
+    def test_resolve_missing_counts_miss(self, tier):
+        assert tier.resolve("absent") is None
+        assert tier.stats()["misses"] == 1
+
+    def test_repeat_resolve_is_cached_hit(self, tier):
+        tier.publish("k", {"a": np.zeros(4)})
+        tier.resolve("k")
+        hits_before = tier.stats()["hits"]
+        tier.resolve("k")
+        assert tier.stats()["hits"] == hits_before + 1
+
+    def test_cross_tier_attach(self, tier):
+        """A second tier instance (stand-in for another process) resolves
+        the block the first one published, zero-copy."""
+        matrix = np.arange(16, dtype=np.float64).reshape(4, 4)
+        assert tier.publish("shared", {"hop": matrix})
+        other = SharedArrayTier(max_segments=8, max_bytes=1 << 20)
+        try:
+            out = other.resolve("shared")
+            assert out is not None
+            np.testing.assert_array_equal(out["hop"], matrix)
+            assert other.stats()["attach_hits"] == 1
+        finally:
+            other.cleanup()
+
+    def test_disabled_tier_never_publishes(self):
+        t = SharedArrayTier(enabled=False)
+        assert not t.publish("k", {"a": np.zeros(4)})
+        assert t.resolve("k") is None
+        assert t.stats()["segments"] == 0
+
+    def test_disable_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHM_DISABLE", "1")
+        assert not SharedArrayTier().enabled
+
+    def test_segment_cap_counts_skip(self):
+        t = SharedArrayTier(max_segments=1, max_bytes=1 << 20)
+        try:
+            assert t.publish("a", {"x": np.zeros(4)})
+            assert not t.publish("b", {"x": np.zeros(4)})
+            assert t.stats()["publish_skips"] == 1
+        finally:
+            t.cleanup()
+
+    def test_byte_cap_counts_skip(self):
+        t = SharedArrayTier(max_segments=8, max_bytes=64)
+        try:
+            assert not t.publish("big", {"x": np.zeros(1024)})
+            assert t.stats()["publish_skips"] == 1
+        finally:
+            t.cleanup()
+
+    def test_torn_block_treated_as_absent(self, tier):
+        """A segment without the magic seal (publisher died mid-write)
+        reads as a miss, counted as torn."""
+        from multiprocessing import shared_memory
+
+        name = segment_name("torn-key")
+        shm = shared_memory.SharedMemory(name=name, create=True, size=64)
+        try:
+            shm.buf[:8] = b"XXXXXXXX"  # wrong seal
+            assert tier.resolve("torn-key") is None
+            assert tier.stats()["torn"] == 1
+        finally:
+            shm.close()
+            shm.unlink()
+
+    def test_cleanup_unlinks_owned_segments(self):
+        t = SharedArrayTier(max_segments=8, max_bytes=1 << 20)
+        t.publish("gone", {"x": np.zeros(8)})
+        name = segment_name("gone")
+        assert os.path.exists(f"/dev/shm/{name}")
+        t.cleanup()
+        assert not os.path.exists(f"/dev/shm/{name}")
+
+    def test_publish_race_resolves_existing(self, tier):
+        matrix = np.ones((2, 2))
+        assert tier.publish("race", {"m": matrix})
+        other = SharedArrayTier(max_segments=8, max_bytes=1 << 20)
+        try:
+            # Same key: create fails with FileExistsError inside publish
+            # and the other tier attaches to the winner's block.
+            assert other.publish("race", {"m": matrix})
+            out = other.resolve("race")
+            np.testing.assert_array_equal(out["m"], matrix)
+        finally:
+            other.cleanup()
+
+
+# ----------------------------------------------------------------------
+# ShardedDiskTier
+# ----------------------------------------------------------------------
+class TestShardedDiskTier:
+    def test_shard_for_is_stable_and_path_safe(self):
+        assert shard_for("k") == shard_for("k")
+        assert len(shard_for("any/key with spaces")) == 2
+        assert all(c in "0123456789abcdef" for c in shard_for("k"))
+
+    def test_put_get_roundtrip(self, tmp_path):
+        tier = ShardedDiskTier(tmp_path)
+        tier.put("k", {"v": 1})
+        lookup = tier.get("k")
+        assert lookup.hit
+        assert lookup.payload == {"v": 1}
+        assert (tmp_path / shard_for("k") / "k.json").exists()
+
+    def test_text_is_byte_identical(self, tmp_path):
+        tier = ShardedDiskTier(tmp_path)
+        text = '{"v":1,  "weird":   "spacing"}'
+        tier.put_text("k", text)
+        assert tier.get("k").text == text
+
+    def test_legacy_flat_entry_migrates_on_hit(self, tmp_path):
+        (tmp_path / "old.json").write_text(json.dumps({"v": "legacy"}))
+        tier = ShardedDiskTier(tmp_path)
+        lookup = tier.get("old")
+        assert lookup.hit and lookup.migrated
+        assert not (tmp_path / "old.json").exists()
+        assert (tmp_path / shard_for("old") / "old.json").exists()
+        assert tier.stats()["migrations"] == 1
+        # Second read comes straight from the shard.
+        assert tier.get("old").payload == {"v": "legacy"}
+
+    def test_corrupt_legacy_quarantined_in_place(self, tmp_path):
+        (tmp_path / "bad.json").write_text("{torn")
+        tier = ShardedDiskTier(tmp_path)
+        lookup = tier.get("bad")
+        assert lookup.quarantined and not lookup.hit
+        assert (tmp_path / "bad.json.corrupt").exists()
+        assert not (tmp_path / shard_for("bad")).exists()
+
+    def test_corrupt_shard_entry_quarantined_and_counted(self, tmp_path):
+        tier = ShardedDiskTier(tmp_path)
+        tier.put("k", {"v": 1})
+        tier.entry_path("k").write_text("{torn")
+        assert tier.get("k").quarantined
+        shard = shard_for("k")
+        assert tier.shard_stats()[shard].quarantines == 1
+        assert (tmp_path / shard / "k.json.corrupt").exists()
+
+    def test_scans_are_o_touched_shards(self, tmp_path):
+        """entries() walks only shard dirs that exist (plus the legacy
+        root), not all 256 — the shard-aware-scan satellite."""
+        tier = ShardedDiskTier(tmp_path)
+        keys = ["a", "b", "c"]
+        for k in keys:
+            tier.put(k, {"k": k})
+        distinct = len({shard_for(k) for k in keys})
+        before = tier.stats()["shards_scanned"]
+        assert tier.entries() == 3
+        walked = tier.stats()["shards_scanned"] - before
+        assert walked == distinct + 1  # + the legacy root
+
+    def test_byte_budget_evicts_oldest(self, tmp_path):
+        tier = ShardedDiskTier(tmp_path, max_bytes=150)
+        payload = {"pad": "x" * 50}
+        tier.put("first", payload)
+        os.utime(
+            tier.entry_path("first"), (1, 1)
+        )  # make "first" unambiguously oldest
+        tier.put("second", payload)
+        tier.put("third", payload)
+        assert tier.bytes_used(refresh=True) <= 150
+        assert not tier.contains("first")
+        assert sum(s.evictions for s in tier.shard_stats().values()) >= 1
+
+    def test_prune_stale_predicate(self, tmp_path):
+        tier = ShardedDiskTier(tmp_path)
+        tier.put("keep", {"version": 2})
+        tier.put("drop", {"version": 1})
+        removed = tier.prune(lambda p: p.get("version") == 1)
+        assert removed == 1
+        assert tier.contains("keep")
+        assert not tier.contains("drop")
+
+    def test_prune_delete_corrupt_mode(self, tmp_path):
+        tier = ShardedDiskTier(tmp_path)
+        tier.put("bad", {"v": 1})
+        tier.entry_path("bad").write_text("{torn")
+        removed = tier.prune(lambda p: False, quarantine_corrupt=False)
+        assert removed == 1
+        assert not tier.entry_path("bad").exists()
+        assert not tier.entry_path("bad").with_suffix(
+            ".json.corrupt"
+        ).exists()
+
+    def test_sweep_debris(self, tmp_path):
+        tier = ShardedDiskTier(tmp_path)
+        tier.put("k", {"v": 1})
+        (tmp_path / "orphan.1.2.tmp").write_text("partial")
+        (tmp_path / shard_for("k") / "x.json.corrupt").write_text("{")
+        assert tier.sweep_debris() == 2
+        assert tier.entries() == 1
+
+    def test_clear(self, tmp_path):
+        tier = ShardedDiskTier(tmp_path)
+        for k in ("a", "b"):
+            tier.put(k, {"k": k})
+        assert tier.clear() == 2
+        assert tier.entries() == 0
+        assert tier.bytes_used() == 0
+
+    def test_delete_covers_both_layouts(self, tmp_path):
+        (tmp_path / "legacy.json").write_text("{}")
+        tier = ShardedDiskTier(tmp_path)
+        tier.put("sharded", {})
+        assert tier.delete("legacy")
+        assert tier.delete("sharded")
+        assert not tier.delete("absent")
+
+
+# ----------------------------------------------------------------------
+# ArtifactStore facade + stats plumbing
+# ----------------------------------------------------------------------
+class TestArtifactStore:
+    def test_intern_delegates_to_registry(self):
+        store = ArtifactStore(
+            "t-store", registry=FingerprintRegistry("t-store", capacity=4)
+        )
+        value, hit = store.intern("k", lambda: "v")
+        assert (value, hit) == ("v", False)
+        assert store.intern("k", lambda: "other") == ("v", True)
+
+    def test_arrays_round_trip_through_both_tiers(self):
+        shared = SharedArrayTier(max_segments=4, max_bytes=1 << 20)
+        store = ArtifactStore(
+            "t-arrays",
+            registry=FingerprintRegistry("t-arrays", capacity=4),
+            shared=shared,
+        )
+        try:
+            matrix = np.eye(3)
+            store.put_arrays("m", {"m": matrix})
+            out = store.get_arrays("m")
+            np.testing.assert_array_equal(out["m"], matrix)
+        finally:
+            shared.cleanup()
+
+    def test_disk_entries(self, tmp_path):
+        store = ArtifactStore(
+            "t-disk",
+            registry=FingerprintRegistry("t-disk", capacity=4),
+            disk=ShardedDiskTier(tmp_path),
+        )
+        assert store.get_entry("k") is None
+        store.put_entry("k", {"v": 1})
+        assert store.get_entry("k") == {"v": 1}
+        assert "disk" in store.stats()
+
+    def test_store_stats_shape(self):
+        snap = store_stats()
+        assert "registries" in snap and "shm" in snap
+        for stats in snap["registries"].values():
+            assert {"hits", "misses", "evictions", "size"} <= set(stats)
+
+
+class TestStatsDiffing:
+    def test_counters_diff_and_gauges_take_after(self):
+        before = {"shm": {"hits": 2, "bytes": 100, "segments": 1}}
+        after = {"shm": {"hits": 5, "bytes": 50, "segments": 3}}
+        delta = diff_store_stats(before, after)
+        assert delta["shm"]["hits"] == 3
+        assert delta["shm"]["bytes"] == 50  # gauge: after-value
+        assert delta["shm"]["segments"] == 3
+
+    def test_counter_reset_clamps_at_zero(self):
+        delta = diff_store_stats(
+            {"shm": {"hits": 10}}, {"shm": {"hits": 2}}
+        )
+        assert delta["shm"]["hits"] == 0
+
+    def test_new_sections_diff_against_zero(self):
+        delta = diff_store_stats({}, {"registries": {"r": {"hits": 4}}})
+        assert delta["registries"]["r"]["hits"] == 4
+
+    def test_flatten_store_events_sums_and_drops_zeros(self):
+        before = {
+            "registries": {
+                "a": {"hits": 1, "misses": 0, "evictions": 0},
+                "b": {"hits": 2, "misses": 1, "evictions": 0},
+            },
+            "shm": {"hits": 1, "attach_hits": 0, "misses": 0,
+                    "publishes": 0, "publish_skips": 0, "torn": 0},
+        }
+        after = {
+            "registries": {
+                "a": {"hits": 4, "misses": 0, "evictions": 0},
+                "b": {"hits": 2, "misses": 3, "evictions": 0},
+            },
+            "shm": {"hits": 2, "attach_hits": 1, "misses": 0,
+                    "publishes": 1, "publish_skips": 0, "torn": 0},
+        }
+        events = flatten_store_events(before, after)
+        assert events["registry_hits"] == 3
+        assert events["registry_misses"] == 2
+        assert events["shm_hits"] == 2  # hits + attach_hits deltas
+        assert events["shm_publishes"] == 1
+        assert "shm_torn" not in events  # zeros dropped
+        assert "registry_evictions" not in events
