@@ -89,8 +89,11 @@ from .hardware import (
 )
 from .qaoa import (
     ARGResult,
+    IsingProblem,
     MaxCutProblem,
+    Problem,
     QAOAProgram,
+    VariationalResult,
     analytic_expectation,
     analytic_optimal_parameters,
     approximation_ratio,
@@ -99,8 +102,12 @@ from .qaoa import (
     decode_physical_counts,
     erdos_renyi_graph,
     evaluate_arg,
+    maxcut_to_ising,
+    optimize_problem,
     optimize_qaoa,
+    problem_from_spec,
     qaoa_expectation,
+    qubo_to_ising,
     random_regular_graph,
 )
 from .sim import (
@@ -111,7 +118,7 @@ from .sim import (
     evaluate_fast,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",
@@ -174,9 +181,16 @@ __all__ = [
     "sequentialize_crosstalk",
     # qaoa
     "MaxCutProblem",
+    "IsingProblem",
+    "Problem",
     "QAOAProgram",
+    "VariationalResult",
     "build_qaoa_circuit",
+    "maxcut_to_ising",
+    "optimize_problem",
     "optimize_qaoa",
+    "problem_from_spec",
+    "qubo_to_ising",
     "qaoa_expectation",
     "analytic_expectation",
     "analytic_optimal_parameters",

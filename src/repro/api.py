@@ -45,6 +45,7 @@ from .hardware import get_device
 from .hardware.calibration import Calibration
 from .hardware.coupling import CouplingGraph
 from .hardware.target import Target, intern_target
+from .qaoa.ising import IsingProblem
 from .qaoa.problems import MaxCutProblem, QAOAProgram
 from .sim.fastpath import evaluate_fast
 from .sim.noise import NoiseModel
@@ -113,15 +114,17 @@ def _resolve_program(
     problem,
     gammas: Optional[Sequence[float]],
     betas: Optional[Sequence[float]],
-) -> Tuple[QAOAProgram, Optional[MaxCutProblem]]:
+) -> Tuple[QAOAProgram, Optional[object]]:
     if isinstance(problem, QAOAProgram):
         if gammas is not None or betas is not None:
             raise ValueError(
                 "gammas/betas are baked into a QAOAProgram; pass a "
-                "MaxCutProblem to choose angles here"
+                "problem instance to choose angles here"
             )
         return problem, None
-    if isinstance(problem, MaxCutProblem):
+    if isinstance(problem, (MaxCutProblem, IsingProblem)) or (
+        not isinstance(problem, type) and hasattr(problem, "to_program")
+    ):
         if (gammas is None) != (betas is None):
             raise ValueError("pass gammas and betas together")
         if gammas is None:
@@ -130,8 +133,8 @@ def _resolve_program(
             raise ValueError("gammas and betas must have equal length")
         return problem.to_program(gammas, betas), problem
     raise TypeError(
-        f"problem must be a MaxCutProblem or QAOAProgram, got "
-        f"{type(problem).__name__}"
+        f"problem must be a MaxCutProblem, IsingProblem, QAOAProgram or "
+        f"any Problem with to_program, got {type(problem).__name__}"
     )
 
 
@@ -143,15 +146,17 @@ class CompileResult:
         compiled: The full :class:`~repro.compiler.flow.CompiledQAOA`
             (circuit, mappings, pass trace, ...).
         program: The logical program that was compiled (angles included).
-        problem: The originating MaxCut instance when one was passed
-            (``None`` when :func:`compile` was given a raw program).
+        problem: The originating problem instance (MaxCut, Ising/QUBO, or
+            any :class:`~repro.qaoa.frontend.Problem`) when one was
+            passed (``None`` when :func:`compile` was given a raw
+            program).
         target: The interned device view the compilation ran against.
         method: The method name requested (``"ic"``, ``"vic"``, ...).
     """
 
     compiled: object
     program: QAOAProgram
-    problem: Optional[MaxCutProblem]
+    problem: Optional[object]
     target: Target
     method: str
 

@@ -179,6 +179,59 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit per-method outcomes as a JSON document",
     )
 
+    optimize = sub.add_parser(
+        "optimize",
+        help="variational QAOA optimization over the unified problem "
+        "frontend via the batch engine",
+    )
+    optimize.add_argument(
+        "jobs",
+        nargs="?",
+        default=None,
+        help="JSONL optimize-job file (- for stdin); omit for one "
+        "synthetic instance from --family",
+    )
+    optimize.add_argument(
+        "--family",
+        choices=["er", "regular", "er_m", "qubo"],
+        default="qubo",
+        help="synthetic workload family (qubo samples a random QUBO)",
+    )
+    optimize.add_argument("--nodes", type=int, default=8)
+    optimize.add_argument(
+        "--param",
+        type=float,
+        default=0.5,
+        help="family parameter (edge probability / degree / density)",
+    )
+    optimize.add_argument("--p", type=int, default=1, help="QAOA levels")
+    optimize.add_argument(
+        "--optimizer",
+        choices=["cobyla", "nelder-mead"],
+        default="cobyla",
+    )
+    optimize.add_argument(
+        "--maxiter", type=int, default=200, help="classical iteration bound"
+    )
+    optimize.add_argument(
+        "--restarts",
+        type=int,
+        default=8,
+        help="random starts scored through the batched fast path",
+    )
+    optimize.add_argument("--seed", type=int, default=0)
+    optimize.add_argument(
+        "--cache-dir", default=None, help="disk-tier cache directory"
+    )
+    optimize.add_argument(
+        "--no-cache", action="store_true", help="disable result caching"
+    )
+    optimize.add_argument(
+        "--json",
+        action="store_true",
+        help="emit per-job outcomes as a JSON document",
+    )
+
     batch = sub.add_parser(
         "batch",
         help="run a JSONL job file through the batch compilation engine",
@@ -809,6 +862,118 @@ def _cmd_evaluate(args, out) -> int:
     return 0 if not report.failed else 1
 
 
+def _cmd_optimize(args, out) -> int:
+    from .experiments.reporting import format_table
+    from .service import (
+        OptimizeJob,
+        ResultCache,
+        load_optimize_jobs_jsonl,
+        run_optimize_batch,
+    )
+
+    if args.jobs is not None:
+        if args.jobs == "-":
+            lines = sys.stdin.readlines()
+        else:
+            try:
+                with open(args.jobs) as fh:
+                    lines = fh.readlines()
+            except OSError as exc:
+                print(f"error: cannot read job file: {exc}", file=sys.stderr)
+                return 2
+        try:
+            jobs = load_optimize_jobs_jsonl(lines)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if not jobs:
+            print("error: job file contains no jobs", file=sys.stderr)
+            return 2
+    else:
+        from .experiments.harness import make_problem
+
+        rng = np.random.default_rng(args.seed)
+        problem = make_problem(args.family, args.nodes, args.param, rng)
+        jobs = [
+            OptimizeJob(
+                problem=problem,
+                p=args.p,
+                optimizer=args.optimizer,
+                maxiter=args.maxiter,
+                restarts=args.restarts,
+                opt_seed=args.seed,
+                job_id=f"{args.family}-{args.nodes}",
+            )
+        ]
+
+    cache = None
+    if not args.no_cache:
+        from .compiler.serialize import FORMAT_VERSION
+
+        cache = ResultCache(
+            directory=args.cache_dir, expected_version=FORMAT_VERSION
+        )
+    report = run_optimize_batch(jobs, cache=cache, seed=args.seed)
+
+    if args.json:
+        import json as _json
+
+        document = {
+            "results": [
+                {
+                    "id": r.job.job_id,
+                    "ok": r.ok,
+                    "cached": r.cached,
+                    "error": r.error,
+                    **{
+                        k: r.metrics.get(k)
+                        for k in (
+                            "expectation", "optimum", "approximation_ratio",
+                            "evaluations", "optimizer", "p", "num_qubits",
+                        )
+                    },
+                }
+                for r in report.results
+            ],
+        }
+        print(_json.dumps(document, indent=2), file=out)
+        return 0 if not report.failed else 1
+
+    rows = []
+    for index, result in enumerate(report.results):
+        label = result.job.job_id or f"job-{index}"
+        if not result.ok:
+            rows.append([label, "-", "-", "-", "-", result.error])
+            continue
+        m = result.metrics
+        rows.append(
+            [
+                label,
+                f"{m['expectation']:.4f}",
+                f"{m['optimum']:.4f}",
+                f"{m['approximation_ratio']:.3f}",
+                m["evaluations"],
+                "cached" if result.cached else f"{result.latency * 1e3:.0f}ms",
+            ]
+        )
+    print(
+        format_table(
+            ["job", "expectation", "optimum", "ratio", "evals", "source"],
+            rows,
+        ),
+        file=out,
+    )
+    stages = report.optimize_summary()
+    if stages:
+        print("  optimize stage p50 latency:", file=out)
+        srows = [
+            [name, f"{summary['p50']:.2f}", summary["count"]]
+            for name, summary in sorted(stages.items())
+        ]
+        print(format_table(["stage", "p50 ms", "samples"], srows), file=out)
+    return 0 if not report.failed else 1
+
+
 def _cmd_batch(args, out) -> int:
     import json
 
@@ -1248,6 +1413,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         return _cmd_arg(args, out)
     if args.command == "evaluate":
         return _cmd_evaluate(args, out)
+    if args.command == "optimize":
+        return _cmd_optimize(args, out)
     if args.command == "batch":
         return _cmd_batch(args, out)
     if args.command == "fleet":

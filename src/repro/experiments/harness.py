@@ -33,6 +33,7 @@ from ..qaoa.graphs import (
     erdos_renyi_graph,
     random_regular_graph,
 )
+from ..qaoa.ising import IsingProblem
 from ..qaoa.problems import MaxCutProblem
 
 __all__ = [
@@ -113,13 +114,17 @@ def make_problem(
     num_nodes: int,
     param: float,
     rng: np.random.Generator,
-) -> MaxCutProblem:
-    """Sample one MaxCut instance from a named workload family.
+):
+    """Sample one problem instance from a named workload family.
 
     Families:
-        * ``"er"`` — Erdős–Rényi with edge probability ``param``;
-        * ``"regular"`` — ``param``-regular graph;
-        * ``"er_m"`` — ER with exactly ``param`` edges (Section VI).
+        * ``"er"`` — Erdős–Rényi MaxCut with edge probability ``param``;
+        * ``"regular"`` — ``param``-regular MaxCut graph;
+        * ``"er_m"`` — ER with exactly ``param`` edges (Section VI);
+        * ``"qubo"`` — random symmetric QUBO at off-diagonal density
+          ``param`` (an :class:`~repro.qaoa.ising.IsingProblem` via
+          :meth:`~repro.qaoa.ising.IsingProblem.from_qubo`), the unified
+          frontend's non-MaxCut workload.
     """
     if family == "er":
         graph = erdos_renyi_graph(num_nodes, float(param), rng)
@@ -130,6 +135,28 @@ def make_problem(
             graph = erdos_renyi_fixed_edges(num_nodes, int(param), rng)
             if graph.number_of_edges() > 0:
                 break
+    elif family == "qubo":
+        matrix = np.zeros((num_nodes, num_nodes))
+        diag = rng.uniform(-1.0, 1.0, size=num_nodes)
+        matrix[np.diag_indices(num_nodes)] = diag
+        pairs = [
+            (i, j)
+            for i in range(num_nodes)
+            for j in range(i + 1, num_nodes)
+        ]
+        density = min(max(float(param), 0.0), 1.0)
+        keep = rng.random(len(pairs)) < density
+        if not keep.any():
+            # A coupling-free QUBO has a trivial product-state optimum;
+            # force at least one quadratic term so the instance exercises
+            # the entangling layer.
+            keep[int(rng.integers(len(pairs)))] = True
+        for (i, j), kept in zip(pairs, keep):
+            if kept:
+                w = float(rng.uniform(-1.0, 1.0))
+                matrix[i, j] = w
+                matrix[j, i] = w
+        return IsingProblem.from_qubo(matrix)
     else:
         raise ValueError(f"unknown workload family {family!r}")
     return MaxCutProblem.from_graph(graph)

@@ -11,15 +11,20 @@ service job that flows through the per-device
 cache included.
 
 JSONL lines reuse the ``repro batch`` job grammar
-(:func:`repro.service.job.job_from_dict`) with two fleet extensions::
+(:func:`repro.service.job.job_from_dict`) with three fleet extensions::
 
     {"problem": {...}, "slo": "gold"}
     {"program": {...}, "slo": {"max_latency_ms": 500},
      "eval": {"shots": 1024, "trajectories": 8}}
+    {"qubo": {"matrix": [[1, -1], [-1, 1]]}, "slo": "silver",
+     "optimize": {"p": 1, "optimizer": "cobyla", "maxiter": 150}}
 
 ``"slo"`` is a tier name or bound dict; a present ``"eval"`` object
-turns the line into an evaluation job.  ``"device"`` entries are
-ignored — the scheduler owns placement.
+turns the line into an evaluation job, a present ``"optimize"`` object
+into a variational :class:`~repro.service.optimize.OptimizeJob` over any
+unified-frontend problem form.  ``"device"`` entries are ignored — the
+scheduler owns placement (optimize jobs run device-free on the exact
+fast path, but stay memory-constrained like evaluations).
 """
 
 from __future__ import annotations
@@ -33,6 +38,7 @@ import numpy as np
 from ..hardware.target import Target
 from ..service.evaluate import EvalJob
 from ..service.job import CompileJob, job_from_dict
+from ..service.optimize import OptimizeJob, optimize_job_from_dict
 from .slo import SLO, SLO_TIERS, slo_from_dict
 
 __all__ = [
@@ -47,12 +53,15 @@ __all__ = [
 class FleetJob:
     """One unit of fleet work: a service job plus its SLO."""
 
-    job: Union[CompileJob, EvalJob]
+    job: Union[CompileJob, EvalJob, OptimizeJob]
     slo: SLO = SLO()
 
     @property
     def kind(self) -> str:
-        """``"compile"`` or ``"eval"`` (what the latency model keys on)."""
+        """``"compile"``, ``"eval"`` or ``"optimize"`` (what the latency
+        model keys on)."""
+        if isinstance(self.job, OptimizeJob):
+            return "optimize"
         return "eval" if isinstance(self.job, EvalJob) else "compile"
 
     @property
@@ -61,32 +70,45 @@ class FleetJob:
 
     @property
     def method(self) -> Optional[str]:
-        """Compile method preset (EvalJob proxies its compile job's)."""
+        """Compile method preset (EvalJob proxies its compile job's;
+        OptimizeJob reports its classical optimizer)."""
         return getattr(self.job, "method", None)
 
     @property
     def program(self):
+        """The wrapped program (``None`` for optimize jobs — the
+        variational loop picks its own angles)."""
+        if isinstance(self.job, OptimizeJob):
+            return None
         return self.job.program
 
     @property
     def levels(self) -> int:
+        if isinstance(self.job, OptimizeJob):
+            return int(self.job.p)
         return len(self.job.program.levels)
 
     @property
     def num_edges(self) -> int:
+        if isinstance(self.job, OptimizeJob):
+            return len(self.job.problem.edges)
         return len(self.job.program.edges)
 
 
 def bind_job(
     fleet_job: FleetJob, target: Target
-) -> Union[CompileJob, EvalJob]:
+) -> Union[CompileJob, EvalJob, OptimizeJob]:
     """The concrete service job for one placement decision.
 
     Rebinds the wrapped job's device and calibration to the slot's
     target content; everything else (program, method, seeds, eval knobs)
     is preserved, so the content hash — and therefore the cache key —
     depends on *where* the job landed, never on scheduler state.
+    Optimize jobs are device-free (exact fast path) and pass through
+    unchanged — their hash never depends on placement.
     """
+    if isinstance(fleet_job.job, OptimizeJob):
+        return fleet_job.job
     if isinstance(fleet_job.job, EvalJob):
         compile_job = dataclasses.replace(
             fleet_job.job.compile_job,
@@ -112,6 +134,11 @@ def fleet_jobs_from_jsonl(lines: Sequence[str]) -> List[FleetJob]:
         try:
             spec = json.loads(line)
             slo = slo_from_dict(spec.pop("slo", None))
+            if "optimize" in spec:
+                out.append(
+                    FleetJob(job=optimize_job_from_dict(spec), slo=slo)
+                )
+                continue
             eval_spec = spec.pop("eval", None)
             compile_job = job_from_dict(spec)
             if eval_spec is None:

@@ -24,7 +24,7 @@ __all__ = ["EwmaLatencyModel", "EwmaQualityModel", "METHOD_COST_FACTORS"]
 #: Cold-start execution priors (ms) per job kind: roughly one paper-size
 #: compile and one fast-path evaluation on commodity hardware.  They only
 #: matter until the first observation lands.
-_DEFAULT_PRIORS_MS = {"compile": 50.0, "eval": 250.0}
+_DEFAULT_PRIORS_MS = {"compile": 50.0, "eval": 250.0, "optimize": 400.0}
 
 #: Cold-start *relative* cost of the paper's method presets against the
 #: kind prior, from the bench_service_throughput / pass-trace numbers:

@@ -102,6 +102,12 @@ class CircuitBreaker:
         cooldown_ms: Virtual milliseconds an open breaker waits before
             half-opening for a probe; ``None`` never half-opens (the
             legacy permanent-ineligibility semantics).
+        half_open_max_probes: Recovery probes a half-open window admits
+            before failures re-open the breaker.  1 (the default) is the
+            classic single-probe gate; K > 1 tolerates K - 1 probe
+            failures per window, so one unlucky job on a recovered but
+            flaky device doesn't cost another full cooldown.  A single
+            success still closes immediately.
         on_transition: Optional hook called with each
             :class:`BreakerTransition` (the scheduler journals them).
     """
@@ -111,18 +117,23 @@ class CircuitBreaker:
         device: str = "",
         failure_threshold: int = 3,
         cooldown_ms: Optional[float] = 2000.0,
+        half_open_max_probes: int = 1,
         on_transition: Optional[Callable[[BreakerTransition], None]] = None,
     ) -> None:
         if failure_threshold < 1:
             raise ValueError("failure_threshold must be >= 1")
         if cooldown_ms is not None and cooldown_ms <= 0:
             raise ValueError("cooldown_ms must be positive or None")
+        if half_open_max_probes < 1:
+            raise ValueError("half_open_max_probes must be >= 1")
         self.device = device
         self.failure_threshold = failure_threshold
         self.cooldown_ms = cooldown_ms
+        self.half_open_max_probes = half_open_max_probes
         self.on_transition = on_transition
         self.state = BREAKER_CLOSED
         self.consecutive_failures = 0
+        self.half_open_failures = 0
         self.open_until_ms: Optional[float] = None
         self.last_reason: Optional[str] = None
         self.trips = 0
@@ -160,8 +171,14 @@ class CircuitBreaker:
         state = self.poll(now_ms)
         if state == BREAKER_HALF_OPEN:
             self.consecutive_failures += 1
-            self.last_reason = f"half-open probe failed ({reason})"
-            self._open(now_ms, self.last_reason)
+            self.half_open_failures += 1
+            self.last_reason = (
+                f"half-open probe failed ({reason}; "
+                f"{self.half_open_failures}/{self.half_open_max_probes} "
+                "probes spent)"
+            )
+            if self.half_open_failures >= self.half_open_max_probes:
+                self._open(now_ms, self.last_reason)
             return
         self.consecutive_failures += 1
         if state == BREAKER_CLOSED and (
@@ -192,6 +209,7 @@ class CircuitBreaker:
         self.state = to_state
         if to_state == BREAKER_HALF_OPEN:
             self.probes += 1
+            self.half_open_failures = 0
         self.transitions.append(transition)
         if self.on_transition is not None:
             self.on_transition(transition)
@@ -202,13 +220,18 @@ class CircuitBreaker:
         if self.state == BREAKER_OPEN:
             return f"breaker open ({self.last_reason})"
         if self.state == BREAKER_HALF_OPEN:
-            return "breaker half-open (awaiting probe)"
+            return (
+                "breaker half-open (awaiting probe "
+                f"{self.half_open_failures + 1}/{self.half_open_max_probes})"
+            )
         return "breaker closed"
 
     def snapshot(self) -> dict:
         return {
             "state": self.state,
             "consecutive_failures": self.consecutive_failures,
+            "half_open_failures": self.half_open_failures,
+            "half_open_max_probes": self.half_open_max_probes,
             "trips": self.trips,
             "recoveries": self.recoveries,
             "probes": self.probes,

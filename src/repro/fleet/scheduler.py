@@ -74,6 +74,7 @@ from typing import (
 from ..service.cache import ResultCache
 from ..service.engine import BatchEngine
 from ..service.evaluate import EvalJob, execute_eval_job
+from ..service.optimize import OptimizeJob, execute_optimize_job
 from ..service.job import (
     JobResult,
     decode_envelope,
@@ -108,7 +109,9 @@ __all__ = ["Scheduler", "run_fleet"]
 
 
 def _execute_fleet_job(job) -> JobResult:
-    """Kind-dispatching executor: one engine serves both workloads."""
+    """Kind-dispatching executor: one engine serves every workload."""
+    if isinstance(job, OptimizeJob):
+        return execute_optimize_job(job)
     if isinstance(job, EvalJob):
         return execute_eval_job(job)
     return execute_job(job)
@@ -168,6 +171,9 @@ class Scheduler:
             half-opens for a recovery probe; ``None`` keeps the device
             out for the rest of the stream (the pre-resilience
             semantics, and what the chaos baseline measures against).
+        half_open_max_probes: Recovery probes a half-open breaker window
+            admits before failures re-open it (K concurrent-probe
+            headroom; 1 = classic single-probe gate).
         max_migrations: How many times a terminally failed placement may
             re-enter admission and be re-placed on another device (``0``
             disables migration).
@@ -202,6 +208,7 @@ class Scheduler:
         interarrival_ms: float = 0.0,
         max_consecutive_failures: int = 3,
         breaker_cooldown_ms: Optional[float] = 2000.0,
+        half_open_max_probes: int = 1,
         max_migrations: int = 2,
         degrade_ladder: Optional[Sequence[dict]] = None,
         max_eval_qubits: int = 24,
@@ -265,6 +272,7 @@ class Scheduler:
                     device=slot.label,
                     failure_threshold=max_consecutive_failures,
                     cooldown_ms=breaker_cooldown_ms,
+                    half_open_max_probes=half_open_max_probes,
                     on_transition=self._on_breaker_transition,
                 ),
             )
@@ -344,7 +352,9 @@ class Scheduler:
                 now_ms,
             )
 
-        if job.kind == "eval":
+        if job.kind in ("eval", "optimize"):
+            # Both workloads hold dense statevectors: evaluations per
+            # trajectory, optimizations per population member.
             feasible = [
                 s for s in unsaturated
                 if s.target.num_qubits <= self.max_eval_qubits
@@ -356,7 +366,7 @@ class Scheduler:
                 )
                 return None, Rejection(
                     job.job_id, "no_eligible_device",
-                    "eval needs a statevector-simulable device "
+                    f"{job.kind} needs a statevector-simulable device "
                     f"(<= {self.max_eval_qubits} qubits); only {oversized} "
                     "available",
                     now_ms,
@@ -426,8 +436,9 @@ class Scheduler:
                 f"{slo.to_dict()}: {' | '.join(shortfalls)}",
                 now_ms,
             )
-        # Half-open devices need exactly one probe to decide recovery:
-        # volunteer best-effort traffic for probing, and keep
+        # Half-open devices need K probes (half_open_max_probes) to
+        # decide recovery: volunteer best-effort traffic for probing,
+        # and keep
         # SLO-constrained jobs off unproven devices entirely — a probe
         # that fails would burn the job's promise on a device that just
         # tripped, so a constrained job with only probe candidates is
@@ -575,7 +586,7 @@ class Scheduler:
             and s.breaker.allows(now_ms)
             and s.backlog(now_ms) < self.device_backlog_limit
         ]
-        if job.kind == "eval":
+        if job.kind in ("eval", "optimize"):
             states = [
                 s for s in states
                 if s.target.num_qubits <= self.max_eval_qubits

@@ -20,6 +20,14 @@ from .graphs import (
     graph_edges,
     random_regular_graph,
 )
+from .frontend import (
+    PROBLEM_CANONICAL_VERSION,
+    Problem,
+    cost_values,
+    problem_canonical,
+    problem_fingerprint,
+    problem_from_spec,
+)
 from .ising import IsingProblem, maxcut_to_ising, qubo_to_ising
 from .landscape import (
     LandscapeGrid,
@@ -28,7 +36,14 @@ from .landscape import (
     landscape_statistics,
     noisy_expectation_grid,
 )
-from .optimizer import QAOAOptimizationResult, optimize_qaoa, qaoa_expectation
+from .optimizer import (
+    OPTIMIZER_METHODS,
+    QAOAOptimizationResult,
+    VariationalResult,
+    optimize_problem,
+    optimize_qaoa,
+    qaoa_expectation,
+)
 from .problems import Level, MaxCutProblem, QAOAProgram
 from .transfer import TransferredParameters, learn_parameters, transfer_quality
 
@@ -60,6 +75,15 @@ __all__ = [
     "IsingProblem",
     "qubo_to_ising",
     "maxcut_to_ising",
+    "Problem",
+    "PROBLEM_CANONICAL_VERSION",
+    "cost_values",
+    "problem_canonical",
+    "problem_fingerprint",
+    "problem_from_spec",
+    "OPTIMIZER_METHODS",
+    "VariationalResult",
+    "optimize_problem",
     "expectation_grid",
     "noisy_expectation_grid",
     "landscape_statistics",

@@ -121,6 +121,41 @@ class IsingProblem:
         return cls(n, quadratic, linear, offset)
 
     # ------------------------------------------------------------------
+    # Problem protocol surface (see repro.qaoa.frontend)
+    # ------------------------------------------------------------------
+    @property
+    def num_qubits(self) -> int:
+        """Logical register width (one qubit per spin)."""
+        return self.num_spins
+
+    @property
+    def edges(self) -> List[Tuple[int, int, float]]:
+        """Weighted ZZ terms in *program weight* convention.
+
+        The weight is ``-2 * J_ij`` — exactly what :meth:`to_program`
+        emits and what :func:`repro.sim.fastpath.cost_diagonal`
+        duck-types on, so an ``IsingProblem`` and its program intern the
+        same diagonal.
+        """
+        return [
+            (a, b, -2.0 * j) for (a, b), j in sorted(self.quadratic.items())
+        ]
+
+    def cost_values(self) -> np.ndarray:
+        """Protocol alias of :meth:`values` (includes the offset)."""
+        return self.values()
+
+    def optimum(self) -> float:
+        """Protocol alias of :meth:`max_value`."""
+        return self.max_value()
+
+    def content_fingerprint(self) -> str:
+        """Canonical content hash (stable under term reordering)."""
+        from .frontend import problem_fingerprint
+
+        return problem_fingerprint(self)
+
+    # ------------------------------------------------------------------
     # evaluation
     # ------------------------------------------------------------------
     def value_of_spins(self, spins: Sequence[int]) -> float:

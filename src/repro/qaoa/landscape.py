@@ -22,9 +22,9 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from ..sim.statevector import StatevectorSimulator
+from ..sim.fastpath import cost_diagonal, expectation_batch
 from .analytic import analytic_expectation
-from .circuit_builder import build_qaoa_circuit
+from .frontend import cost_values
 from .problems import MaxCutProblem
 
 __all__ = [
@@ -83,34 +83,43 @@ def _grid_axes(resolution: int) -> Tuple[np.ndarray, np.ndarray]:
 
 
 def expectation_grid(
-    problem: MaxCutProblem,
+    problem,
     resolution: int = 16,
     use_analytic: bool = True,
 ) -> LandscapeGrid:
-    """Noiseless p=1 expectation surface of a MaxCut problem.
+    """Noiseless p=1 expectation surface of a problem.
+
+    Accepts any :class:`~repro.qaoa.frontend.Problem`.  The general case
+    runs the whole ``resolution^2`` grid through one batched fast-path
+    pass (:func:`~repro.sim.fastpath.expectation_batch`) against the
+    interned cost diagonal — no per-point circuit builds.
 
     Args:
-        problem: The instance.
+        problem: The instance (MaxCut or general Ising/QUBO).
         resolution: Grid points per axis.
-        use_analytic: Use the closed form when valid (unit weights).
+        use_analytic: Use the closed form when valid (unweighted MaxCut).
     """
     if resolution < 2:
         raise ValueError("resolution must be >= 2")
     gammas, betas = _grid_axes(resolution)
-    unweighted = all(abs(w - 1.0) < 1e-12 for _, _, w in problem.edges)
-    values = np.zeros((resolution, resolution))
+    unweighted = isinstance(problem, MaxCutProblem) and all(
+        abs(w - 1.0) < 1e-12 for _, _, w in problem.edges
+    )
     if use_analytic and unweighted:
+        values = np.zeros((resolution, resolution))
         for i, g in enumerate(gammas):
             for j, b in enumerate(betas):
                 values[i, j] = analytic_expectation(problem, float(g), float(b))
     else:
-        sim = StatevectorSimulator()
-        cut = problem.cut_values()
-        for i, g in enumerate(gammas):
-            for j, b in enumerate(betas):
-                program = problem.to_program([float(g)], [float(b)])
-                circuit = build_qaoa_circuit(program, measure=False)
-                values[i, j] = sim.expectation_diagonal(circuit, cut)
+        grid_g, grid_b = np.meshgrid(gammas, betas, indexing="ij")
+        flat = expectation_batch(
+            problem,
+            grid_g.ravel()[:, None],
+            grid_b.ravel()[:, None],
+            values=cost_values(problem),
+            diagonal=cost_diagonal(problem),
+        )
+        values = flat.reshape(resolution, resolution)
     return LandscapeGrid(gammas=gammas, betas=betas, values=values)
 
 

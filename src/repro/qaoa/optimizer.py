@@ -3,29 +3,61 @@
 The paper finds optimal QAOA-MaxCut parameters by running "the
 quantum-classical optimization loop (L-BFGS-B classical optimizer used from
 SciPy library with convergence limit set to e-6)".  We reproduce that loop
-with the ideal statevector simulator as the quantum side: the objective is
-the exact expectation of the cut value over the QAOA output distribution.
+with the exact fast-path statevector as the quantum side: the objective is
+the exact expectation of the classical cost over the QAOA output
+distribution, evaluated against the interned
+:class:`~repro.sim.fastpath.CostDiagonal` (no circuit builds inside the
+loop).  Any :class:`~repro.qaoa.frontend.Problem` — MaxCut or general
+Ising/QUBO — is accepted.
 
-For p = 1 on unweighted problems the analytic expectation of
+For p = 1 on unweighted MaxCut the analytic expectation of
 :mod:`repro.qaoa.analytic` is used as a fast path unless disabled — it is
 mathematically the same objective, without building a state.
+
+:func:`optimize_problem` is the service-grade variant behind the
+``OptimizeJob`` workload: a *bounded* COBYLA / Nelder-Mead search whose
+random restart population is scored in one call through
+:func:`~repro.sim.fastpath.expectation_batch` before the single local
+search starts — the batched angle grid is what makes an
+optimizer-per-request service affordable.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import math
-from typing import List, Optional, Sequence
+import time
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 from scipy import optimize
 
+from ..sim.fastpath import (
+    cost_diagonal,
+    expectation_batch,
+    qaoa_statevector_batch,
+)
 from ..sim.statevector import StatevectorSimulator
 from .analytic import analytic_optimal_parameters
 from .circuit_builder import build_qaoa_circuit
+from .frontend import cost_values as _cost_values
 from .problems import MaxCutProblem
 
-__all__ = ["QAOAOptimizationResult", "qaoa_expectation", "optimize_qaoa"]
+__all__ = [
+    "OPTIMIZER_METHODS",
+    "QAOAOptimizationResult",
+    "VariationalResult",
+    "optimize_problem",
+    "optimize_qaoa",
+    "qaoa_expectation",
+]
+
+#: Bounded classical optimizers served by :func:`optimize_problem`,
+#: mapped to their scipy method names.
+OPTIMIZER_METHODS: Dict[str, str] = {
+    "cobyla": "COBYLA",
+    "nelder-mead": "Nelder-Mead",
+}
 
 
 @dataclasses.dataclass
@@ -36,7 +68,7 @@ class QAOAOptimizationResult:
         gammas: Optimal cost angles, one per level.
         betas: Optimal mixer angles, one per level.
         expectation: ``<C>`` at the optimum.
-        approximation_ratio: ``expectation / max_cut`` (noiseless).
+        approximation_ratio: ``expectation / optimum`` (noiseless).
         evaluations: Number of objective evaluations used.
     """
 
@@ -47,21 +79,66 @@ class QAOAOptimizationResult:
     evaluations: int
 
 
+@dataclasses.dataclass
+class VariationalResult:
+    """Outcome of the bounded service-grade loop.
+
+    Attributes:
+        gammas / betas: Best parameters found, one per level.
+        expectation: ``<C>`` at those parameters.
+        optimum: The exact brute-force optimum of the problem.
+        approximation_ratio: ``expectation / optimum`` (NaN when the
+            optimum is ~0, where the ratio is meaningless).
+        evaluations: Objective evaluations spent — the batched
+            population scoring counts once per member.
+        optimizer: Which entry of :data:`OPTIMIZER_METHODS` ran.
+        timings: Wall-clock seconds per stage (``population`` = the one
+            batched scoring pass, ``search`` = the local optimizer).
+    """
+
+    gammas: List[float]
+    betas: List[float]
+    expectation: float
+    optimum: float
+    approximation_ratio: float
+    evaluations: int
+    optimizer: str
+    timings: Dict[str, float]
+
+
+def _ratio(expectation: float, optimum: float) -> float:
+    if abs(optimum) < 1e-12:
+        return float("nan")
+    return expectation / optimum
+
+
 def qaoa_expectation(
-    problem: MaxCutProblem,
+    problem,
     gammas: Sequence[float],
     betas: Sequence[float],
     simulator: Optional[StatevectorSimulator] = None,
 ) -> float:
-    """Exact noiseless ``<C>`` for the given parameters (via statevector)."""
-    simulator = simulator or StatevectorSimulator()
-    program = problem.to_program(gammas, betas)
-    circuit = build_qaoa_circuit(program, measure=False)
-    return simulator.expectation_diagonal(circuit, problem.cut_values())
+    """Exact noiseless ``<C>`` for the given parameters.
+
+    Accepts any :class:`~repro.qaoa.frontend.Problem`.  By default the
+    interned diagonal fast path evaluates it in one dense pass; passing
+    ``simulator`` forces the legacy gate-by-gate circuit route (the two
+    agree to machine precision).
+    """
+    values = _cost_values(problem)
+    if simulator is not None:
+        program = problem.to_program(gammas, betas)
+        circuit = build_qaoa_circuit(program, measure=False)
+        return simulator.expectation_diagonal(circuit, values)
+    return float(
+        expectation_batch(
+            problem, [list(gammas)], [list(betas)], values=values
+        )[0]
+    )
 
 
 def optimize_qaoa(
-    problem: MaxCutProblem,
+    problem,
     p: int = 1,
     rng: Optional[np.random.Generator] = None,
     restarts: int = 3,
@@ -72,16 +149,18 @@ def optimize_qaoa(
     """Run the hybrid loop and return optimal ``(gammas, betas)``.
 
     Args:
-        problem: The MaxCut instance.
+        problem: Any :class:`~repro.qaoa.frontend.Problem` (MaxCut or
+            general Ising/QUBO).
         p: Number of QAOA levels.
         rng: Generator for the random restarts' initial points.
         restarts: Number of L-BFGS-B starts (best result kept).  The QAOA
             landscape is non-convex; a handful of restarts is the standard
             mitigation.
         tol: L-BFGS-B convergence tolerance (paper: 1e-6).
-        use_analytic: For p=1 unweighted problems, optimise the closed-form
+        use_analytic: For p=1 unweighted MaxCut, optimise the closed-form
             expectation instead of simulating (identical objective).
-        simulator: Statevector simulator override.
+        simulator: Statevector simulator override; forces the legacy
+            circuit-build objective instead of the diagonal fast path.
 
     Returns:
         A :class:`QAOAOptimizationResult`.
@@ -89,30 +168,44 @@ def optimize_qaoa(
     if p < 1:
         raise ValueError(f"p must be >= 1, got {p}")
     rng = rng if rng is not None else np.random.default_rng()
-    max_cut = problem.max_cut_value()
+    optimum = _cost_values(problem).max()
 
-    unweighted = all(abs(w - 1.0) < 1e-12 for _, _, w in problem.edges)
+    unweighted = isinstance(problem, MaxCutProblem) and all(
+        abs(w - 1.0) < 1e-12 for _, _, w in problem.edges
+    )
     if use_analytic and p == 1 and unweighted:
         gamma, beta, expectation = analytic_optimal_parameters(problem)
         return QAOAOptimizationResult(
             gammas=[gamma],
             betas=[beta],
             expectation=expectation,
-            approximation_ratio=expectation / max_cut,
+            approximation_ratio=_ratio(expectation, optimum),
             evaluations=0,
         )
 
-    simulator = simulator or StatevectorSimulator()
-    cut_values = problem.cut_values()
+    values = _cost_values(problem)
     evaluations = 0
 
-    def objective(params: np.ndarray) -> float:
-        nonlocal evaluations
-        evaluations += 1
-        gammas, betas = params[:p], params[p:]
-        program = problem.to_program(gammas, betas)
-        circuit = build_qaoa_circuit(program, measure=False)
-        return -simulator.expectation_diagonal(circuit, cut_values)
+    if simulator is not None:
+
+        def objective(params: np.ndarray) -> float:
+            nonlocal evaluations
+            evaluations += 1
+            gammas, betas = params[:p], params[p:]
+            program = problem.to_program(gammas, betas)
+            circuit = build_qaoa_circuit(program, measure=False)
+            return -simulator.expectation_diagonal(circuit, values)
+
+    else:
+        diag = cost_diagonal(problem)
+
+        def objective(params: np.ndarray) -> float:
+            nonlocal evaluations
+            evaluations += 1
+            states = qaoa_statevector_batch(
+                problem, params[None, :p], params[None, p:], diagonal=diag
+            )
+            return -float(np.abs(states[0]) ** 2 @ values)
 
     best_value = math.inf
     best_params = None
@@ -135,6 +228,96 @@ def optimize_qaoa(
         gammas=[float(g) for g in best_params[:p]],
         betas=[float(b) for b in best_params[p:]],
         expectation=expectation,
-        approximation_ratio=expectation / max_cut,
+        approximation_ratio=_ratio(expectation, optimum),
         evaluations=evaluations,
+    )
+
+
+def optimize_problem(
+    problem,
+    p: int = 1,
+    optimizer: str = "cobyla",
+    maxiter: int = 200,
+    restarts: int = 8,
+    seed: int = 0,
+    diagonal=None,
+) -> VariationalResult:
+    """Bounded variational search — the ``OptimizeJob`` classical loop.
+
+    ``restarts`` random starting points are scored in *one* batched
+    fast-path pass (:func:`~repro.sim.fastpath.expectation_batch`), then
+    a single bounded COBYLA / Nelder-Mead search (``maxiter`` iterations)
+    refines the best member.  Deterministic for a given ``seed``.
+
+    Args:
+        problem: Any :class:`~repro.qaoa.frontend.Problem`.
+        p: Number of QAOA levels.
+        optimizer: Key of :data:`OPTIMIZER_METHODS`.
+        maxiter: Iteration bound handed to the scipy optimizer.
+        restarts: Random-population size (must be >= 1).
+        seed: Population RNG seed.
+        diagonal: Optional pre-built :class:`CostDiagonal` override.
+
+    Returns:
+        A :class:`VariationalResult` with per-stage wall-clock timings.
+    """
+    if p < 1:
+        raise ValueError(f"p must be >= 1, got {p}")
+    if restarts < 1:
+        raise ValueError(f"restarts must be >= 1, got {restarts}")
+    if maxiter < 1:
+        raise ValueError(f"maxiter must be >= 1, got {maxiter}")
+    try:
+        method = OPTIMIZER_METHODS[optimizer]
+    except KeyError:
+        raise ValueError(
+            f"unknown optimizer {optimizer!r}; "
+            f"choose from {sorted(OPTIMIZER_METHODS)}"
+        ) from None
+
+    rng = np.random.default_rng(seed)
+    diag = diagonal if diagonal is not None else cost_diagonal(problem)
+    values = _cost_values(problem)
+    optimum = float(values.max())
+    timings: Dict[str, float] = {}
+
+    start = time.perf_counter()
+    pop_gammas = rng.uniform(-math.pi, math.pi, size=(restarts, p))
+    pop_betas = rng.uniform(-math.pi / 2.0, math.pi / 2.0, size=(restarts, p))
+    scores = expectation_batch(
+        problem, pop_gammas, pop_betas, values=values, diagonal=diag
+    )
+    timings["population"] = time.perf_counter() - start
+    best = int(np.argmax(scores))
+    x0 = np.concatenate([pop_gammas[best], pop_betas[best]])
+    evaluations = restarts
+
+    def objective(params: np.ndarray) -> float:
+        nonlocal evaluations
+        evaluations += 1
+        states = qaoa_statevector_batch(
+            problem, params[None, :p], params[None, p:], diagonal=diag
+        )
+        return -float(np.abs(states[0]) ** 2 @ values)
+
+    start = time.perf_counter()
+    result = optimize.minimize(
+        objective, x0=x0, method=method, options={"maxiter": int(maxiter)}
+    )
+    timings["search"] = time.perf_counter() - start
+
+    # The bounded search can stop worse than its start; keep the best.
+    if -float(result.fun) >= float(scores[best]):
+        params, expectation = result.x, -float(result.fun)
+    else:
+        params, expectation = x0, float(scores[best])
+    return VariationalResult(
+        gammas=[float(g) for g in params[:p]],
+        betas=[float(b) for b in params[p:]],
+        expectation=expectation,
+        optimum=optimum,
+        approximation_ratio=_ratio(expectation, optimum),
+        evaluations=evaluations,
+        optimizer=optimizer,
+        timings=timings,
     )

@@ -163,6 +163,33 @@ class MaxCutProblem:
         return cls(len(nodes), edges)
 
     # ------------------------------------------------------------------
+    # Problem protocol surface (see repro.qaoa.frontend)
+    # ------------------------------------------------------------------
+    @property
+    def num_qubits(self) -> int:
+        """Logical register width (one qubit per node)."""
+        return self.num_nodes
+
+    @property
+    def linear(self) -> Dict[int, float]:
+        """MaxCut has no linear Ising fields."""
+        return {}
+
+    def cost_values(self) -> np.ndarray:
+        """Protocol alias of :meth:`cut_values`."""
+        return self.cut_values()
+
+    def optimum(self) -> float:
+        """Protocol alias of :meth:`max_cut_value`."""
+        return self.max_cut_value()
+
+    def content_fingerprint(self) -> str:
+        """Canonical content hash (stable under edge reordering)."""
+        from .frontend import problem_fingerprint
+
+        return problem_fingerprint(self)
+
+    # ------------------------------------------------------------------
     # classical cost function
     # ------------------------------------------------------------------
     def pairs(self) -> List[Pair]:

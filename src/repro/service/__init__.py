@@ -11,6 +11,10 @@ winners):
 * :mod:`repro.service.evaluate` — the :class:`EvalJob` ARG-evaluation
   workload (compile + fast-path ``r0``/``rh``/ARG), same engine, cache
   and telemetry;
+* :mod:`repro.service.optimize` — the :class:`OptimizeJob` variational
+  workload (bounded COBYLA / Nelder-Mead over any unified-frontend
+  problem, restart population scored through the batched fast path),
+  same engine, cache and telemetry;
 * :mod:`repro.service.cache` — content-addressed LRU result cache with
   entry/byte budgets and an optional disk tier;
 * :mod:`repro.service.engine` — process-pool batch execution with per-job
@@ -39,16 +43,30 @@ from .job import (
     load_jobs_jsonl,
     resolve_job_environment,
 )
+from .optimize import (
+    OPTIMIZE_HASH_VERSION,
+    OptimizeJob,
+    execute_optimize_job,
+    load_optimize_jobs_jsonl,
+    optimize_job_from_dict,
+    run_optimize_batch,
+)
 from .telemetry import Histogram, Telemetry, percentile
 
 __all__ = [
     "HASH_VERSION",
     "EVAL_HASH_VERSION",
+    "OPTIMIZE_HASH_VERSION",
     "CompileJob",
     "EvalJob",
+    "OptimizeJob",
     "JobResult",
     "execute_eval_job",
     "run_eval_batch",
+    "execute_optimize_job",
+    "run_optimize_batch",
+    "optimize_job_from_dict",
+    "load_optimize_jobs_jsonl",
     "execute_job",
     "resolve_job_environment",
     "job_from_dict",

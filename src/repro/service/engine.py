@@ -145,6 +145,24 @@ class BatchReport:
             if name.startswith(prefix)
         }
 
+    def optimize_summary(self) -> dict:
+        """Per-optimization-stage latency aggregation across the batch.
+
+        Returns ``{stage: {count, mean, min, max, p50, p95, p99}}`` in
+        milliseconds from the ``optimize_ms.*`` histograms the engine
+        feeds from every executed optimize job's ``optimize_trace``
+        (stages: ``population`` — the one batched fast-path scoring
+        pass — and ``search`` — the bounded local optimizer).  Empty for
+        other batch flavours and for cache hits.
+        """
+        snap = self.telemetry.snapshot()
+        prefix = "optimize_ms."
+        return {
+            name[len(prefix):]: summary
+            for name, summary in snap["histograms"].items()
+            if name.startswith(prefix)
+        }
+
     def distinct_targets(self) -> int:
         """Distinct device+calibration fingerprints among the successful
         results — how many Target-layer analyses the batch actually paid
@@ -391,6 +409,11 @@ class BatchEngine:
                 for record in result.metrics.get("eval_trace") or []:
                     self.telemetry.observe(
                         f"eval_ms.{record['name']}",
+                        float(record["seconds"]) * 1e3,
+                    )
+                for record in result.metrics.get("optimize_trace") or []:
+                    self.telemetry.observe(
+                        f"optimize_ms.{record['name']}",
                         float(record["seconds"]) * 1e3,
                     )
                 # Artifact-store activity from inside the worker (shm

@@ -434,13 +434,18 @@ def job_to_dict(job: CompileJob) -> dict:
 def job_from_dict(spec: dict) -> CompileJob:
     """Build a job from one JSONL line.
 
-    Two program forms are accepted:
+    Four program forms are accepted:
 
     * explicit — ``"program": {"num_qubits", "edges", "gammas", "betas"}``;
     * generated — ``"problem": {"family", "nodes", "param", "seed"}``
       sampled through :func:`repro.experiments.harness.make_problem` (with
       optional ``"gammas"``/``"betas"``, defaulting to 0.7/0.35 at p=1) so
-      job files can describe workload grids without embedding edge lists.
+      job files can describe workload grids without embedding edge lists;
+    * ``"qubo"`` / ``"ising"`` (and ``"maxcut"``) — the unified problem
+      frontend forms of :func:`repro.qaoa.frontend.problem_from_spec`,
+      with optional ``"gammas"``/``"betas"`` inside the form body.  The
+      content hash is taken over the resulting program's canonical form,
+      so term ordering in the spec never splits the cache.
     """
     if "program" in spec:
         prog = spec["program"]
@@ -473,8 +478,23 @@ def job_from_dict(spec: dict) -> CompileJob:
         gammas = prob.get("gammas", [0.7])
         betas = prob.get("betas", [0.35])
         program = problem.to_program(gammas, betas)
+    elif any(form in spec for form in ("qubo", "ising", "maxcut")):
+        from ..qaoa.frontend import problem_from_spec
+
+        problem = problem_from_spec(spec)
+        body = next(
+            spec[form]
+            for form in ("qubo", "ising", "maxcut")
+            if form in spec
+        )
+        gammas = body.get("gammas", [0.7])
+        betas = body.get("betas", [0.35])
+        program = problem.to_program(gammas, betas)
     else:
-        raise ValueError("job spec needs a 'program' or 'problem' entry")
+        raise ValueError(
+            "job spec needs a 'program', 'problem', 'qubo', 'ising' or "
+            "'maxcut' entry"
+        )
 
     device = spec.get("device", "ibmq_20_tokyo")
     if isinstance(device, dict):

@@ -9,9 +9,11 @@ from .fastpath import (
     cost_diagonal,
     diagonal_registry_stats,
     evaluate_fast,
+    expectation_batch,
     fastpath_plan,
     logical_trajectory,
     qaoa_statevector,
+    qaoa_statevector_batch,
 )
 from .noise import NoiseModel, NoisySimulator
 from .sampler import (
@@ -40,9 +42,11 @@ __all__ = [
     "cost_diagonal",
     "diagonal_registry_stats",
     "evaluate_fast",
+    "expectation_batch",
     "fastpath_plan",
     "logical_trajectory",
     "qaoa_statevector",
+    "qaoa_statevector_batch",
     "bitstring_to_index",
     "counts_to_probabilities",
     "expectation_from_counts",

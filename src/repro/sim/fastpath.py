@@ -66,9 +66,11 @@ __all__ = [
     "decode_indices",
     "diagonal_registry_stats",
     "evaluate_fast",
+    "expectation_batch",
     "fastpath_plan",
     "logical_trajectory",
     "qaoa_statevector",
+    "qaoa_statevector_batch",
 ]
 
 #: Matches the brute-force ceiling of ``MaxCutProblem.cut_values``.
@@ -156,6 +158,8 @@ class CostDiagonal:
         self._phase: Optional[np.ndarray] = None
         self._signs: Dict[int, np.ndarray] = {}
         self._szz: Dict[Tuple[int, int], np.ndarray] = {}
+        self._phase_groups: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        self._phase_groups_known = False
 
     @property
     def dim(self) -> int:
@@ -215,6 +219,27 @@ class CostDiagonal:
             values.flags.writeable = False
             self._phase = values
         return self._phase
+
+    @property
+    def phase_groups(self) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        """``(values, inverse)`` with ``phase == values[inverse]``.
+
+        Real cost diagonals are massively degenerate — an unweighted
+        ``m``-edge cut takes at most ``m + 1`` distinct values over
+        ``2^n`` basis states — so batched evolution can exponentiate one
+        small table per angle row and gather, instead of taking a dense
+        ``batch x 2^n`` complex exponential.  ``None`` when the phase has
+        too many distinct values for the factorisation to pay off
+        (gather + table would cost about as much as the dense ``exp``).
+        """
+        if not self._phase_groups_known:
+            values, inverse = np.unique(self.phase, return_inverse=True)
+            if values.size * 4 <= self.dim:
+                values.flags.writeable = False
+                inverse.flags.writeable = False
+                self._phase_groups = (values, inverse)
+            self._phase_groups_known = True
+        return self._phase_groups
 
     def readout_adjusted(self, flip_probs: Mapping[int, float]) -> np.ndarray:
         """The cut diagonal after an analytic readout-error channel.
@@ -378,6 +403,167 @@ def qaoa_statevector(program, diagonal: Optional[CostDiagonal] = None) -> np.nda
         for q in range(n):
             state = _apply_single(state, mixer, q, n)
     return state
+
+
+def _apply_rx_batch(
+    src: np.ndarray,
+    dst: np.ndarray,
+    cos_half: np.ndarray,
+    sin_half: np.ndarray,
+    num_qubits: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Apply per-column RX mixers to every qubit of a ``(2^n, batch)``
+    stack.
+
+    The batch axis sits *last* so every ufunc below streams over
+    contiguous batch-length runs regardless of which qubit is being
+    mixed — with batch-first layout the ``qubit = 0`` butterfly
+    degenerates to stride-one-element views and the pass goes scalar.
+    ``cos_half``/``sin_half`` hold cos/sin of each column's half-angle
+    and broadcast against that last axis.  Ping-pongs between ``src``
+    and ``dst`` (one butterfly per qubit, two fused multiply-adds per
+    output half, no temporaries beyond the pair); returns the
+    ``(result, scratch)`` buffer pair.
+    """
+    batch = src.shape[-1]
+    s = -1.0j * sin_half
+    for qubit in range(num_qubits):
+        s4 = src.reshape(-1, 2, 1 << qubit, batch)
+        d4 = dst.reshape(-1, 2, 1 << qubit, batch)
+        lo, hi = s4[:, 0], s4[:, 1]
+        np.multiply(lo, cos_half, out=d4[:, 0])
+        d4[:, 0] += hi * s
+        np.multiply(lo, s, out=d4[:, 1])
+        d4[:, 1] += hi * cos_half
+        src, dst = dst, src
+    return src, dst
+
+
+def _angle_matrix(angles, levels: Optional[int], name: str) -> np.ndarray:
+    out = np.asarray(angles, dtype=float)
+    if out.ndim == 1:
+        out = out[:, None]
+    if out.ndim != 2:
+        raise ValueError(f"{name} must be 1-D or 2-D, got shape {out.shape}")
+    if levels is not None and out.shape[1] != levels:
+        raise ValueError(
+            f"{name} has {out.shape[1]} levels per row, expected {levels}"
+        )
+    return out
+
+
+def qaoa_statevector_batch(
+    problem,
+    gammas,
+    betas,
+    diagonal: Optional[CostDiagonal] = None,
+) -> np.ndarray:
+    """Exact logical QAOA statevectors for a *batch* of angle points.
+
+    ``gammas``/``betas`` are ``(n_angles, p)`` (or ``(n_angles,)`` for
+    ``p = 1``): row ``k`` is one full parameter assignment.  All rows
+    evolve together — one ``exp(-i * gamma_k * D)`` broadcast against the
+    shared cost diagonal per level, then batched axis-wise RX mixers —
+    so a 32-point angle grid costs one numpy pass instead of 32 circuit
+    evaluations.  Returns a ``(n_angles, 2^n)`` little-endian array whose
+    row ``k`` equals ``qaoa_statevector(problem.to_program(row_k))`` to
+    machine precision.
+
+    ``problem`` is anything :func:`cost_diagonal` accepts: a
+    ``QAOAProgram``, ``MaxCutProblem``, ``IsingProblem``, or any object
+    with ``num_qubits``/``edges``/``linear``.
+    """
+    diag = diagonal if diagonal is not None else cost_diagonal(problem)
+    gamma_rows = _angle_matrix(gammas, None, "gammas")
+    beta_rows = _angle_matrix(betas, gamma_rows.shape[1], "betas")
+    if beta_rows.shape[0] != gamma_rows.shape[0]:
+        raise ValueError(
+            f"gammas has {gamma_rows.shape[0]} rows, betas has "
+            f"{beta_rows.shape[0]}"
+        )
+    n = diag.num_qubits
+    n_angles, levels = gamma_rows.shape
+    dim = 1 << n
+    # Work in (2^n, batch) layout — batch contiguous innermost — and
+    # transpose on return; see _apply_rx_batch for why.
+    states = np.full((dim, n_angles), 1.0 / np.sqrt(dim), dtype=complex)
+    scratch = np.empty_like(states)
+    groups = diag.phase_groups
+    for level in range(levels):
+        coeff = -1j * gamma_rows[:, level]
+        if groups is None:
+            states *= np.exp(np.multiply.outer(diag.phase, coeff))
+        else:
+            # Degenerate diagonal: exponentiate one row per distinct
+            # phase value and gather, instead of a dense 2^n exp.
+            values, inverse = groups
+            states *= np.exp(np.multiply.outer(values, coeff))[inverse]
+        # mixer_angle = 2 * beta, so the RX half-angle is beta itself
+        states, scratch = _apply_rx_batch(
+            states,
+            scratch,
+            np.cos(beta_rows[:, level]),
+            np.sin(beta_rows[:, level]),
+            n,
+        )
+    return states.T
+
+
+def expectation_batch(
+    problem,
+    gammas,
+    betas,
+    values: Optional[np.ndarray] = None,
+    diagonal: Optional[CostDiagonal] = None,
+    max_batch_amplitudes: int = 1 << 22,
+) -> np.ndarray:
+    """Batched exact expectations ``<psi_k| V |psi_k>`` over angle rows.
+
+    ``values`` is the diagonal observable per basis state; it defaults
+    to the problem's own classical cost vector (``cost_values()`` when
+    the problem exposes one — offset and linear fields included — else
+    the shared diagonal's cut values).  Large grids are processed in
+    chunks of at most ``max_batch_amplitudes`` amplitudes so an n-qubit
+    sweep never materialises more than ~64 MiB of statevectors at once
+    while keeping every chunk fully vectorized.
+    """
+    diag = diagonal if diagonal is not None else cost_diagonal(problem)
+    gamma_rows = _angle_matrix(gammas, None, "gammas")
+    beta_rows = _angle_matrix(betas, gamma_rows.shape[1], "betas")
+    if beta_rows.shape[0] != gamma_rows.shape[0]:
+        raise ValueError(
+            f"gammas has {gamma_rows.shape[0]} rows, betas has "
+            f"{beta_rows.shape[0]}"
+        )
+    if values is None:
+        cost_fn = getattr(problem, "cost_values", None)
+        obs = cost_fn() if cost_fn is not None else diag.cut
+    else:
+        obs = np.asarray(values, dtype=float)
+    dim = 1 << diag.num_qubits
+    if obs.shape != (dim,):
+        raise ValueError(f"values must have shape ({dim},), got {obs.shape}")
+    n_angles = gamma_rows.shape[0]
+    chunk = max(1, int(max_batch_amplitudes) // dim)
+    out = np.empty(n_angles, dtype=float)
+    for start in range(0, n_angles, chunk):
+        stop = min(start + chunk, n_angles)
+        states = qaoa_statevector_batch(
+            problem,
+            gamma_rows[start:stop],
+            beta_rows[start:stop],
+            diagonal=diag,
+        )
+        # Weighted probabilities in C layout, then a per-row pairwise
+        # sum over the contiguous last axis: each angle point's
+        # reduction sees only its own row, in a fixed order, so the
+        # grid is bit-identical whatever chunk size it ran at.
+        probs = np.empty(states.shape)
+        np.multiply(states.real, states.real, out=probs)
+        probs += states.imag**2
+        probs *= obs
+        out[start:stop] = probs.sum(axis=1)
+    return out
 
 
 # ----------------------------------------------------------------------

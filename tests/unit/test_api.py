@@ -96,6 +96,28 @@ class TestCompile:
         with pytest.raises(ValueError, match="baked"):
             compile(program, target="linear_4", gammas=[0.7], betas=[0.3])
 
+    def test_ising_problem_accepted(self):
+        """The unified frontend: any Problem with to_program compiles,
+        and the originating instance rides along on the result."""
+        ising = repro.IsingProblem(
+            4, {(0, 1): 0.5, (1, 2): 0.5, (2, 3): 0.5}, {0: 0.25}
+        )
+        result = compile(ising, target="linear_4")
+        assert isinstance(result, CompileResult)
+        assert result.problem is ising
+        assert result.depth() > 0
+
+    def test_qubo_via_spec_accepted(self):
+        problem = repro.problem_from_spec(
+            {"qubo": {"matrix": [[1, -1], [-1, 1]]}}
+        )
+        result = compile(problem, target="linear_4")
+        assert result.problem is problem
+
+    def test_rejects_non_problem(self):
+        with pytest.raises(TypeError, match="to_program"):
+            compile(object(), target="linear_4")
+
 
 class TestEvaluate:
     def test_noiseless_r0_only(self):

@@ -15,6 +15,7 @@ from repro.fleet import (
     SLO,
     SLO_TIERS,
     BestFidelity,
+    EwmaLatencyModel,
     Candidate,
     DeviceSlot,
     FleetJob,
@@ -34,7 +35,7 @@ from repro.fleet import (
     slo_from_dict,
     synthetic_stream,
 )
-from repro.service import CompileJob
+from repro.service import CompileJob, OptimizeJob
 from repro.service.job import JobResult, encode_envelope
 from repro.qaoa import MaxCutProblem
 
@@ -495,6 +496,71 @@ class TestStreams:
     def test_fleet_jobs_from_jsonl_bad_line(self):
         with pytest.raises(ValueError, match="line 1"):
             fleet_jobs_from_jsonl([json.dumps({"slo": "no-such-tier"})])
+
+
+# ----------------------------------------------------------------------
+# optimize jobs through the fleet (the variational service workload)
+# ----------------------------------------------------------------------
+class TestOptimizeFleet:
+    MIS_RING5 = [
+        [1, -1, 0, 0, -1],
+        [-1, 1, -1, 0, 0],
+        [0, -1, 1, -1, 0],
+        [0, 0, -1, 1, -1],
+        [-1, 0, 0, -1, 1],
+    ]
+
+    def _optimize_line(self, **knobs):
+        return json.dumps({
+            "id": "mis",
+            "qubo": {"matrix": self.MIS_RING5},
+            "slo": "bronze",
+            "optimize": {"maxiter": 40, "restarts": 2, "seed": 3, **knobs},
+        })
+
+    def test_jsonl_optimize_line_builds_optimize_kind(self):
+        [job] = fleet_jobs_from_jsonl([self._optimize_line()])
+        assert job.kind == "optimize"
+        assert isinstance(job.job, OptimizeJob)
+        assert job.slo == SLO_TIERS["bronze"]
+        assert job.method == "cobyla"  # latency model keys on optimizer
+        assert job.program is None
+        assert job.levels == 1
+        assert job.num_edges == len(job.job.problem.edges)
+
+    def test_bind_is_identity_for_device_free_jobs(self):
+        [fleet_job] = fleet_jobs_from_jsonl([self._optimize_line()])
+        target = FleetSpec([DeviceSlot("d", "ring_8")]).target("d")
+        bound = bind_job(fleet_job, target)
+        assert bound is fleet_job.job
+        assert bound.content_hash() == fleet_job.job.content_hash()
+
+    def test_admission_applies_memory_filter(self):
+        fleet = FleetSpec([DeviceSlot("big", "grid_6x6")])
+        scheduler = Scheduler(fleet, "greedy", execute_fn=_FakeExecute())
+        [job] = fleet_jobs_from_jsonl([self._optimize_line()])
+        candidate, rejection = scheduler.admit(job)
+        assert rejection is not None
+        assert rejection.kind == "no_eligible_device"
+        assert "statevector-simulable" in rejection.detail
+        assert "optimize" in rejection.detail
+
+    def test_scheduler_runs_optimize_job_end_to_end(self):
+        fleet = FleetSpec([DeviceSlot("sim", "ring_8")])
+        scheduler = Scheduler(fleet, "least-loaded")
+        [job] = fleet_jobs_from_jsonl([self._optimize_line()])
+        report = scheduler.run([job])
+        assert report.placed == 1 and not report.rejections
+        [record] = report.records
+        assert record.ok
+        assert record.kind == "optimize"
+        assert record.device_label == "sim"
+        assert record.exec_ms > 0.0
+
+    def test_latency_model_has_optimize_prior(self):
+        model = EwmaLatencyModel()
+        assert model.predict_ms("optimize") == 400.0
+        assert model.predict_ms("optimize") > model.predict_ms("eval")
 
 
 # ----------------------------------------------------------------------

@@ -163,6 +163,69 @@ class TestCircuitBreaker:
         ]
 
 
+class TestHalfOpenProbes:
+    def test_failures_below_budget_stay_half_open(self):
+        breaker = CircuitBreaker(
+            failure_threshold=1, cooldown_ms=100.0, half_open_max_probes=3
+        )
+        breaker.record_failure(0.0, "boom")
+        assert breaker.poll(100.0) == BREAKER_HALF_OPEN
+        breaker.record_failure(101.0, "flaky")
+        assert breaker.state == BREAKER_HALF_OPEN
+        assert breaker.allows(102.0)
+        breaker.record_failure(103.0, "flaky")
+        assert breaker.state == BREAKER_HALF_OPEN
+        # Third failed probe exhausts the budget and re-opens.
+        breaker.record_failure(104.0, "flaky")
+        assert breaker.state == BREAKER_OPEN
+        assert breaker.trips == 2
+
+    def test_one_success_closes_with_probes_remaining(self):
+        breaker = CircuitBreaker(
+            failure_threshold=1, cooldown_ms=100.0, half_open_max_probes=3
+        )
+        breaker.record_failure(0.0, "boom")
+        breaker.poll(100.0)
+        breaker.record_failure(101.0, "flaky")
+        breaker.record_success(102.0)
+        assert breaker.state == BREAKER_CLOSED
+        assert breaker.recoveries == 1
+
+    def test_probe_budget_resets_each_half_open_window(self):
+        breaker = CircuitBreaker(
+            failure_threshold=1, cooldown_ms=100.0, half_open_max_probes=2
+        )
+        breaker.record_failure(0.0, "boom")
+        breaker.poll(100.0)
+        breaker.record_failure(101.0, "flaky")
+        breaker.record_failure(102.0, "flaky")
+        assert breaker.state == BREAKER_OPEN
+        # Next half-open window gets a fresh budget of 2 again.
+        assert breaker.poll(202.0) == BREAKER_HALF_OPEN
+        breaker.record_failure(203.0, "flaky")
+        assert breaker.state == BREAKER_HALF_OPEN
+        assert breaker.allows(204.0)
+
+    def test_zero_probe_budget_rejected(self):
+        with pytest.raises(ValueError, match="half_open_max_probes"):
+            CircuitBreaker(
+                failure_threshold=1, cooldown_ms=100.0, half_open_max_probes=0
+            )
+
+    def test_snapshot_and_describe_expose_probe_budget(self):
+        breaker = CircuitBreaker(
+            device="d0", failure_threshold=1, cooldown_ms=100.0,
+            half_open_max_probes=2,
+        )
+        breaker.record_failure(0.0, "boom")
+        breaker.poll(100.0)
+        breaker.record_failure(101.0, "flaky")
+        snapshot = breaker.snapshot()
+        assert snapshot["half_open_failures"] == 1
+        assert snapshot["half_open_max_probes"] == 2
+        assert "awaiting probe 2/2" in breaker.describe()
+
+
 # ----------------------------------------------------------------------
 # degraded recompile primitives
 # ----------------------------------------------------------------------
@@ -227,6 +290,61 @@ class TestBreakerRecovery:
         assert breaker["recoveries"] == 1
         assert breaker["state"] == BREAKER_CLOSED
         assert report.devices[0].eligible
+
+    def test_flapping_device_re_earns_traffic_with_k_probes(self, tmp_path):
+        """With ``half_open_max_probes=2`` a device whose first recovery
+        probe fails stays half-open, re-earns traffic on the second
+        probe, and every probe is visible in the journal."""
+        journal_path = tmp_path / "run.jsonl"
+        fleet = FleetSpec([DeviceSlot("solo", "ring_8")])
+        jobs = [_fleet_job(i) for i in range(8)]
+        # jobs 0-2 trip the breaker; job 4 is the flap (failed probe).
+        execute = _VirtualExecute(
+            fail_ids={jobs[i].job_id for i in (0, 1, 2, 4)}, exec_ms=1.0
+        )
+        scheduler = Scheduler(
+            fleet, "least-loaded",
+            interarrival_ms=50.0,
+            max_consecutive_failures=3,
+            breaker_cooldown_ms=100.0,
+            half_open_max_probes=2,
+            execute_fn=execute,
+            journal=journal_path,
+        )
+        report = scheduler.run(jobs)
+
+        # Only the in-cooldown job (t=150) is rejected; the failed probe
+        # at t=200 does NOT re-open the breaker, so the t=250 job is the
+        # second probe and it closes the breaker.
+        assert report.placed == 7
+        assert len(report.rejections) == 1
+        breaker = report.devices[0].breaker
+        assert breaker["state"] == BREAKER_CLOSED
+        assert breaker["trips"] == 1
+        assert breaker["recoveries"] == 1
+        assert breaker["half_open_max_probes"] == 2
+        assert report.devices[0].eligible
+
+        entries = [
+            json.loads(line)
+            for line in journal_path.read_text().splitlines()
+        ]
+        transitions = [
+            (e["from"], e["to"]) for e in entries if e["kind"] == "breaker"
+        ]
+        assert transitions == [
+            (BREAKER_CLOSED, BREAKER_OPEN),
+            (BREAKER_OPEN, BREAKER_HALF_OPEN),
+            (BREAKER_HALF_OPEN, BREAKER_CLOSED),
+        ]
+        # Both probes (indices 4 and 5) were executed and journaled.
+        probe_records = [
+            e for e in entries
+            if e["kind"] == "complete" and e["index"] in (4, 5)
+        ]
+        assert len(probe_records) == 2
+        assert not probe_records[0]["record"]["ok"]
+        assert probe_records[1]["record"]["ok"]
 
     def test_none_cooldown_keeps_legacy_permanent_ineligibility(self):
         fleet = FleetSpec([DeviceSlot("solo", "ring_8")])

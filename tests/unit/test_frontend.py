@@ -1,0 +1,160 @@
+"""Tests for the unified problem frontend (protocol, specs, hashing)."""
+
+import numpy as np
+import pytest
+
+from repro.qaoa.frontend import (
+    PROBLEM_CANONICAL_VERSION,
+    Problem,
+    cost_values,
+    problem_canonical,
+    problem_fingerprint,
+    problem_from_spec,
+)
+from repro.qaoa.ising import IsingProblem
+from repro.qaoa.problems import MaxCutProblem
+from repro.sim.fastpath import cost_diagonal
+
+
+def _ring5_maxcut():
+    return MaxCutProblem(5, [(i, (i + 1) % 5) for i in range(5)])
+
+
+def _ring5_ising():
+    return IsingProblem(
+        5,
+        {(i, (i + 1) % 5): 0.5 for i in range(4)} | {(0, 4): 0.5},
+        {0: 0.25},
+        offset=1.0,
+    )
+
+
+class TestProtocolConformance:
+    @pytest.mark.parametrize(
+        "problem", [_ring5_maxcut(), _ring5_ising()], ids=["maxcut", "ising"]
+    )
+    def test_both_problem_kinds_satisfy_protocol(self, problem):
+        assert isinstance(problem, Problem)
+        assert problem.num_qubits == 5
+        assert all(len(edge) == 3 for edge in problem.edges)
+        assert isinstance(dict(problem.linear), dict)
+        program = problem.to_program([0.7], [0.35])
+        assert program.num_qubits == 5
+        vector = problem.cost_values()
+        assert vector.shape == (32,)
+        assert problem.optimum() == pytest.approx(float(vector.max()))
+        fp = problem.content_fingerprint()
+        assert len(fp) == 64 and fp == problem_fingerprint(problem)
+
+    def test_maxcut_cost_values_are_cut_values(self):
+        problem = _ring5_maxcut()
+        assert np.array_equal(problem.cost_values(), problem.cut_values())
+        assert np.array_equal(cost_values(problem), problem.cut_values())
+
+    def test_ising_edges_use_program_weight_convention(self):
+        """IsingProblem.edges must carry ``-2 J`` program weights so the
+        interned diagonal is shared with its own emitted program."""
+        problem = _ring5_ising()
+        assert all(w == -1.0 for _, _, w in problem.edges)
+        direct = cost_diagonal(problem)
+        via_program = cost_diagonal(problem.to_program([0.7], [0.35]))
+        assert direct is via_program
+
+    def test_cost_values_falls_back_to_cut_values(self):
+        class Legacy:
+            def cut_values(self):
+                return np.ones(4)
+
+        assert np.array_equal(cost_values(Legacy()), np.ones(4))
+
+
+class TestCanonicalForm:
+    def test_canonical_shape_and_version(self):
+        canon = problem_canonical(_ring5_ising())
+        assert canon["canonical_version"] == PROBLEM_CANONICAL_VERSION
+        assert canon["kind"] == "ising"
+        assert canon["num_qubits"] == 5
+        assert canon["edges"] == sorted(canon["edges"])
+        assert canon["linear"] == [[0, repr(0.25)]]
+        assert canon["offset"] == repr(1.0)
+
+    def test_same_couplings_different_kind_never_collide(self):
+        """A MaxCut instance and an Ising instance over the same pairs
+        have different cost semantics — the kind field keeps their
+        fingerprints (and so every cache key above) distinct."""
+        maxcut = _ring5_maxcut()
+        ising = IsingProblem(5, {(a, b): w for a, b, w in maxcut.edges})
+        assert problem_fingerprint(maxcut) != problem_fingerprint(ising)
+
+    def test_fingerprint_ignores_zero_linear_terms(self):
+        with_zero = IsingProblem(3, {(0, 1): 1.0}, {2: 0.0})
+        without = IsingProblem(3, {(0, 1): 1.0})
+        assert problem_fingerprint(with_zero) == problem_fingerprint(without)
+
+    def test_fingerprint_distinguishes_offset(self):
+        a = IsingProblem(3, {(0, 1): 1.0}, offset=0.0)
+        b = IsingProblem(3, {(0, 1): 1.0}, offset=1.0)
+        assert problem_fingerprint(a) != problem_fingerprint(b)
+
+
+class TestSpecParsing:
+    def test_qubo_spec(self):
+        problem = problem_from_spec(
+            {"qubo": {"matrix": [[1.0, -1.0], [-1.0, 1.0]]}}
+        )
+        assert isinstance(problem, IsingProblem)
+        expected = IsingProblem.from_qubo(np.array([[1.0, -1.0], [-1.0, 1.0]]))
+        assert problem_fingerprint(problem) == problem_fingerprint(expected)
+
+    def test_qubo_min_sense(self):
+        spec = {"qubo": {"matrix": [[2.0, 0.0], [0.0, 3.0]], "sense": "min"}}
+        problem = problem_from_spec(spec)
+        # Minimising x0*2 + x1*3 -> best is x = 00 with cost 0.
+        assert problem.optimum() == pytest.approx(0.0)
+
+    def test_ising_spec_with_pair_keys(self):
+        problem = problem_from_spec(
+            {
+                "ising": {
+                    "num_spins": 3,
+                    "quadratic": {"0-1": -0.5, "1,2": 0.25},
+                    "linear": {"2": 1.0},
+                    "offset": 1.5,
+                }
+            }
+        )
+        assert problem.quadratic == {(0, 1): -0.5, (1, 2): 0.25}
+        assert problem.linear == {2: 1.0}
+        assert problem.offset == 1.5
+
+    def test_ising_spec_with_triple_list_accumulates(self):
+        problem = problem_from_spec(
+            {
+                "ising": {
+                    "num_spins": 2,
+                    "quadratic": [[0, 1, 0.5], [1, 0, 0.25]],
+                }
+            }
+        )
+        assert problem.quadratic == {(0, 1): 0.75}
+
+    def test_maxcut_spec_with_optional_weights(self):
+        problem = problem_from_spec(
+            {"maxcut": {"num_nodes": 3, "edges": [[0, 1], [1, 2, 2.0]]}}
+        )
+        assert isinstance(problem, MaxCutProblem)
+        assert problem.num_qubits == 3
+
+    def test_rejects_zero_or_multiple_forms(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            problem_from_spec({})
+        with pytest.raises(ValueError, match="exactly one"):
+            problem_from_spec(
+                {"qubo": {"matrix": [[1]]}, "maxcut": {"num_nodes": 2}}
+            )
+
+    def test_rejects_non_object_body_and_missing_matrix(self):
+        with pytest.raises(ValueError, match="must be an object"):
+            problem_from_spec({"qubo": [[1.0]]})
+        with pytest.raises(ValueError, match="matrix"):
+            problem_from_spec({"qubo": {"sense": "max"}})
