@@ -38,6 +38,8 @@ from typing import Dict, Optional, Sequence, Tuple
 import numpy as np
 
 from .compiler.flow import METHOD_PRESETS
+from .compiler.pipeline import PipelineSpec
+from .compiler.registry import unknown_method_error
 from .compiler.flow import compile_qaoa as _compile_qaoa_impl
 from .compiler.flow import compile_with_method as _compile_with_method_impl
 from .compiler.metrics import success_probability as _success_probability
@@ -151,7 +153,10 @@ class CompileResult:
             passed (``None`` when :func:`compile` was given a raw
             program).
         target: The interned device view the compilation ran against.
-        method: The method name requested (``"ic"``, ``"vic"``, ...).
+        method: The method name requested (``"ic"``, ``"vic"``, ...), or
+            the flow label (``placement+ordering``) when a
+            :class:`~repro.compiler.pipeline.PipelineSpec` was compiled
+            directly.
     """
 
     compiled: object
@@ -222,7 +227,7 @@ def compile(
     problem,
     *,
     target,
-    method: str = "ic",
+    method="ic",
     gammas: Optional[Sequence[float]] = None,
     betas: Optional[Sequence[float]] = None,
     calibration=None,
@@ -242,9 +247,15 @@ def compile(
             :class:`~repro.hardware.coupling.CouplingGraph`, a
             :class:`~repro.hardware.calibration.Calibration`, or a
             prebuilt :class:`~repro.hardware.target.Target`.
-        method: One of :data:`~repro.compiler.flow.METHOD_PRESETS`
-            (``naive``, ``greedy_v``, ``greedy_e``, ``qaim``, ``ip``,
-            ``ic``, ``vic``).
+        method: A registered method name (see
+            :func:`repro.compiler.available_methods` — ``naive``,
+            ``greedy_v``, ``greedy_e``, ``qaim``, ``ip``, ``ic``,
+            ``vic``, ``swap_network``, ``parity``, plus anything
+            installed via :func:`repro.compiler.register_method`), or a
+            :class:`~repro.compiler.pipeline.PipelineSpec` instance
+            compiled directly — in which case ``router``, ``qaim_radius``
+            and ``packing_limit`` must stay at their defaults (they are
+            fields of the spec).
         gammas / betas: Per-level QAOA angles when ``problem`` is a
             MaxCut instance.
         calibration: Device calibration (required for ``method="vic"``
@@ -258,10 +269,12 @@ def compile(
         router: ``"layered"`` or ``"sabre"``.
         qaim_radius: QAIM connectivity-strength radius.
     """
-    if method not in METHOD_PRESETS:
-        raise ValueError(
-            f"unknown method {method!r}; options: {sorted(METHOD_PRESETS)}"
-        )
+    if isinstance(method, PipelineSpec):
+        label = method.method
+    else:
+        if method not in METHOD_PRESETS:
+            raise unknown_method_error(method)
+        label = method
     program, maxcut = _resolve_program(problem, gammas, betas)
     resolved = _resolve_target(target, calibration)
     rng = rng if rng is not None else np.random.default_rng(seed)
@@ -279,7 +292,7 @@ def compile(
         program=program,
         problem=maxcut,
         target=resolved,
-        method=method,
+        method=label,
     )
 
 

@@ -28,6 +28,8 @@ from typing import List, Optional
 
 import numpy as np
 
+from .compiler.registry import available_methods
+
 __all__ = ["main", "build_parser"]
 
 
@@ -56,7 +58,7 @@ def build_parser() -> argparse.ArgumentParser:
     compile_p.add_argument("--device", default="ibmq_20_tokyo")
     compile_p.add_argument(
         "--method",
-        choices=["naive", "greedy_v", "greedy_e", "qaim", "ip", "ic", "vic"],
+        choices=list(available_methods()),
         default="ic",
     )
     compile_p.add_argument("--p", type=int, default=1, help="QAOA levels")
@@ -120,7 +122,7 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--device", default="ibmq_20_tokyo")
     analyze.add_argument(
         "--method",
-        choices=["naive", "greedy_v", "greedy_e", "qaim", "ip", "ic", "vic"],
+        choices=list(available_methods()),
         default="ic",
     )
     analyze.add_argument("--seed", type=int, default=0)

@@ -27,6 +27,14 @@ from .portfolio import (
     gate_count_objective,
     reliability_objective,
 )
+from .parity import (
+    ParityEncodingPass,
+    ParityLayout,
+    build_parity_circuit,
+    parity_constraint_angle,
+    parity_decode_indices,
+    parity_field_angle,
+)
 from .pipeline import (
     Pass,
     PassContext,
@@ -34,6 +42,12 @@ from .pipeline import (
     Pipeline,
     PipelineSpec,
     build_pipeline,
+)
+from .registry import (
+    available_methods,
+    get_method,
+    register_method,
+    unregister_method,
 )
 from .placement import (
     greedy_e_placement,
@@ -45,6 +59,13 @@ from .qaim import QAIMConfig, qaim_placement
 from .routing import RoutingResult, route_pair
 from .sabre import SabreBackend
 from .serialize import from_json, to_json
+from .swap_network import (
+    SwapNetworkPass,
+    chain_for_mapping,
+    find_linear_chain,
+    linear_placement,
+    network_meetings,
+)
 from .vic import VariationAwareCompiler, vic_compiler
 
 __all__ = [
@@ -77,6 +98,21 @@ __all__ = [
     "PLACEMENTS",
     "ORDERINGS",
     "ROUTERS",
+    "register_method",
+    "unregister_method",
+    "available_methods",
+    "get_method",
+    "SwapNetworkPass",
+    "linear_placement",
+    "find_linear_chain",
+    "chain_for_mapping",
+    "network_meetings",
+    "ParityEncodingPass",
+    "ParityLayout",
+    "build_parity_circuit",
+    "parity_field_angle",
+    "parity_constraint_angle",
+    "parity_decode_indices",
     "Pass",
     "PassContext",
     "PassRecord",

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import dataclasses
 import time
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Union
 
 import numpy as np
 
@@ -48,6 +48,8 @@ from .placement import (
     trivial_placement,
 )
 from .qaim import qaim_placement
+from .registry import get_method, method_presets_view
+from .swap_network import linear_placement
 
 __all__ = [
     "CompiledQAOA",
@@ -67,24 +69,20 @@ PLACEMENTS = {
     "greedy_v": greedy_v_placement,
     "greedy_e": greedy_e_placement,
     "qaim": qaim_placement,
+    "linear": linear_placement,
 }
 
-ORDERINGS = ("random", "ip", "ic", "vic")
+ORDERINGS = ("random", "ip", "ic", "vic", "swap_network", "parity")
 
 ROUTERS = ("layered", "sabre")
 
-#: The paper's named methodologies as declarative pipeline specs.  Each
-#: entry still unpacks as ``(placement, ordering)`` for pre-pipeline
-#: callers (:class:`~repro.compiler.pipeline.PipelineSpec` is iterable).
-METHOD_PRESETS: Dict[str, PipelineSpec] = {
-    "naive": PipelineSpec(placement="random", ordering="random"),
-    "greedy_v": PipelineSpec(placement="greedy_v", ordering="random"),
-    "greedy_e": PipelineSpec(placement="greedy_e", ordering="random"),
-    "qaim": PipelineSpec(placement="qaim", ordering="random"),
-    "ip": PipelineSpec(placement="qaim", ordering="ip"),
-    "ic": PipelineSpec(placement="qaim", ordering="ic"),
-    "vic": PipelineSpec(placement="qaim", ordering="vic"),
-}
+#: Named methodologies as declarative pipeline specs.  Since the
+#: registry redesign this is a live *view* over
+#: :mod:`repro.compiler.registry` — reads behave like the old dict
+#: (each entry still unpacks as ``(placement, ordering)`` for
+#: pre-pipeline callers), direct mutation warns and forwards to
+#: :func:`~repro.compiler.registry.register_method`.
+METHOD_PRESETS: Dict[str, PipelineSpec] = method_presets_view()
 
 
 @dataclasses.dataclass
@@ -117,6 +115,13 @@ class CompiledQAOA:
             (``None`` for un-fingerprintable calibrations or legacy
             payloads) — the device+calibration identity downstream caches
             and telemetry key on.
+        encoding: How the circuit's register relates to the program —
+            ``"direct"`` (mappings are logical→physical; every paper
+            method and the SWAP network) or ``"parity"`` (mappings are
+            parity-slot→physical; see :mod:`repro.compiler.parity`).
+        encoding_info: Encoding-specific decode metadata (slot pairs,
+            constraints, decode paths for ``"parity"``; empty for
+            ``"direct"``).
     """
 
     circuit: QuantumCircuit
@@ -130,6 +135,8 @@ class CompiledQAOA:
     warnings: List[str] = dataclasses.field(default_factory=list)
     pass_trace: List[PassRecord] = dataclasses.field(default_factory=list)
     target_fingerprint: Optional[str] = None
+    encoding: str = "direct"
+    encoding_info: dict = dataclasses.field(default_factory=dict)
     _native_cache: Dict[bool, QuantumCircuit] = dataclasses.field(
         default_factory=dict, repr=False, compare=False
     )
@@ -193,7 +200,15 @@ def _validate_spec(
     calibration: Optional[Calibration],
 ) -> None:
     """Reject bad knob combinations with the historical error messages."""
-    if spec.placement not in PLACEMENTS:
+    if spec.ordering == "parity":
+        # The parity pass re-encodes the problem and places the parity
+        # qubits itself; "lhz" marks that there is no logical placement.
+        if spec.placement != "lhz":
+            raise ValueError(
+                "parity ordering requires placement 'lhz' (the pass "
+                "places its own parity qubits)"
+            )
+    elif spec.placement not in PLACEMENTS:
         raise ValueError(
             f"unknown placement {spec.placement!r}; "
             f"options: {sorted(PLACEMENTS)}"
@@ -310,6 +325,8 @@ def compile_spec(
         warnings=context.warnings,
         pass_trace=context.trace,
         target_fingerprint=resolved.fingerprint,
+        encoding=context.encoding,
+        encoding_info=context.encoding_info,
     )
     result.validate()
     return result
@@ -415,7 +432,7 @@ def run_incremental_flow(
 def compile_with_method(
     program: QAOAProgram,
     coupling=None,
-    method: str = "ic",
+    method: Union[str, PipelineSpec] = "ic",
     calibration: Optional[Calibration] = None,
     packing_limit: Optional[int] = None,
     rng: Optional[np.random.Generator] = None,
@@ -424,28 +441,39 @@ def compile_with_method(
     crosstalk_conflicts=None,
     target: Optional[Target] = None,
 ) -> CompiledQAOA:
-    """Compile using one of the paper's named methods.
+    """Compile using a named method or an explicit pipeline spec.
 
-    ``method`` is one of :data:`METHOD_PRESETS`:
+    ``method`` is either a name in the method registry (the paper's
     ``naive``, ``greedy_v``, ``greedy_e``, ``qaim``, ``ip``, ``ic``,
-    ``vic``.  ``coupling`` accepts either a device topology or a prebuilt
+    ``vic``, the structural ``swap_network``/``parity``, plus anything
+    added via :func:`repro.compiler.register_method`) or a
+    :class:`~repro.compiler.pipeline.PipelineSpec` instance used as-is.
+    ``coupling`` accepts either a device topology or a prebuilt
     :class:`~repro.hardware.target.Target` (equivalently pass ``target=``).
     ``router`` selects the backend (``"layered"``/``"sabre"``),
     ``qaim_radius`` tunes QAIM's connectivity-strength radius, and
     ``crosstalk_conflicts`` appends the Section VI sequentialisation pass
-    — all forwarded to :func:`compile_spec`.
+    — all forwarded to :func:`compile_spec`.  When ``method`` is a spec,
+    those knobs live *inside* the spec; passing them here too raises.
     """
-    try:
-        preset = METHOD_PRESETS[method]
-    except KeyError:
-        raise ValueError(
-            f"unknown method {method!r}; options: {sorted(METHOD_PRESETS)}"
-        ) from None
-    spec = preset.replace(
-        router=router,
-        qaim_radius=qaim_radius,
-        packing_limit=packing_limit,
-    )
+    if isinstance(method, PipelineSpec):
+        if (
+            router != "layered"
+            or qaim_radius != 2
+            or packing_limit is not None
+        ):
+            raise ValueError(
+                "router/qaim_radius/packing_limit are fields of the "
+                "PipelineSpec when compiling from a spec; set them there"
+            )
+        spec = method
+    else:
+        preset = get_method(method)
+        spec = preset.replace(
+            router=router,
+            qaim_radius=qaim_radius,
+            packing_limit=packing_limit,
+        )
     return compile_spec(
         program,
         coupling,

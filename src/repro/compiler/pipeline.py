@@ -32,6 +32,8 @@ the :class:`Pass` protocol and insert the instance anywhere in a
 from __future__ import annotations
 
 import dataclasses
+import hashlib
+import json
 import time
 import warnings as _warnings
 from typing import Dict, List, Optional, Protocol, Sequence, Tuple, runtime_checkable
@@ -141,6 +143,12 @@ class PassContext:
         distance_metric: Which of the target's distance tables routing
             steers by — ``"hop"`` (default) or ``"vic"`` after a
             :class:`VICDistancePass` resolved a usable reliability table.
+        encoding: How the circuit's register relates to the program's
+            logical qubits — ``"direct"`` (mappings are logical→physical)
+            or ``"parity"`` (mappings are parity-slot→physical; see
+            :mod:`repro.compiler.parity`).
+        encoding_info: Encoding-specific decode metadata (empty for the
+            direct encoding).
         warnings: Degradation provenance accumulated across passes.
         trace: One :class:`PassRecord` per completed pass.
     """
@@ -155,6 +163,8 @@ class PassContext:
     swap_count: int = 0
     level_gates: Optional[List[List[ParamPair]]] = None
     distance_metric: str = "hop"
+    encoding: str = "direct"
+    encoding_info: dict = dataclasses.field(default_factory=dict)
     warnings: List[str] = dataclasses.field(default_factory=list)
     trace: List[PassRecord] = dataclasses.field(default_factory=list)
 
@@ -214,6 +224,7 @@ class PipelineSpec:
     qaim_radius: int = 2
     packing_limit: Optional[int] = None
     lower: bool = False
+    constraint_strength: float = 2.0
 
     def __iter__(self):
         _warnings.warn(
@@ -233,6 +244,17 @@ class PipelineSpec:
     def replace(self, **changes) -> "PipelineSpec":
         """A copy with the given fields changed."""
         return dataclasses.replace(self, **changes)
+
+    def fingerprint(self) -> str:
+        """Content hash of the spec — what cache keys use when a spec is
+        passed directly instead of a registered method name.  Field-order
+        independent; two content-equal specs always fingerprint the same."""
+        payload = {
+            k: (repr(v) if isinstance(v, float) else v)
+            for k, v in dataclasses.asdict(self).items()
+        }
+        text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
 
 # ----------------------------------------------------------------------
@@ -553,9 +575,27 @@ def build_pipeline(
     Stage order mirrors Figure 2: placement, then ordering+routing (a
     single incremental pass for IC/VIC, separate ordering and routing
     passes otherwise), then the optional crosstalk sequentialisation and
-    peephole lowering.
+    peephole lowering.  The structural methods deviate: ``swap_network``
+    replaces routing with the odd/even brick network on the placed
+    chain, and ``parity`` is a single pass that re-encodes, places and
+    routes the problem itself (there is no logical→physical placement to
+    run first).
     """
-    passes: List[Pass] = [
+    if spec.ordering == "parity":
+        from .parity import ParityEncodingPass
+
+        passes: List[Pass] = [
+            ParityEncodingPass(
+                constraint_strength=spec.constraint_strength,
+                router=spec.router,
+            )
+        ]
+        if crosstalk_conflicts is not None:
+            passes.append(CrosstalkPass(crosstalk_conflicts))
+        if spec.lower:
+            passes.append(PeepholePass())
+        return Pipeline(passes, name=spec.method)
+    passes = [
         PlacementPass(spec.placement, qaim_radius=spec.qaim_radius)
     ]
     if spec.ordering == "random":
@@ -574,6 +614,10 @@ def build_pipeline(
                 label=spec.ordering,
             )
         )
+    elif spec.ordering == "swap_network":
+        from .swap_network import SwapNetworkPass
+
+        passes.append(SwapNetworkPass())
     else:
         raise ValueError(f"unknown ordering {spec.ordering!r} in spec")
     if crosstalk_conflicts is not None:

@@ -30,12 +30,14 @@ __all__ = ["to_json", "from_json", "FORMAT_VERSION", "COMPAT_READ_VERSIONS"]
 #: changes so stale caches invalidate cleanly.
 #: v2: QAOA payloads carry the per-pass ``pass_trace`` (pipeline refactor).
 #: v3: QAOA payloads carry the ``target_fingerprint`` (Target layer).
-FORMAT_VERSION = 3
+#: v4: QAOA payloads carry ``encoding``/``encoding_info`` (parity method).
+FORMAT_VERSION = 4
 
-#: Versions :func:`from_json` can restore.  v2 payloads are a strict
-#: subset of v3 (they just lack the fingerprint), so they load with
-#: ``target_fingerprint=None`` instead of forcing a recompile.
-COMPAT_READ_VERSIONS = frozenset({2, 3})
+#: Versions :func:`from_json` can restore.  v2/v3 payloads are a strict
+#: subset of v4 (they lack the fingerprint and/or encoding fields), so
+#: they load with ``target_fingerprint=None`` / ``encoding="direct"``
+#: instead of forcing a recompile.
+COMPAT_READ_VERSIONS = frozenset({2, 3, 4})
 
 # Backwards-compatible alias (pre-service-layer name).
 _FORMAT_VERSION = FORMAT_VERSION
@@ -78,6 +80,8 @@ def to_json(compiled: Union[CompiledQAOA, CompiledCircuit]) -> str:
         payload["warnings"] = list(compiled.warnings)
         payload["pass_trace"] = [r.to_dict() for r in compiled.pass_trace]
         payload["target_fingerprint"] = compiled.target_fingerprint
+        payload["encoding"] = compiled.encoding
+        payload["encoding_info"] = compiled.encoding_info
         program = compiled.program
         payload["program"] = {
             "num_qubits": program.num_qubits,
@@ -144,6 +148,8 @@ def from_json(text: str) -> Union[CompiledQAOA, CompiledCircuit]:
             target_fingerprint=(
                 str(fingerprint) if fingerprint is not None else None
             ),
+            encoding=str(payload.get("encoding", "direct")),
+            encoding_info=dict(payload.get("encoding_info") or {}),
             **common,
         )
     else:

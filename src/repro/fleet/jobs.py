@@ -70,9 +70,15 @@ class FleetJob:
 
     @property
     def method(self) -> Optional[str]:
-        """Compile method preset (EvalJob proxies its compile job's;
-        OptimizeJob reports its classical optimizer)."""
-        return getattr(self.job, "method", None)
+        """Compile method label (EvalJob proxies its compile job's;
+        OptimizeJob reports its classical optimizer; inline
+        PipelineSpec methods read as their flow label)."""
+        method = getattr(self.job, "method", None)
+        if method is None or isinstance(method, str):
+            return method
+        from ..service.job import method_label
+
+        return method_label(method)
 
     @property
     def program(self):

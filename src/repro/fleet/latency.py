@@ -36,9 +36,11 @@ _DEFAULT_PRIORS_MS = {"compile": 50.0, "eval": 250.0, "optimize": 400.0}
 #: before the method has ever run on that device.
 METHOD_COST_FACTORS = {
     "random": 0.5,
+    "swap_network": 0.6,
     "ip": 0.7,
     "ic": 1.0,
     "qaim": 1.1,
+    "parity": 1.2,
     "vic": 1.4,
 }
 

@@ -31,6 +31,7 @@ __all__ = [
 #: Every structured reason admission control can refuse a job with.
 REJECTION_KINDS = (
     "empty_fleet",
+    "unknown_method",
     "no_eligible_device",
     "queue_full",
     "saturated",

@@ -310,6 +310,24 @@ class Scheduler:
                 job.job_id, "empty_fleet",
                 "fleet has no device slots", now_ms,
             )
+        if job.kind in ("compile", "eval"):
+            # Validate the method against the live registry at admission —
+            # an unknown preset would only surface as a per-device
+            # "invalid" failure after queueing, wait, and dispatch.
+            # Inline PipelineSpec methods are self-describing and skip
+            # the name check.
+            from ..compiler.registry import available_methods
+
+            raw_method = getattr(job.job, "method", None)
+            if isinstance(raw_method, str) and (
+                raw_method not in available_methods()
+            ):
+                return None, Rejection(
+                    job.job_id, "unknown_method",
+                    f"unknown method {raw_method!r}; options: "
+                    f"{sorted(available_methods())}",
+                    now_ms,
+                )
         available: List[_DeviceState] = []
         for state in self._states.values():
             if state.eligible and state.breaker.allows(now_ms):

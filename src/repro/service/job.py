@@ -31,6 +31,7 @@ from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
+from ..compiler.pipeline import PipelineSpec
 from ..hardware.calibration import Calibration, random_calibration
 from ..hardware.coupling import CouplingGraph
 from ..qaoa.problems import Level, QAOAProgram
@@ -43,6 +44,7 @@ __all__ = [
     "resolve_job_environment",
     "job_from_dict",
     "job_to_dict",
+    "method_label",
     "load_jobs_jsonl",
     "encode_envelope",
     "decode_envelope",
@@ -55,6 +57,15 @@ HASH_VERSION = 2
 
 DeviceSpec = Union[str, CouplingGraph]
 CalibrationSpec = Union[None, str, Dict, Calibration]
+MethodSpec = Union[str, PipelineSpec]
+
+
+def method_label(method: MethodSpec) -> str:
+    """Human-readable method label for records and fleet telemetry —
+    the registry name, or the flow label of an inline spec."""
+    if isinstance(method, PipelineSpec):
+        return method.method
+    return str(method)
 
 
 @dataclasses.dataclass
@@ -66,7 +77,10 @@ class CompileJob:
         device: Library device name (resolved via
             :func:`repro.hardware.devices.get_device`) or an inline
             :class:`CouplingGraph`.
-        method: One of :data:`repro.compiler.flow.METHOD_PRESETS`.
+        method: A registered method name (see
+            :func:`repro.compiler.available_methods`) or an inline
+            :class:`~repro.compiler.pipeline.PipelineSpec` compiled
+            directly (content-addressed by its fingerprint).
         packing_limit: Layer-packing cap (None = unlimited).
         router: Backend router (``"layered"`` or ``"sabre"``).
         seed: Seed for the flow's stochastic tie-breaks.
@@ -79,7 +93,7 @@ class CompileJob:
 
     program: QAOAProgram
     device: DeviceSpec
-    method: str = "ic"
+    method: MethodSpec = "ic"
     packing_limit: Optional[int] = None
     router: str = "layered"
     seed: int = 0
@@ -109,7 +123,11 @@ class CompileJob:
                 ],
             },
             "device": _device_canonical(self.device),
-            "method": self.method,
+            "method": (
+                {"spec_fingerprint": self.method.fingerprint()}
+                if isinstance(self.method, PipelineSpec)
+                else self.method
+            ),
             "packing_limit": self.packing_limit,
             "router": self.router,
             "seed": self.seed,
@@ -263,7 +281,7 @@ class JobResult:
             "id": self.job.job_id,
             "key": self.key,
             "device": _device_label(self.job.device),
-            "method": self.job.method,
+            "method": method_label(self.job.method),
             "packing_limit": self.job.packing_limit,
             "seed": self.job.seed,
             "ok": self.ok,
@@ -411,7 +429,11 @@ def job_to_dict(job: CompileJob) -> dict:
     spec = {
         "id": job.job_id,
         "device": _device_payload(job.device),
-        "method": job.method,
+        "method": (
+            {"spec": dataclasses.asdict(job.method)}
+            if isinstance(job.method, PipelineSpec)
+            else job.method
+        ),
         "packing_limit": job.packing_limit,
         "router": job.router,
         "seed": job.seed,
@@ -507,10 +529,22 @@ def job_from_dict(spec: dict) -> CompileJob:
             [tuple(e) for e in device["edges"]],
             name=device.get("name", "inline"),
         )
+    method = spec.get("method", "ic")
+    if isinstance(method, dict):
+        if "spec" not in method:
+            raise ValueError(
+                "inline method must be {'spec': {...PipelineSpec fields}}"
+            )
+        method = PipelineSpec(**method["spec"])
+    else:
+        from ..compiler.registry import available_methods, unknown_method_error
+
+        if method not in available_methods():
+            raise unknown_method_error(method)
     return CompileJob(
         program=program,
         device=device,
-        method=spec.get("method", "ic"),
+        method=method,
         packing_limit=spec.get("packing_limit"),
         router=spec.get("router", "layered"),
         seed=int(spec.get("seed", 0)),

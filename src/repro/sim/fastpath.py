@@ -69,6 +69,7 @@ __all__ = [
     "expectation_batch",
     "fastpath_plan",
     "logical_trajectory",
+    "parity_plan",
     "qaoa_statevector",
     "qaoa_statevector_batch",
 ]
@@ -601,6 +602,11 @@ def fastpath_plan(compiled) -> FastPathPlan:
     measured; any other structure refuses the fast path and the caller
     falls back to gate-by-gate simulation.
     """
+    encoding = getattr(compiled, "encoding", "direct")
+    if encoding != "direct":
+        return FastPathPlan(
+            False, f"encoding {encoding!r} has its own verifier"
+        )
     program = compiled.program
     n = program.num_qubits
     p_levels = program.p
@@ -747,6 +753,214 @@ def fastpath_plan(compiled) -> FastPathPlan:
     if unmeasured:
         return FastPathPlan(
             False, f"logical qubit(s) {unmeasured} never measured"
+        )
+    return FastPathPlan(True, None)
+
+
+def parity_plan(compiled) -> FastPathPlan:
+    """Prove a parity-encoded compiled circuit equivalent to its program.
+
+    The parity circuit is CNOT-conjugated diagonal rotations plus local
+    mixers, so the proof is a phase-polynomial walk: each physical wire
+    carries a GF(2) mask over parity slots (``H`` on slot ``s``'s home
+    initialises mask ``1 << s``; ``CNOT(a, b)`` XORs ``mask[a]`` into
+    ``mask[b]``; SWAPs relocate masks).  Every ``RZ`` must consume a
+    pending phase term of its wire's exact current mask — the per-level
+    multiset of field terms ``(1 << s, -gamma * w_s)`` and constraint
+    terms ``(XOR of cycle slots, -gamma * Omega)`` derived from
+    :class:`~repro.compiler.parity.ParityLayout` — and every mixer
+    ``RX`` requires its wire restored to a singleton mask no other wire
+    shares, with that slot's pending terms drained.  The walk must end
+    with all masks singleton, matching the recorded ``final_mapping``,
+    and every slot's home measured.  Any accepted circuit therefore
+    implements exactly ``prod_levels [mixer . exp(-i gamma D(y))]`` over
+    the parity basis, which :func:`_evaluate_parity` evolves directly.
+    """
+    from ..compiler.parity import (
+        ParityLayout,
+        parity_constraint_angle,
+        parity_field_angle,
+    )
+
+    program = compiled.program
+    try:
+        layout = ParityLayout.from_program(program)
+    except ValueError as exc:
+        return FastPathPlan(False, str(exc))
+    info = getattr(compiled, "encoding_info", None) or {}
+    strength = float(info.get("constraint_strength", 2.0))
+    K = layout.num_slots
+    p_levels = program.p
+
+    initial = {int(s): int(p) for s, p in compiled.initial_mapping.items()}
+    if sorted(initial) != list(range(K)):
+        return FastPathPlan(False, "initial mapping must cover parity slots")
+    if len(set(initial.values())) != K:
+        return FastPathPlan(False, "initial mapping is not injective")
+    owner: Dict[int, int] = {p: s for s, p in initial.items()}
+    masks: Dict[int, int] = {}
+
+    h_seen: set = set()
+    level_of = [0] * K
+    # per level: pending (mask, angle) multisets and per-slot touch counts
+    pending = []
+    touches = []
+    for lv in range(p_levels):
+        gamma = program.levels[lv].gamma
+        terms: Counter = Counter()
+        for s, w in enumerate(layout.weights):
+            terms[(1 << s, parity_field_angle(gamma, w))] += 1
+        angle = parity_constraint_angle(gamma, strength)
+        for cycle in layout.constraints:
+            mask = 0
+            for s in cycle:
+                mask ^= 1 << s
+            terms[(mask, angle)] += 1
+        touch = [0] * K
+        for (mask, _), count in terms.items():
+            for s in range(K):
+                if (mask >> s) & 1:
+                    touch[s] += count
+        pending.append(terms)
+        touches.append(touch)
+    measured: set = set()
+
+    for inst in compiled.circuit:
+        name = inst.name
+        if name == "barrier":
+            continue
+        if name == "measure":
+            phys = inst.qubits[0]
+            mask = masks.get(phys)
+            if mask is not None:
+                if mask == 0 or mask & (mask - 1):
+                    return FastPathPlan(
+                        False, "measurement of an unrestored parity line"
+                    )
+                s = mask.bit_length() - 1
+                if level_of[s] != p_levels:
+                    return FastPathPlan(
+                        False,
+                        f"parity slot {s} measured before its last mixer",
+                    )
+            measured.add(phys)
+            continue
+        if name == "swap":
+            pa, pb = inst.qubits
+            oa, ob = owner.pop(pa, None), owner.pop(pb, None)
+            ma, mb = masks.pop(pa, None), masks.pop(pb, None)
+            if ob is not None:
+                owner[pa] = ob
+            if oa is not None:
+                owner[pb] = oa
+            if mb is not None:
+                masks[pa] = mb
+            if ma is not None:
+                masks[pb] = ma
+            continue
+        if name == "h":
+            s = owner.get(inst.qubits[0])
+            if s is None:
+                return FastPathPlan(False, "H on an unmapped physical qubit")
+            if s in h_seen:
+                return FastPathPlan(False, "duplicate Hadamard")
+            h_seen.add(s)
+            masks[inst.qubits[0]] = 1 << s
+            continue
+        if name == "cnot":
+            ma = masks.get(inst.qubits[0])
+            mb = masks.get(inst.qubits[1])
+            if ma is None or mb is None:
+                return FastPathPlan(
+                    False, "CNOT before Hadamard or on an unmapped qubit"
+                )
+            masks[inst.qubits[1]] = mb ^ ma
+            continue
+        if name == "rz":
+            mask = masks.get(inst.qubits[0])
+            if mask is None:
+                return FastPathPlan(
+                    False, "RZ before Hadamard or on an unmapped qubit"
+                )
+            if mask == 0:
+                return FastPathPlan(False, "RZ on a cancelled parity line")
+            slots = [s for s in range(K) if (mask >> s) & 1]
+            lv = level_of[slots[0]]
+            if any(level_of[s] != lv for s in slots):
+                return FastPathPlan(False, "RZ mask spans mixer levels")
+            if lv >= p_levels:
+                return FastPathPlan(False, "RZ after the final mixer")
+            key = (mask, inst.params[0])
+            if pending[lv][key] <= 0:
+                return FastPathPlan(
+                    False,
+                    f"unexpected phase term (mask {mask:#x}, "
+                    f"angle {inst.params[0]!r}) in level {lv}",
+                )
+            pending[lv][key] -= 1
+            for s in slots:
+                touches[lv][s] -= 1
+            continue
+        if name == "rx":
+            phys = inst.qubits[0]
+            mask = masks.get(phys)
+            if mask is None:
+                return FastPathPlan(
+                    False, "RX before Hadamard or on an unmapped qubit"
+                )
+            if mask == 0 or mask & (mask - 1):
+                return FastPathPlan(False, "mixer on an unrestored parity line")
+            s = mask.bit_length() - 1
+            if any(
+                q != phys and (m >> s) & 1 for q, m in masks.items()
+            ):
+                return FastPathPlan(
+                    False, f"mixer on slot {s} while another wire carries it"
+                )
+            lv = level_of[s]
+            if lv >= p_levels:
+                return FastPathPlan(False, "RX after the final mixer")
+            if inst.params[0] != program.mixer_angle(lv):
+                return FastPathPlan(
+                    False, f"mixer angle mismatch in level {lv}"
+                )
+            if touches[lv][s] > 0:
+                return FastPathPlan(
+                    False,
+                    f"mixer on parity slot {s} before its level-{lv} "
+                    f"phase terms completed",
+                )
+            level_of[s] = lv + 1
+            continue
+        return FastPathPlan(
+            False, f"gate {name!r} outside the parity fast-path gate set"
+        )
+
+    if len(h_seen) != K:
+        return FastPathPlan(False, "incomplete Hadamard prefix")
+    if any(lv != p_levels for lv in level_of):
+        return FastPathPlan(False, "circuit ended before the final mixer")
+    if any(
+        v > 0 for lv in range(p_levels) for v in pending[lv].values()
+    ):
+        return FastPathPlan(False, "phase terms missing from the circuit")
+    final: Dict[int, int] = {}
+    for phys, mask in masks.items():
+        if mask == 0 or mask & (mask - 1):
+            return FastPathPlan(
+                False, "parity line not restored to a single slot"
+            )
+        s = mask.bit_length() - 1
+        if s in final:
+            return FastPathPlan(False, f"slot {s} carried by two wires")
+        final[s] = phys
+    recorded = {int(s): int(p) for s, p in compiled.final_mapping.items()}
+    if final != recorded:
+        return FastPathPlan(False, "final mapping mismatch")
+    unmeasured = [s for s in range(K) if final[s] not in measured]
+    if unmeasured:
+        return FastPathPlan(
+            False, f"parity slot(s) {unmeasured} never measured"
         )
     return FastPathPlan(True, None)
 
@@ -936,6 +1150,157 @@ def _physical_index_map(
 
 
 # ----------------------------------------------------------------------
+# parity-frame evaluation
+# ----------------------------------------------------------------------
+def _evaluate_parity(
+    compiled,
+    *,
+    noise,
+    shots,
+    trajectories,
+    rng,
+    mode,
+    durations,
+    use_fastpath,
+):
+    """Evaluate a parity-encoded compiled circuit (``encoding="parity"``).
+
+    The fast ideal path evolves the ``2^K`` parity register directly —
+    one elementwise ``exp(-i gamma D(y))`` multiply per level against
+    :meth:`~repro.compiler.parity.ParityLayout.phase_vector` plus
+    axis-wise RX mixers — admitted only after :func:`parity_plan` proves
+    the physical stream implements exactly that product.  Measured slot
+    bits decode to logical assignments by XOR along spanning-tree paths
+    before the cut table is consulted, so ``r0``/``rh`` are directly
+    comparable with direct-encoding evaluations of the same problem.
+    The noisy side is always gate-by-gate (the dense parity constraint
+    gadgets have no cheap logical-frame replay), with readout applied
+    analytically in ``exact`` mode on the slot homes only — flips on
+    unmapped physical qubits cannot reach any decoded bit.
+    """
+    from ..compiler.parity import ParityLayout, parity_decode_indices
+
+    program = compiled.program
+    n_phys = compiled.circuit.num_qubits
+    layout = ParityLayout.from_program(program)
+    K = layout.num_slots
+    info = getattr(compiled, "encoding_info", None) or {}
+    strength = float(info.get("constraint_strength", 2.0))
+    mapping = {int(s): int(p) for s, p in compiled.final_mapping.items()}
+    timings: Dict[str, float] = {}
+
+    tick = time.perf_counter()
+    diag = cost_diagonal(program)
+    max_cut = diag.max_value
+    if max_cut == 0.0:
+        raise ValueError("problem has zero maximum cut")
+    # cut value of every parity-basis index, through the decode gauge
+    slot_cut = diag.cut[
+        parity_decode_indices(np.arange(1 << K, dtype=np.int64), layout)
+    ]
+    timings["diagonal"] = time.perf_counter() - tick
+
+    if use_fastpath:
+        plan = parity_plan(compiled)
+    else:
+        plan = FastPathPlan(False, "fast path disabled by caller")
+    fast = plan.ok
+    phys_map = _physical_index_map(mapping, K) if fast else None
+
+    # -- ideal side ----------------------------------------------------
+    tick = time.perf_counter()
+    if fast:
+        phase = layout.phase_vector(strength)
+        state = np.full(1 << K, 1.0 / np.sqrt(1 << K), dtype=complex)
+        for level in range(program.p):
+            gamma = program.levels[level].gamma
+            state = state * np.exp(-1j * gamma * phase)
+            mixer = _rx_matrix(program.mixer_angle(level))
+            for s in range(K):
+                state = _apply_single(state, mixer, s, K)
+        probs_slots = np.abs(state) ** 2
+        if mode == "exact":
+            r0 = float(np.dot(probs_slots, slot_cut)) / max_cut
+        else:
+            probs_phys = np.zeros(1 << n_phys)
+            probs_phys[phys_map] = probs_slots
+            probs_phys /= probs_phys.sum()
+            sampled = rng.choice(1 << n_phys, size=shots, p=probs_phys)
+            r0 = float(
+                slot_cut[decode_indices(sampled, mapping, K)].mean()
+            ) / max_cut
+    else:
+        from .statevector import StatevectorSimulator
+
+        sim = StatevectorSimulator(max_qubits=max(n_phys, 24))
+        if mode == "exact":
+            probs_phys = sim.probabilities(compiled.circuit)
+            phys_cut = slot_cut[
+                decode_indices(np.arange(1 << n_phys), mapping, K)
+            ]
+            r0 = float(np.dot(probs_phys, phys_cut)) / max_cut
+        else:
+            sampled = sim.sample_indices(compiled.circuit, shots, rng)
+            r0 = float(
+                slot_cut[decode_indices(sampled, mapping, K)].mean()
+            ) / max_cut
+    timings["ideal"] = time.perf_counter() - tick
+
+    # -- noisy side ----------------------------------------------------
+    rh = None
+    arg = None
+    n_traj = trajectories
+    if noise is not None:
+        from .noise import NoisySimulator
+
+        tick = time.perf_counter()
+        nsim = NoisySimulator(
+            noise, trajectories=trajectories, durations=durations
+        )
+        if mode == "exact":
+            readout = slot_cut[
+                decode_indices(np.arange(1 << n_phys), mapping, K)
+            ].astype(float)
+            indices = np.arange(1 << n_phys, dtype=np.int64)
+            for s in range(K):
+                p = noise.readout_flip.get(mapping[s], 0.0)
+                if p <= 0.0:
+                    continue
+                readout = (1.0 - p) * readout + p * readout[
+                    indices ^ (1 << mapping[s])
+                ]
+            total = 0.0
+            for _ in range(n_traj):
+                state = nsim.run_trajectory(compiled.circuit, rng)
+                probs = np.abs(state) ** 2
+                probs /= probs.sum()
+                total += float(np.dot(probs, readout))
+            rh = total / n_traj / max_cut
+        else:
+            n_traj = min(trajectories, shots)
+            indices = nsim.sample_indices(compiled.circuit, shots, rng)
+            rh = float(
+                slot_cut[decode_indices(indices, mapping, K)].mean()
+            ) / max_cut
+        if r0 == 0.0:
+            raise ValueError("noiseless approximation ratio r0 is zero")
+        arg = 100.0 * (r0 - rh) / r0
+        timings["noisy"] = time.perf_counter() - tick
+
+    return EvalOutcome(
+        r0=r0,
+        rh=rh,
+        arg=arg,
+        shots=shots if mode == "sampled" else 0,
+        trajectories=n_traj if noise is not None else 0,
+        mode=mode,
+        fastpath=fast,
+        reason=plan.reason,
+        timings=timings,
+    )
+
+
+# ----------------------------------------------------------------------
 # the evaluation driver
 # ----------------------------------------------------------------------
 @dataclasses.dataclass
@@ -1015,6 +1380,20 @@ def evaluate_fast(
     if trajectories < 1:
         raise ValueError("need at least one trajectory")
     rng = rng if rng is not None else np.random.default_rng()
+    encoding = getattr(compiled, "encoding", "direct")
+    if encoding == "parity":
+        return _evaluate_parity(
+            compiled,
+            noise=noise,
+            shots=shots,
+            trajectories=trajectories,
+            rng=rng,
+            mode=mode,
+            durations=durations,
+            use_fastpath=use_fastpath,
+        )
+    if encoding != "direct":
+        raise ValueError(f"unknown circuit encoding {encoding!r}")
     program = compiled.program
     n = program.num_qubits
     n_phys = compiled.circuit.num_qubits

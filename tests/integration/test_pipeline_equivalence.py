@@ -107,9 +107,18 @@ def _calibration_for(coupling, method):
 
 DEVICES = [ibmq_20_tokyo, ibmq_16_melbourne]
 
+# The seed-flow reference predates the structural methods (swap_network,
+# parity) — those have no monolithic counterpart and are covered by the
+# verifier plans plus tests/integration/test_structural_methods.py.
+CLASSIC_METHODS = sorted(
+    name
+    for name, preset in METHOD_PRESETS.items()
+    if preset.ordering in ("random", "ip", "ic", "vic")
+)
+
 
 @pytest.mark.parametrize("device", DEVICES, ids=lambda d: d.__name__)
-@pytest.mark.parametrize("method", sorted(METHOD_PRESETS))
+@pytest.mark.parametrize("method", CLASSIC_METHODS)
 @pytest.mark.parametrize("seed", [0, 11])
 def test_preset_matches_seed_flow(device, method, seed):
     coupling = device()

@@ -1,0 +1,160 @@
+"""Property tests for the odd/even SWAP-network method.
+
+The network's defining combinatorial claim: starting from *any* chain
+order of ``n`` elements, the ``n``-layer odd/even brick schedule brings
+every unordered pair adjacent exactly once.  The compiled circuit rides
+on that claim — depth stays O(n) regardless of problem density, every
+program edge's CPHASE lands exactly once per level, and the commutation
+verifier accepts the result wholesale.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler import compile_with_method, find_linear_chain
+from repro.compiler.swap_network import network_meetings
+from repro.hardware import get_device, linear_device, ring_device
+from repro.qaoa.problems import Level, QAOAProgram
+from repro.sim.fastpath import evaluate_fast, fastpath_plan
+
+
+@st.composite
+def chain_orders(draw):
+    n = draw(st.integers(2, 12))
+    return draw(st.permutations(range(n)))
+
+
+@st.composite
+def chain_problems(draw):
+    """Random-weight MaxCut programs on 3..7 qubits (dense allowed)."""
+    n = draw(st.integers(3, 7))
+    edge_pool = [(a, b) for a in range(n) for b in range(a + 1, n)]
+    chosen = draw(
+        st.lists(
+            st.sampled_from(edge_pool),
+            min_size=1,
+            max_size=len(edge_pool),
+            unique=True,
+        )
+    )
+    edges = [
+        (a, b, draw(st.floats(0.1, 3.0, allow_nan=False)))
+        for a, b in chosen
+    ]
+    p = draw(st.integers(1, 2))
+    levels = [
+        Level(
+            draw(st.floats(-2.0, 2.0, allow_nan=False)),
+            draw(st.floats(-1.0, 1.0, allow_nan=False)),
+        )
+        for _ in range(p)
+    ]
+    return QAOAProgram(num_qubits=n, edges=edges, levels=levels)
+
+
+class TestMeetingSchedule:
+    @given(chain_orders())
+    @settings(max_examples=120, deadline=None)
+    def test_every_pair_meets_exactly_once(self, order):
+        n = len(order)
+        layers = network_meetings(order)
+        assert len(layers) == n
+        met = [
+            frozenset((a, b))
+            for bricks in layers
+            for _, a, b in bricks
+        ]
+        assert len(met) == n * (n - 1) // 2
+        assert len(set(met)) == len(met)
+
+    @given(chain_orders())
+    @settings(max_examples=60, deadline=None)
+    def test_layer_positions_follow_brick_parity(self, order):
+        for t, bricks in enumerate(network_meetings(order)):
+            positions = [i for i, _, _ in bricks]
+            assert all(i % 2 == t % 2 for i in positions)
+            # bricks are disjoint: consecutive positions differ by >= 2
+            assert positions == sorted(positions)
+            assert all(
+                b - a >= 2 for a, b in zip(positions, positions[1:])
+            )
+
+
+class TestCompiledNetwork:
+    @given(chain_problems())
+    @settings(max_examples=25, deadline=None)
+    def test_verifier_accepts_and_depth_stays_linear(self, program):
+        n = program.num_qubits
+        compiled = compile_with_method(
+            program,
+            linear_device(n),
+            "swap_network",
+            rng=np.random.default_rng(0),
+        )
+        plan = fastpath_plan(compiled)
+        assert plan.ok, plan.reason
+        trace = {r.name: r for r in compiled.pass_trace}
+        layers = trace["route/swap_network"].info["brick_layers"]
+        assert len(layers) == program.p
+        assert all(0 <= used <= n for used in layers)
+
+    @given(chain_problems())
+    @settings(max_examples=15, deadline=None)
+    def test_every_edge_cphase_once_per_level(self, program):
+        compiled = compile_with_method(
+            program,
+            linear_device(program.num_qubits),
+            "swap_network",
+            rng=np.random.default_rng(1),
+        )
+        cphases = sum(
+            1
+            for inst in compiled.circuit.instructions
+            if inst.name == "cphase"
+        )
+        assert cphases == len(program.edges) * program.p
+
+    @given(chain_problems())
+    @settings(max_examples=10, deadline=None)
+    def test_fast_and_fallback_r0_agree(self, program):
+        compiled = compile_with_method(
+            program,
+            linear_device(program.num_qubits),
+            "swap_network",
+            rng=np.random.default_rng(2),
+        )
+        fast = evaluate_fast(compiled, mode="exact")
+        slow = evaluate_fast(compiled, mode="exact", use_fastpath=False)
+        assert fast.fastpath and not slow.fastpath
+        assert abs(fast.r0 - slow.r0) < 1e-10
+
+
+class TestLinearChainExtraction:
+    @pytest.mark.parametrize(
+        "device_name,length",
+        [
+            ("ibmq_16_melbourne", 10),
+            ("ibmq_20_tokyo", 10),
+            ("ibmq_20_tokyo", 16),
+        ],
+    )
+    def test_chain_is_a_coupled_simple_path(self, device_name, length):
+        coupling = get_device(device_name)
+        chain = find_linear_chain(coupling, length)
+        assert len(chain) == length
+        assert len(set(chain)) == length
+        for a, b in zip(chain, chain[1:]):
+            assert coupling.has_edge(a, b)
+
+    def test_ring_device_full_chain(self):
+        coupling = ring_device(8)
+        chain = find_linear_chain(coupling, 8)
+        assert len(set(chain)) == 8
+        for a, b in zip(chain, chain[1:]):
+            assert coupling.has_edge(a, b)
+
+    def test_impossible_chain_raises(self):
+        with pytest.raises(ValueError):
+            find_linear_chain(ring_device(4), 5)

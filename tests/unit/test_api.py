@@ -213,6 +213,19 @@ class TestSurfaceSnapshot:
             "evaluate",
         ]
 
+    def test_compile_method_accepts_registry_names_and_specs(self):
+        """method= resolves registered names through the registry and
+        takes a PipelineSpec directly (labelled placement+ordering)."""
+        from repro.compiler import PipelineSpec, available_methods
+
+        assert "swap_network" in available_methods()
+        assert "parity" in available_methods()
+        by_name = compile(_problem(), target="ring_8", method="swap_network")
+        assert by_name.method == "swap_network"
+        spec = PipelineSpec(placement="qaim", ordering="ic")
+        by_spec = compile(_problem(), target="ring_8", method=spec)
+        assert by_spec.method == "qaim+ic"
+
     def test_top_level_facade_names(self):
         for name in (
             "compile",

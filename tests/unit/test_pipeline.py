@@ -73,6 +73,8 @@ class TestPipelineAssembly:
         "ip": ["place/qaim", "order/ip", "route/layered"],
         "ic": ["place/qaim", "route/ic"],
         "vic": ["place/qaim", "distance/vic", "route/vic"],
+        "swap_network": ["place/linear", "route/swap_network"],
+        "parity": ["encode/parity"],
     }
 
     @pytest.mark.parametrize("method", sorted(METHOD_PRESETS))

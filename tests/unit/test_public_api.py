@@ -62,9 +62,16 @@ class TestExports:
     def test_method_presets_cover_paper(self):
         from repro import METHOD_PRESETS
 
-        assert set(METHOD_PRESETS) == {
+        assert {
             "naive", "greedy_v", "greedy_e", "qaim", "ip", "ic", "vic",
-        }
+            "swap_network", "parity",
+        } <= set(METHOD_PRESETS)
+
+    def test_method_presets_match_registry(self):
+        from repro import METHOD_PRESETS
+        from repro.compiler import available_methods
+
+        assert tuple(sorted(METHOD_PRESETS)) == available_methods()
 
     def test_every_public_callable_has_a_docstring(self):
         import inspect
